@@ -1,0 +1,59 @@
+//! Criterion bench of the gather-scatter kernel (§6): scalar vs vector
+//! mode, and the distributed form's per-op cost over the simulated
+//! machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sem_comm::SimComm;
+use sem_gs::{GsHandle, GsOp, ParGs};
+use sem_mesh::generators::box2d;
+use sem_mesh::partition::partition_rsb;
+use sem_mesh::{Geometry, GlobalNumbering};
+
+fn bench_gs(c: &mut Criterion) {
+    let mesh = box2d(16, 16, [0.0, 1.0], [0.0, 1.0], false, false);
+    let n = 8;
+    let geo = Geometry::new(&mesh, n);
+    let num = GlobalNumbering::new(&mesh, &geo);
+    let gs = GsHandle::new(&num.ids);
+    let nl = num.ids.len();
+    let mut u: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut group = c.benchmark_group("gather_scatter");
+    group.sample_size(30);
+    group.bench_function("scalar_add", |b| {
+        b.iter(|| {
+            gs.gs(&mut u, GsOp::Add);
+            std::hint::black_box(&mut u);
+        })
+    });
+    let mut uv: Vec<f64> = (0..nl * 3).map(|i| (i as f64 * 0.17).cos()).collect();
+    group.bench_function("vector3_add", |b| {
+        b.iter(|| {
+            gs.gs_vec(&mut uv, 3, GsOp::Add);
+            std::hint::black_box(&mut uv);
+        })
+    });
+    // Distributed over 8 simulated ranks (RSB partition).
+    let p = 8;
+    let part = partition_rsb(&mesh, p);
+    let npts = geo.npts;
+    let mut ids_per_rank: Vec<Vec<usize>> = vec![Vec::new(); p];
+    for e in 0..mesh.num_elems() {
+        ids_per_rank[part[e]].extend_from_slice(&num.ids[e * npts..(e + 1) * npts]);
+    }
+    let pargs = ParGs::new(&ids_per_rank);
+    let mut fields: Vec<Vec<f64>> = ids_per_rank
+        .iter()
+        .map(|ids| ids.iter().map(|&g| g as f64).collect())
+        .collect();
+    group.bench_function("distributed_add_p8", |b| {
+        b.iter(|| {
+            let mut comm = SimComm::new(p);
+            pargs.gs(&mut fields, GsOp::Add, &mut comm);
+            std::hint::black_box(&mut fields);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gs);
+criterion_main!(benches);

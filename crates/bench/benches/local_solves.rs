@@ -1,0 +1,57 @@
+//! Criterion bench behind Table 2's CPU column: FDM vs direct-Cholesky
+//! ("FEM") local subdomain solves. The paper's claim: FDM matches FEM
+//! iterations but is faster per solve (`O(N³)` vs `O(N⁴)` in 2D at the
+//! sizes that matter, with smaller constants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sem_linalg::chol::Cholesky;
+use sem_linalg::tensor::kron;
+use sem_linalg::Matrix;
+use sem_poly::ops1d::{dirichlet_interior, fe_mass_lumped, fe_stiffness};
+use sem_poly::quad::gauss;
+use sem_solvers::fdm::{extended_nodes_1d, Fdm1d, FdmElement};
+
+fn build_pair(m: usize, overlap: usize) -> (FdmElement, Cholesky, usize) {
+    let g = gauss(m).points;
+    let fdm = FdmElement::new(vec![
+        Fdm1d::new(&g, overlap, 1.0),
+        Fdm1d::new(&g, overlap, 1.0),
+    ]);
+    let nodes = extended_nodes_1d(&g, overlap);
+    let a1 = dirichlet_interior(&fe_stiffness(&nodes), 1, 1);
+    let b1 = dirichlet_interior(&Matrix::from_diag(&fe_mass_lumped(&nodes)), 1, 1);
+    let mut big = kron(&b1, &a1);
+    big.axpy(1.0, &kron(&a1, &b1));
+    let chol = Cholesky::new(&big).unwrap();
+    let n = fdm.dim();
+    (fdm, chol, n)
+}
+
+fn bench_local(c: &mut Criterion) {
+    for m in [6usize, 10, 14] {
+        // m = N − 1 interior pressure points (N = 7, 11, 15).
+        let (fdm, chol, n) = build_pair(m, 1);
+        let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+        let mut out = vec![0.0; n];
+        let mut work = vec![0.0; 3 * n];
+        let mut group = c.benchmark_group(format!("local_solve_m{m}"));
+        group.sample_size(30);
+        group.bench_with_input(BenchmarkId::new("fdm", m), &m, |b, _| {
+            b.iter(|| {
+                fdm.solve(&u, &mut out, &mut work);
+                std::hint::black_box(&mut out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fem_cholesky", m), &m, |b, _| {
+            b.iter(|| {
+                out.copy_from_slice(&u);
+                chol.solve_in_place(&mut out);
+                std::hint::black_box(&mut out);
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_local);
+criterion_main!(benches);

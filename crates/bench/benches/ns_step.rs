@@ -1,0 +1,90 @@
+//! Criterion bench of the full Navier–Stokes step, with the DESIGN.md
+//! ablations:
+//!
+//! * `ablation_convection`: EXT2 vs OIFS cost per step (OIFS pays
+//!   subintegration to buy CFL 1–5, i.e. fewer Stokes solves per unit
+//!   time);
+//! * `ablation_pressure`: Schwarz+coarse+projection vs unpreconditioned
+//!   pressure iteration cost inside a real step sequence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sem_mesh::generators::box2d;
+use sem_ns::{ConvectionScheme, NsConfig, NsSolver};
+use sem_ops::SemOps;
+use sem_solvers::cg::CgOptions;
+
+fn taylor_green(scheme: ConvectionScheme, dt: f64) -> NsSolver {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mesh = box2d(4, 4, [0.0, two_pi], [0.0, two_pi], true, true);
+    let ops = SemOps::new(mesh, 8);
+    let cfg = NsConfig {
+        dt,
+        nu: 0.01,
+        convection: scheme,
+        pressure_lmax: 10,
+        pressure_cg: CgOptions {
+            tol: 1e-7,
+            max_iter: 4000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut s = NsSolver::new(ops, cfg);
+    s.set_velocity(|x, y, _| [x.sin() * y.cos(), -x.cos() * y.sin(), 0.0]);
+    // Warm the projection history.
+    for _ in 0..3 {
+        s.step();
+    }
+    s
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ns_step");
+    group.sample_size(10);
+    // EXT2 at a CFL-safe dt vs OIFS at 4x that dt: same simulated time
+    // per step-quad, which is the paper's actual trade.
+    let mut s_ext = taylor_green(ConvectionScheme::Ext, 2e-3);
+    group.bench_function("ablation_convection_ext2_dt", |b| {
+        b.iter(|| std::hint::black_box(s_ext.step()))
+    });
+    let mut s_oifs = taylor_green(ConvectionScheme::Oifs { substeps: 4 }, 8e-3);
+    group.bench_function("ablation_convection_oifs_4dt", |b| {
+        b.iter(|| std::hint::black_box(s_oifs.step()))
+    });
+    group.finish();
+
+    // Pressure preconditioning ablation inside real steps.
+    let mut group = c.benchmark_group("ablation_pressure");
+    group.sample_size(10);
+    let mut s_full = taylor_green(ConvectionScheme::Ext, 2e-3);
+    group.bench_function("schwarz_coarse_projection", |b| {
+        b.iter(|| std::hint::black_box(s_full.step()))
+    });
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mesh = box2d(4, 4, [0.0, two_pi], [0.0, two_pi], true, true);
+    let ops = SemOps::new(mesh, 8);
+    let cfg = NsConfig {
+        dt: 2e-3,
+        nu: 0.01,
+        convection: ConvectionScheme::Ext,
+        pressure_lmax: 0, // no projection
+        pressure_cg: CgOptions {
+            tol: 1e-7,
+            max_iter: 4000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut s_noproj = NsSolver::new(ops, cfg);
+    s_noproj.set_velocity(|x, y, _| [x.sin() * y.cos(), -x.cos() * y.sin(), 0.0]);
+    for _ in 0..3 {
+        s_noproj.step();
+    }
+    group.bench_function("schwarz_coarse_no_projection", |b| {
+        b.iter(|| std::hint::black_box(s_noproj.step()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Fig. 6 reproduction: coarse-grid solve time versus processor count for
+//! the 63×63 (`n = 3969`) and 127×127 (`n = 16129`) 5-point Poisson
+//! problems, comparing the XXᵀ solver against redundant banded-LU,
+//! row-distributed `A₀⁻¹`, and the `latency · 2 log₂ P` lower bound.
+//!
+//! The solvers run for real (the XXᵀ factor's sparsity and per-stage
+//! cross-boundary volumes are measured from the actual factorization);
+//! wall-clock is predicted through the ASCI-Red-333 α–β model (DESIGN.md
+//! substitution: we do not have a 2048-node Intel machine).
+
+use sem_bench::{fmt_secs, header, parse_scale, timed, Scale};
+use sem_comm::MachineModel;
+use sem_solvers::sparse::Csr;
+use sem_solvers::xxt::{
+    banded_lu_cost, distributed_inverse_cost, nested_dissection, XxtSolver,
+};
+
+fn run_problem(m: usize, model: &MachineModel) {
+    let n = m * m;
+    header(&format!("Fig. 6: coarse-grid solve times, n = {n} ({m}x{m} Poisson)"));
+    let a = Csr::laplacian_5pt(m);
+    let (order, t_nd) = timed(|| nested_dissection(&a.adjacency()));
+    let (xxt, t_factor) = timed(|| XxtSolver::new(&a, &order));
+    println!(
+        "XXT factor: nnz(X) = {} ({:.2} per dof), setup {} (+ ordering {})",
+        xxt.nnz(),
+        xxt.nnz() as f64 / n as f64,
+        fmt_secs(t_factor),
+        fmt_secs(t_nd),
+    );
+    // Verify the factorization actually solves the system.
+    let b: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
+    let x = xxt.solve(&b);
+    let ax = a.matvec(&x);
+    let resid = ax
+        .iter()
+        .zip(b.iter())
+        .map(|(g, w)| (g - w) * (g - w))
+        .sum::<f64>()
+        .sqrt();
+    println!("solve residual ‖Ax−b‖ = {resid:.3e} (exact factorization)");
+    println!();
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "P", "XXT", "banded-LU", "dist-inv", "lat*2logP"
+    );
+    let mut prev_xxt = f64::INFINITY;
+    let mut min_p = 0usize;
+    for p in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048] {
+        let t_xxt = xxt.parallel_cost(p, model).total();
+        let t_lu = banded_lu_cost(n, m, p, model).total();
+        let t_inv = distributed_inverse_cost(n, p, model).total();
+        let bound = model.latency_lower_bound(p);
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            p,
+            fmt_secs(t_xxt),
+            fmt_secs(t_lu),
+            fmt_secs(t_inv),
+            fmt_secs(bound)
+        );
+        if t_xxt < prev_xxt {
+            prev_xxt = t_xxt;
+            min_p = p;
+        }
+    }
+    println!();
+    println!(
+        "XXT solve time decreases until P ≈ {min_p}, then tracks the latency \
+         curve offset by the bandwidth term (paper: ~16 for n=3969, ~256 for n=16129)"
+    );
+}
+
+fn main() {
+    let scale = parse_scale();
+    let model = MachineModel::asci_red_333_single();
+    println!(
+        "machine model: {} (α = {:.0}µs, 1/β = {:.0} MB/s, {:.0} MFLOPS)",
+        model.name,
+        model.latency * 1e6,
+        1.0 / model.inv_bandwidth / 1e6,
+        model.flop_rate / 1e6
+    );
+    run_problem(63, &model);
+    if scale == Scale::Full {
+        run_problem(127, &model);
+    } else {
+        println!("\n(--full adds the n = 16129 problem)");
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 3 reproduction: MFLOPS of the `(n₁×n₂)·(n₂×n₃)` matrix–matrix
+//! product kernels on the shapes of an order `N = 15` simulation.
+//!
+//! Paper columns `lkm / ghm / csm / f3 / f2` map to our kernel menu
+//! `naive / blocked / unroll4 / f3 / f2` (see `sem-linalg::mxm`). The
+//! paper's finding to reproduce: **no single kernel wins across shapes**,
+//! motivating the per-shape "perf." dispatch.
+
+use sem_bench::{fmt_secs, header, parse_scale, Scale};
+use sem_linalg::mxm::{mxm_flops, mxm_with, MxmKernel};
+use std::time::Instant;
+
+fn bench_kernel(k: MxmKernel, n1: usize, n2: usize, n3: usize, min_time: f64) -> f64 {
+    // Deterministic data; fresh C each call like the paper's noncached runs.
+    let a: Vec<f64> = (0..n1 * n2).map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0).collect();
+    let b: Vec<f64> = (0..n2 * n3).map(|i| ((i * 73 % 97) as f64 - 48.0) / 48.0).collect();
+    let mut c = vec![0.0; n1 * n3];
+    // Warmup.
+    for _ in 0..4 {
+        mxm_with(k, &a, n1, n2, &b, n3, &mut c);
+    }
+    let mut iters = 16u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            mxm_with(k, &a, n1, n2, &b, n3, &mut c);
+            std::hint::black_box(&mut c);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= min_time {
+            return (iters * mxm_flops(n1, n2, n3)) as f64 / dt / 1e6;
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    let scale = parse_scale();
+    let min_time = match scale {
+        Scale::Quick => 0.02,
+        Scale::Full => 0.25,
+    };
+    header("Table 3: MFLOPS for (n1 x n2) x (n2 x n3) mxm kernels (N = 15 shapes)");
+    let shapes = [
+        (14usize, 2usize, 14usize),
+        (2, 14, 2),
+        (16, 14, 16),
+        (16, 14, 196),
+        (256, 14, 16),
+        (14, 16, 14),
+        (16, 16, 16),
+        (16, 16, 256),
+        (196, 16, 14),
+        (256, 16, 16),
+    ];
+    let kernels = [
+        MxmKernel::Naive,
+        MxmKernel::Blocked,
+        MxmKernel::Unroll4,
+        MxmKernel::F3,
+        MxmKernel::F2,
+        MxmKernel::Auto,
+    ];
+    print!("{:>5} {:>5} {:>5} |", "n1", "n2", "n3");
+    for k in kernels {
+        print!("{:>9}", k.name());
+    }
+    println!("  | winner");
+    let mut winner_counts = std::collections::HashMap::new();
+    let t0 = Instant::now();
+    for (n1, n2, n3) in shapes {
+        print!("{n1:>5} {n2:>5} {n3:>5} |");
+        let mut best = (MxmKernel::Naive, 0.0);
+        for k in kernels {
+            let mf = bench_kernel(k, n1, n2, n3, min_time);
+            print!("{mf:>9.0}");
+            if k != MxmKernel::Auto && mf > best.1 {
+                best = (k, mf);
+            }
+        }
+        println!("  | {}", best.0.name());
+        *winner_counts.entry(best.0.name()).or_insert(0) += 1;
+    }
+    println!();
+    println!("winners by shape: {winner_counts:?}");
+    println!(
+        "paper's finding reproduced: {} distinct winners across shapes \
+         (paper: no single method superior)",
+        winner_counts.len()
+    );
+    println!("elapsed: {}", fmt_secs(t0.elapsed().as_secs_f64()));
+}

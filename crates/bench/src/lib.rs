@@ -1,0 +1,117 @@
+//! # sem-bench
+//!
+//! The experiment harness: one binary per table/figure of Tufo & Fischer
+//! SC'99 (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for
+//! recorded results), plus Criterion microbenches for the kernels behind
+//! them.
+//!
+//! Every binary accepts `--full` for paper-scale parameters; the default
+//! "quick" scale runs in seconds-to-minutes on a laptop and reproduces
+//! the qualitative shape of each result.
+
+use std::time::Instant;
+
+/// Experiment scale, from the command line (`--full` vs default quick).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-quick parameters (default).
+    Quick,
+    /// Paper-scale parameters.
+    Full,
+}
+
+/// Parse the scale from `std::env::args`.
+pub fn parse_scale() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    }
+}
+
+/// Print a rule-of-dashes header for a table.
+pub fn header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(24)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(24)));
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Geometric-series fit of a growth rate from a signal ln-slope:
+/// least-squares slope of `ln(e)` against `t` over the samples.
+pub fn log_slope(ts: &[f64], es: &[f64]) -> f64 {
+    assert_eq!(ts.len(), es.len(), "log_slope: length mismatch");
+    assert!(ts.len() >= 2, "log_slope: need at least two samples");
+    let n = ts.len() as f64;
+    let (mut st, mut sl, mut stt, mut stl) = (0.0, 0.0, 0.0, 0.0);
+    for (&t, &e) in ts.iter().zip(es.iter()) {
+        let l = e.max(1e-300).ln();
+        st += t;
+        sl += l;
+        stt += t * t;
+        stl += t * l;
+    }
+    (n * stl - st * sl) / (n * stt - st * st)
+}
+
+/// Format a float for table output (aligned, 5 significant decimals).
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{:>10}", "inf");
+    }
+    if v == 0.0 {
+        return format!("{:>10.5}", 0.0);
+    }
+    let a = v.abs();
+    if (1e-4..1e5).contains(&a) {
+        format!("{v:>10.5}")
+    } else {
+        format!("{v:>10.3e}")
+    }
+}
+
+/// Seconds formatted compactly.
+pub fn fmt_secs(v: f64) -> String {
+    if v < 1e-3 {
+        format!("{:.1}µs", v * 1e6)
+    } else if v < 1.0 {
+        format!("{:.2}ms", v * 1e3)
+    } else {
+        format!("{v:.2}s")
+    }
+}
+
+pub mod workloads;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_slope_of_exponential() {
+        let ts: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let es: Vec<f64> = ts.iter().map(|&t| 3.0 * (0.7 * t).exp()).collect();
+        assert!((log_slope(&ts, &es) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_handles_ranges() {
+        assert!(fmt(0.00223497).contains("0.00223"));
+        assert!(fmt(1e-9).contains("e"));
+        assert!(fmt(f64::INFINITY).contains("inf"));
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert!(fmt_secs(5e-7).ends_with("µs"));
+        assert!(fmt_secs(5e-2).ends_with("ms"));
+        assert!(fmt_secs(2.0).ends_with('s'));
+    }
+}

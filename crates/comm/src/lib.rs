@@ -1,0 +1,23 @@
+//! # sem-comm
+//!
+//! The parallel substrate. The paper ran on real message-passing hardware
+//! (ASCI-Red via NX/MPI); this workspace reproduces the *algorithms'*
+//! communication behaviour on a simulated `P`-rank machine:
+//!
+//! * [`SimComm`] executes genuine rank-to-rank exchanges (synchronous
+//!   rounds, deterministic) while recording per-rank message counts and
+//!   volumes — the gather-scatter library and the coarse-grid solvers
+//!   route their exchanges through it.
+//! * [`MachineModel`] converts measured counts (messages, bytes, flops)
+//!   into predicted wall-clock using the standard α–β (latency/bandwidth)
+//!   model plus a sustained flop rate, with an ASCI-Red-333 preset
+//!   calibrated to the paper's §6–§7 numbers. This is what regenerates the
+//!   *shape* of Fig. 6 and Table 4 at up to 2048 nodes on a laptop.
+//! * [`RankLedger`] accumulates per-rank costs and reports the
+//!   critical-path (max-over-ranks) time estimate.
+
+pub mod model;
+pub mod sim;
+
+pub use model::{CostBreakdown, MachineModel, RankLedger};
+pub use sim::{CommStats, SimComm};

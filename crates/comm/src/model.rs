@@ -1,0 +1,300 @@
+//! α–β machine cost model.
+//!
+//! Predicted time for a point-to-point message of `b` bytes is
+//! `α + β·b` (latency plus inverse bandwidth); computation of `f` flops
+//! takes `f / rate`. Collectives are composed from tree stages, matching
+//! the paper's "latency × 2 log₂ P" lower-bound reasoning for the
+//! coarse-grid all-to-all (Fig. 6).
+//!
+//! The ASCI-Red-333 preset is calibrated so the model reproduces the
+//! paper's own numbers: ~20 µs effective MPI latency, ~310 MB/s per-node
+//! bandwidth, and a sustained per-CPU rate of ~95 MFLOPS (the paper's
+//! single-processor 194 GFLOPS / 2048 nodes), ~78 MFLOPS per CPU in
+//! dual-processor mode (82% dual-processor efficiency, §6).
+
+/// Latency/bandwidth/flop-rate model of one machine configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineModel {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Point-to-point message latency α, seconds.
+    pub latency: f64,
+    /// Inverse bandwidth β, seconds per byte.
+    pub inv_bandwidth: f64,
+    /// Sustained floating-point rate per process, flops/second.
+    pub flop_rate: f64,
+}
+
+impl MachineModel {
+    /// ASCI-Red 333 MHz node, single-processor mode.
+    pub fn asci_red_333_single() -> Self {
+        MachineModel {
+            name: "ASCI-Red-333 (single)",
+            latency: 20e-6,
+            inv_bandwidth: 1.0 / 310e6,
+            flop_rate: 95e6,
+        }
+    }
+
+    /// ASCI-Red 333 MHz node, dual-processor mode: each node computes at
+    /// 2 × 82% of the single rate (the paper's measured dual-processor
+    /// efficiency); the NIC is shared so communication terms are
+    /// unchanged.
+    pub fn asci_red_333_dual() -> Self {
+        MachineModel {
+            name: "ASCI-Red-333 (dual)",
+            latency: 20e-6,
+            inv_bandwidth: 1.0 / 310e6,
+            flop_rate: 2.0 * 0.82 * 95e6,
+        }
+    }
+
+    /// The "std." build of Table 4: fixed mxm kernel instead of per-shape
+    /// selection costs ~8% of sustained rate.
+    pub fn asci_red_333_single_std() -> Self {
+        MachineModel {
+            flop_rate: 0.92 * 95e6,
+            name: "ASCI-Red-333 (single, std.)",
+            ..Self::asci_red_333_single()
+        }
+    }
+
+    /// Dual-processor "std." build (see [`Self::asci_red_333_single_std`]).
+    pub fn asci_red_333_dual_std() -> Self {
+        MachineModel {
+            flop_rate: 0.92 * 2.0 * 0.82 * 95e6,
+            name: "ASCI-Red-333 (dual, std.)",
+            ..Self::asci_red_333_dual()
+        }
+    }
+
+    /// Time for one point-to-point message of `bytes`.
+    pub fn ptp_time(&self, bytes: u64) -> f64 {
+        self.latency + self.inv_bandwidth * bytes as f64
+    }
+
+    /// Time for `flops` floating-point operations.
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        flops as f64 / self.flop_rate
+    }
+
+    /// Contention-free binary-tree fan-in + fan-out over `p` ranks, each
+    /// stage carrying `bytes`: the paper's `latency · 2 log₂ P` curve when
+    /// `bytes → 0`. Returns 0 for `p ≤ 1`.
+    pub fn tree_fan_in_out(&self, p: usize, bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let stages = (p as f64).log2().ceil();
+        2.0 * stages * self.ptp_time(bytes)
+    }
+
+    /// All-reduce of `bytes` over `p` ranks (tree up + tree down).
+    pub fn allreduce_time(&self, p: usize, bytes: u64) -> f64 {
+        self.tree_fan_in_out(p, bytes)
+    }
+
+    /// All-gather where each of `p` ranks contributes `bytes_each`
+    /// (recursive doubling: log₂ P stages with doubling payload).
+    pub fn allgather_time(&self, p: usize, bytes_each: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let stages = (p as f64).log2().ceil() as u32;
+        let mut t = 0.0;
+        let mut payload = bytes_each as f64;
+        for _ in 0..stages {
+            t += self.latency + self.inv_bandwidth * payload;
+            payload *= 2.0;
+        }
+        t
+    }
+
+    /// The paper's Fig. 6 lower-bound curve: `latency · 2 log₂ P`.
+    pub fn latency_lower_bound(&self, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        2.0 * (p as f64).log2().ceil() * self.latency
+    }
+}
+
+/// A decomposed time estimate (useful for reporting which regime —
+/// computation- or communication-dominated — a configuration is in).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Seconds spent in computation on the critical path.
+    pub compute: f64,
+    /// Seconds spent in message latency on the critical path.
+    pub latency: f64,
+    /// Seconds spent in bandwidth (volume) terms on the critical path.
+    pub bandwidth: f64,
+}
+
+impl CostBreakdown {
+    /// Total predicted time.
+    pub fn total(&self) -> f64 {
+        self.compute + self.latency + self.bandwidth
+    }
+}
+
+/// Per-rank cost ledger: algorithms charge messages/bytes/flops to ranks
+/// while executing, then the critical path (maximum over ranks, summed per
+/// category) is converted into a time estimate.
+#[derive(Clone, Debug)]
+pub struct RankLedger {
+    msgs: Vec<u64>,
+    bytes: Vec<u64>,
+    flops: Vec<u64>,
+    /// Additional synchronization stages (e.g. tree depths) charged
+    /// globally, in units of one latency each.
+    sync_stages: u64,
+}
+
+impl RankLedger {
+    /// Ledger for a `p`-rank machine.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "ledger needs at least one rank");
+        RankLedger {
+            msgs: vec![0; p],
+            bytes: vec![0; p],
+            flops: vec![0; p],
+            sync_stages: 0,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Charge one message of `bytes` sent by `rank`.
+    pub fn charge_msg(&mut self, rank: usize, bytes: u64) {
+        self.msgs[rank] += 1;
+        self.bytes[rank] += bytes;
+    }
+
+    /// Charge `flops` to `rank`.
+    pub fn charge_flops(&mut self, rank: usize, flops: u64) {
+        self.flops[rank] += flops;
+    }
+
+    /// Charge `stages` global synchronization stages (one latency each).
+    pub fn charge_sync_stages(&mut self, stages: u64) {
+        self.sync_stages += stages;
+    }
+
+    /// Total messages across ranks.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total bytes across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total flops across ranks.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().sum()
+    }
+
+    /// Maximum per-rank values `(msgs, bytes, flops)` — the critical path.
+    pub fn critical_path(&self) -> (u64, u64, u64) {
+        (
+            self.msgs.iter().copied().max().unwrap_or(0),
+            self.bytes.iter().copied().max().unwrap_or(0),
+            self.flops.iter().copied().max().unwrap_or(0),
+        )
+    }
+
+    /// Convert the critical path into a predicted time under `model`.
+    pub fn estimate(&self, model: &MachineModel) -> CostBreakdown {
+        let (msgs, bytes, flops) = self.critical_path();
+        CostBreakdown {
+            compute: model.compute_time(flops),
+            latency: (msgs + self.sync_stages) as f64 * model.latency,
+            bandwidth: bytes as f64 * model.inv_bandwidth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptp_time_is_affine() {
+        let m = MachineModel::asci_red_333_single();
+        let t0 = m.ptp_time(0);
+        let t1 = m.ptp_time(1000);
+        assert!((t0 - 20e-6).abs() < 1e-12);
+        assert!(t1 > t0);
+        assert!((t1 - t0 - 1000.0 / 310e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_mode_is_faster_compute_same_network() {
+        let s = MachineModel::asci_red_333_single();
+        let d = MachineModel::asci_red_333_dual();
+        assert!(d.flop_rate > s.flop_rate);
+        assert!(d.flop_rate < 2.0 * s.flop_rate, "dual efficiency < 100%");
+        assert_eq!(d.latency, s.latency);
+    }
+
+    #[test]
+    fn latency_bound_matches_paper_formula() {
+        let m = MachineModel::asci_red_333_single();
+        // 2 log2(P) * α: for P=1024 that's 20 stages.
+        let t = m.latency_lower_bound(1024);
+        assert!((t - 20.0 * 20e-6).abs() < 1e-12);
+        assert_eq!(m.latency_lower_bound(1), 0.0);
+    }
+
+    #[test]
+    fn tree_times_grow_logarithmically() {
+        let m = MachineModel::asci_red_333_single();
+        let t256 = m.tree_fan_in_out(256, 8);
+        let t512 = m.tree_fan_in_out(512, 8);
+        // One extra stage up + one down.
+        assert!((t512 - t256 - 2.0 * m.ptp_time(8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allgather_total_volume_dominates_at_large_payload() {
+        let m = MachineModel::asci_red_333_single();
+        // Gathering n doubles over p ranks moves ~n*8 bytes through the
+        // last stage alone: check monotonicity in payload.
+        assert!(m.allgather_time(64, 1 << 14) > m.allgather_time(64, 1 << 10));
+    }
+
+    #[test]
+    fn ledger_critical_path_and_estimate() {
+        let m = MachineModel::asci_red_333_single();
+        let mut l = RankLedger::new(4);
+        l.charge_msg(0, 100);
+        l.charge_msg(0, 100);
+        l.charge_msg(1, 5000);
+        l.charge_flops(2, 1_000_000);
+        l.charge_sync_stages(3);
+        let (msgs, bytes, flops) = l.critical_path();
+        assert_eq!(msgs, 2);
+        assert_eq!(bytes, 5000);
+        assert_eq!(flops, 1_000_000);
+        let est = l.estimate(&m);
+        assert!((est.latency - 5.0 * m.latency).abs() < 1e-12);
+        assert!((est.compute - 1_000_000.0 / m.flop_rate).abs() < 1e-9);
+        assert!(est.total() > 0.0);
+    }
+
+    #[test]
+    fn ledger_totals() {
+        let mut l = RankLedger::new(2);
+        l.charge_msg(0, 8);
+        l.charge_msg(1, 16);
+        l.charge_flops(0, 10);
+        assert_eq!(l.total_msgs(), 2);
+        assert_eq!(l.total_bytes(), 24);
+        assert_eq!(l.total_flops(), 10);
+    }
+}

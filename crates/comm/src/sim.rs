@@ -1,0 +1,228 @@
+//! Synchronous simulated communicator.
+//!
+//! Executes genuine rank-to-rank data exchanges in deterministic
+//! synchronous rounds (the paper's "loosely synchronous" SPMD model, §6)
+//! while recording per-rank statistics. Algorithms written against
+//! [`SimComm`] move real data — the gather-scatter exchange, the XXᵀ
+//! fan-in/fan-out — so the recorded message counts and volumes are those
+//! of the actual algorithm, not of a hand-waved estimate.
+
+/// Aggregate communication statistics for one simulated machine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Number of exchange rounds executed.
+    pub rounds: u64,
+    /// Maximum messages sent by any single rank.
+    pub max_msgs_per_rank: u64,
+    /// Maximum bytes sent by any single rank.
+    pub max_bytes_per_rank: u64,
+}
+
+/// A message addressed to a rank: `(destination, payload)`.
+pub type Outgoing = (usize, Vec<f64>);
+
+/// Synchronous `P`-rank simulated communicator.
+///
+/// One [`SimComm::exchange`] call is one communication round: every rank
+/// submits its outgoing messages, and the call returns each rank's inbox
+/// `(source, payload)` pairs, sorted by source for determinism.
+#[derive(Clone, Debug)]
+pub struct SimComm {
+    p: usize,
+    per_rank_msgs: Vec<u64>,
+    per_rank_bytes: Vec<u64>,
+    rounds: u64,
+}
+
+impl SimComm {
+    /// Create a `p`-rank machine.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "SimComm needs at least one rank");
+        SimComm {
+            p,
+            per_rank_msgs: vec![0; p],
+            per_rank_bytes: vec![0; p],
+            rounds: 0,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Execute one synchronous exchange round.
+    ///
+    /// `outboxes[r]` holds rank `r`'s outgoing messages. Returns
+    /// `inboxes[r]` with `(source, payload)` pairs sorted by source.
+    ///
+    /// # Panics
+    /// Panics if `outboxes.len() != ranks()` or any destination is out of
+    /// range (a rank may send to itself; such messages are delivered but
+    /// not charged to the network).
+    pub fn exchange(&mut self, outboxes: Vec<Vec<Outgoing>>) -> Vec<Vec<(usize, Vec<f64>)>> {
+        assert_eq!(outboxes.len(), self.p, "one outbox per rank");
+        let mut inboxes: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); self.p];
+        for (src, outbox) in outboxes.into_iter().enumerate() {
+            for (dst, payload) in outbox {
+                assert!(dst < self.p, "destination rank {dst} out of range");
+                if dst != src {
+                    self.per_rank_msgs[src] += 1;
+                    self.per_rank_bytes[src] += 8 * payload.len() as u64;
+                }
+                inboxes[dst].push((src, payload));
+            }
+        }
+        for inbox in &mut inboxes {
+            inbox.sort_by_key(|(src, _)| *src);
+        }
+        self.rounds += 1;
+        inboxes
+    }
+
+    /// Global sum of per-rank scalars (models an all-reduce; returns the
+    /// sum to every rank). Charged as a fan-in/fan-out tree:
+    /// `2·⌈log₂ P⌉` messages of 8 bytes on the critical path, with each
+    /// rank participating in one send per stage.
+    pub fn allreduce_sum(&mut self, contributions: &[f64]) -> f64 {
+        assert_eq!(contributions.len(), self.p, "one contribution per rank");
+        let stages = if self.p > 1 {
+            (self.p as f64).log2().ceil() as u64
+        } else {
+            0
+        };
+        for r in 0..self.p {
+            self.per_rank_msgs[r] += 2 * stages;
+            self.per_rank_bytes[r] += 2 * stages * 8;
+        }
+        self.rounds += 2 * stages.max(1);
+        contributions.iter().sum()
+    }
+
+    /// Vector all-reduce: entrywise sum of per-rank vectors, returned to
+    /// all ranks. Charged as a tree with full payload per stage.
+    ///
+    /// # Panics
+    /// Panics if vectors have differing lengths.
+    pub fn allreduce_sum_vec(&mut self, contributions: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(contributions.len(), self.p, "one contribution per rank");
+        let n = contributions[0].len();
+        let mut out = vec![0.0; n];
+        for c in contributions {
+            assert_eq!(c.len(), n, "allreduce vector length mismatch");
+            for (o, v) in out.iter_mut().zip(c.iter()) {
+                *o += v;
+            }
+        }
+        let stages = if self.p > 1 {
+            (self.p as f64).log2().ceil() as u64
+        } else {
+            0
+        };
+        for r in 0..self.p {
+            self.per_rank_msgs[r] += 2 * stages;
+            self.per_rank_bytes[r] += 2 * stages * 8 * n as u64;
+        }
+        self.rounds += 2 * stages.max(1);
+        out
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            messages: self.per_rank_msgs.iter().sum(),
+            bytes: self.per_rank_bytes.iter().sum(),
+            rounds: self.rounds,
+            max_msgs_per_rank: self.per_rank_msgs.iter().copied().max().unwrap_or(0),
+            max_bytes_per_rank: self.per_rank_bytes.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Reset counters (e.g. after a setup phase, to measure only the
+    /// steady-state solve).
+    pub fn reset_stats(&mut self) {
+        self.per_rank_msgs.fill(0);
+        self.per_rank_bytes.fill(0);
+        self.rounds = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_delivers_and_sorts() {
+        let mut comm = SimComm::new(3);
+        let out = vec![
+            vec![(1, vec![1.0]), (2, vec![2.0])], // rank 0 sends
+            vec![(0, vec![3.0])],                 // rank 1 sends
+            vec![(1, vec![4.0, 5.0])],            // rank 2 sends
+        ];
+        let inboxes = comm.exchange(out);
+        assert_eq!(inboxes[0], vec![(1, vec![3.0])]);
+        assert_eq!(inboxes[1], vec![(0, vec![1.0]), (2, vec![4.0, 5.0])]);
+        assert_eq!(inboxes[2], vec![(0, vec![2.0])]);
+        let s = comm.stats();
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.bytes, 8 * 5);
+        assert_eq!(s.rounds, 1);
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let mut comm = SimComm::new(2);
+        let inboxes = comm.exchange(vec![vec![(0, vec![9.0])], vec![]]);
+        assert_eq!(inboxes[0], vec![(0, vec![9.0])]);
+        assert_eq!(comm.stats().messages, 0);
+        assert_eq!(comm.stats().bytes, 0);
+    }
+
+    #[test]
+    fn allreduce_sums_and_charges_tree() {
+        let mut comm = SimComm::new(8);
+        let s = comm.allreduce_sum(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+        assert_eq!(s, 36.0);
+        let st = comm.stats();
+        // 2 * log2(8) = 6 messages per rank.
+        assert_eq!(st.max_msgs_per_rank, 6);
+    }
+
+    #[test]
+    fn allreduce_vec_sums_entrywise() {
+        let mut comm = SimComm::new(2);
+        let out = comm.allreduce_sum_vec(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        assert_eq!(out, vec![11.0, 22.0]);
+        assert!(comm.stats().bytes > 0);
+    }
+
+    #[test]
+    fn single_rank_is_silent() {
+        let mut comm = SimComm::new(1);
+        let s = comm.allreduce_sum(&[5.0]);
+        assert_eq!(s, 5.0);
+        assert_eq!(comm.stats().messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination rank")]
+    fn out_of_range_destination_panics() {
+        let mut comm = SimComm::new(2);
+        let _ = comm.exchange(vec![vec![(5, vec![1.0])], vec![]]);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut comm = SimComm::new(2);
+        let _ = comm.exchange(vec![vec![(1, vec![1.0])], vec![]]);
+        comm.reset_stats();
+        assert_eq!(comm.stats(), CommStats::default());
+    }
+}

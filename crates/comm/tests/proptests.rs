@@ -1,0 +1,87 @@
+//! Property-based tests of the simulated machine and cost model:
+//! exchange conservation, model monotonicity, and ledger arithmetic.
+
+use proptest::prelude::*;
+use sem_comm::{MachineModel, RankLedger, SimComm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exchange delivers every message exactly once (payload conservation)
+    /// and the stats account every off-rank byte.
+    #[test]
+    fn exchange_conserves_payloads(p in 1usize..6,
+                                   msgs in proptest::collection::vec(
+                                       (0usize..6, 0usize..6, -10.0..10.0f64), 0..20)) {
+        let mut comm = SimComm::new(p);
+        let mut outboxes: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); p];
+        let mut sent_sum = 0.0;
+        let mut sent_count = 0usize;
+        let mut offrank_bytes = 0u64;
+        for &(src, dst, v) in &msgs {
+            let (src, dst) = (src % p, dst % p);
+            outboxes[src].push((dst, vec![v, 2.0 * v]));
+            sent_sum += 3.0 * v;
+            sent_count += 1;
+            if src != dst {
+                offrank_bytes += 16;
+            }
+        }
+        let inboxes = comm.exchange(outboxes);
+        let mut recv_sum = 0.0;
+        let mut recv_count = 0usize;
+        for inbox in &inboxes {
+            for (_, payload) in inbox {
+                recv_sum += payload.iter().sum::<f64>();
+                recv_count += 1;
+            }
+        }
+        prop_assert_eq!(recv_count, sent_count);
+        prop_assert!((recv_sum - sent_sum).abs() < 1e-10 * (1.0 + sent_sum.abs()));
+        prop_assert_eq!(comm.stats().bytes, offrank_bytes);
+    }
+
+    /// All-reduce returns the exact sum regardless of rank count.
+    #[test]
+    fn allreduce_is_exact(contribs in proptest::collection::vec(-100.0..100.0f64, 1..16)) {
+        let p = contribs.len();
+        let mut comm = SimComm::new(p);
+        let got = comm.allreduce_sum(&contribs);
+        let want: f64 = contribs.iter().sum();
+        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+    }
+
+    /// Cost model monotonicity: more bytes, more flops, or more ranks in a
+    /// tree never decreases the predicted time.
+    #[test]
+    fn model_monotone(bytes in 0u64..1_000_000, flops in 0u64..1_000_000_000,
+                      p in 2usize..2048) {
+        let m = MachineModel::asci_red_333_single();
+        prop_assert!(m.ptp_time(bytes + 1) >= m.ptp_time(bytes));
+        prop_assert!(m.compute_time(flops + 1) >= m.compute_time(flops));
+        prop_assert!(m.tree_fan_in_out(2 * p, 8) >= m.tree_fan_in_out(p, 8));
+        prop_assert!(m.latency_lower_bound(p) >= 0.0);
+        prop_assert!(m.allgather_time(p, 64) >= m.latency);
+    }
+
+    /// Ledger critical path dominates every per-rank charge.
+    #[test]
+    fn ledger_critical_path(charges in proptest::collection::vec(
+        (0usize..4, 1u64..1000, 1u64..100000), 1..30)) {
+        let mut l = RankLedger::new(4);
+        for &(r, bytes, flops) in &charges {
+            l.charge_msg(r, bytes);
+            l.charge_flops(r, flops);
+        }
+        let (msgs, bytes, flops) = l.critical_path();
+        prop_assert!(msgs as usize <= charges.len());
+        prop_assert!(msgs >= 1);
+        prop_assert!(l.total_bytes() >= bytes);
+        prop_assert!(l.total_flops() >= flops);
+        prop_assert!(4 * bytes >= l.total_bytes());
+        let m = MachineModel::asci_red_333_dual();
+        let est = l.estimate(&m);
+        prop_assert!(est.total() > 0.0);
+        prop_assert!(est.compute >= 0.0 && est.latency >= 0.0 && est.bandwidth >= 0.0);
+    }
+}

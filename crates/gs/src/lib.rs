@@ -1,0 +1,30 @@
+//! # sem-gs
+//!
+//! The gather-scatter library (§6 of Tufo & Fischer SC'99; ref [27]).
+//!
+//! Spectral element data is stored element-by-element with no overlap, so
+//! residual assembly (direct stiffness summation) needs nodal values
+//! shared by adjacent elements to be exchanged and combined. The paper
+//! packages this as a stand-alone utility with exactly two calls:
+//!
+//! ```text
+//! handle = gs_init(global_node_numbers, n)
+//! ierr   = gs_op(u, op, handle)
+//! ```
+//!
+//! [`GsHandle`] reproduces that interface for the shared-memory case (one
+//! address space, rayon-parallel element loops), including the **vector
+//! mode** for multiple degrees of freedom per node and the general set of
+//! commutative/associative reduction operations.
+//!
+//! [`ParGs`] is the distributed form: local node arrays per rank, one
+//! aggregated pairwise message per neighbouring rank pair per `gs_op` —
+//! "a single local-to-local transformation, rather than separate gather
+//! and scatter phases" — executed over the simulated communicator so the
+//! message counts and volumes of the real algorithm are measured.
+
+pub mod local;
+pub mod parallel;
+
+pub use local::{GsHandle, GsOp};
+pub use parallel::ParGs;

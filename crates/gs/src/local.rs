@@ -1,0 +1,291 @@
+//! Shared-memory gather-scatter.
+
+/// Commutative/associative reduction operations supported by `gs_op`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GsOp {
+    /// Sum shared copies (direct stiffness summation).
+    Add,
+    /// Multiply shared copies (used to unify masks).
+    Mul,
+    /// Minimum over shared copies.
+    Min,
+    /// Maximum over shared copies.
+    Max,
+}
+
+impl GsOp {
+    /// Identity element of the reduction.
+    pub fn identity(self) -> f64 {
+        match self {
+            GsOp::Add => 0.0,
+            GsOp::Mul => 1.0,
+            GsOp::Min => f64::INFINITY,
+            GsOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Combine two values.
+    #[inline]
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            GsOp::Add => a + b,
+            GsOp::Mul => a * b,
+            GsOp::Min => a.min(b),
+            GsOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Gather-scatter handle: the preprocessed exchange pattern for one
+/// global numbering (`gs_init`).
+///
+/// Only nodes with multiplicity ≥ 2 participate; the groups are stored as
+/// flat index lists for cache-friendly traversal.
+///
+/// # Examples
+///
+/// Two 1D elements sharing their interface node (global id 2):
+///
+/// ```
+/// use sem_gs::{GsHandle, GsOp};
+/// let handle = GsHandle::new(&[0, 1, 2, 2, 3, 4]); // gs_init
+/// let mut u = vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+/// handle.gs(&mut u, GsOp::Add);                    // gs_op: direct stiffness
+/// assert_eq!(u, vec![1.0, 2.0, 13.0, 13.0, 20.0, 30.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GsHandle {
+    /// Local length the handle was built for.
+    n_local: usize,
+    /// Concatenated local indices of all shared groups.
+    idx: Vec<u32>,
+    /// Group boundaries into `idx` (CSR-style offsets).
+    offsets: Vec<u32>,
+}
+
+impl GsHandle {
+    /// Build the exchange pattern from the local→global id map
+    /// (the paper's `gs_init(global_node_numbers, n)`).
+    pub fn new(global_ids: &[usize]) -> Self {
+        let n_local = global_ids.len();
+        let n_global = global_ids.iter().copied().max().map_or(0, |m| m + 1);
+        // Count copies per global id.
+        let mut counts = vec![0u32; n_global];
+        for &g in global_ids {
+            counts[g] += 1;
+        }
+        // CSR over *shared* ids only.
+        let mut group_of: Vec<i64> = vec![-1; n_global];
+        let mut sizes: Vec<u32> = Vec::new();
+        for (g, &c) in counts.iter().enumerate() {
+            if c >= 2 {
+                group_of[g] = sizes.len() as i64;
+                sizes.push(c);
+            }
+        }
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &s in &sizes {
+            acc += s;
+            offsets.push(acc);
+        }
+        let mut idx = vec![0u32; acc as usize];
+        let mut cursor: Vec<u32> = offsets[..sizes.len()].to_vec();
+        for (local, &g) in global_ids.iter().enumerate() {
+            let grp = group_of[g];
+            if grp >= 0 {
+                let c = &mut cursor[grp as usize];
+                idx[*c as usize] = local as u32;
+                *c += 1;
+            }
+        }
+        GsHandle {
+            n_local,
+            idx,
+            offsets,
+        }
+    }
+
+    /// Local vector length this handle serves.
+    pub fn n_local(&self) -> usize {
+        self.n_local
+    }
+
+    /// Number of shared-node groups.
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `gs_op(u, op)`: combine all copies of each shared node with `op`
+    /// and write the result back to every copy.
+    ///
+    /// # Panics
+    /// Panics if `u.len()` differs from the init length.
+    pub fn gs(&self, u: &mut [f64], op: GsOp) {
+        assert_eq!(u.len(), self.n_local, "gs_op: vector length mismatch");
+        for g in 0..self.num_groups() {
+            let lo = self.offsets[g] as usize;
+            let hi = self.offsets[g + 1] as usize;
+            let mut acc = op.identity();
+            for &i in &self.idx[lo..hi] {
+                acc = op.combine(acc, u[i as usize]);
+            }
+            for &i in &self.idx[lo..hi] {
+                u[i as usize] = acc;
+            }
+        }
+    }
+
+    /// Vector mode: `u` holds `stride` degrees of freedom per node,
+    /// node-major (`u[node * stride + c]`); all components are exchanged
+    /// in one pass (the paper's multi-dof-per-vertex mode).
+    ///
+    /// # Panics
+    /// Panics if `u.len() != n_local * stride`.
+    pub fn gs_vec(&self, u: &mut [f64], stride: usize, op: GsOp) {
+        assert_eq!(u.len(), self.n_local * stride, "gs_vec: length mismatch");
+        let mut acc = vec![0.0; stride];
+        for g in 0..self.num_groups() {
+            let lo = self.offsets[g] as usize;
+            let hi = self.offsets[g + 1] as usize;
+            acc.iter_mut().for_each(|a| *a = op.identity());
+            for &i in &self.idx[lo..hi] {
+                let base = i as usize * stride;
+                for c in 0..stride {
+                    acc[c] = op.combine(acc[c], u[base + c]);
+                }
+            }
+            for &i in &self.idx[lo..hi] {
+                let base = i as usize * stride;
+                u[base..base + stride].copy_from_slice(&acc);
+            }
+        }
+    }
+
+    /// Assemble-and-average: `gs(Add)` then divide each shared copy by its
+    /// multiplicity — turns a redundant nodal field into a consistent one
+    /// (used for diagnostics/output, not for residual assembly).
+    pub fn gs_avg(&self, u: &mut [f64]) {
+        assert_eq!(u.len(), self.n_local, "gs_avg: vector length mismatch");
+        for g in 0..self.num_groups() {
+            let lo = self.offsets[g] as usize;
+            let hi = self.offsets[g + 1] as usize;
+            let m = (hi - lo) as f64;
+            let mut acc = 0.0;
+            for &i in &self.idx[lo..hi] {
+                acc += u[i as usize];
+            }
+            acc /= m;
+            for &i in &self.idx[lo..hi] {
+                u[i as usize] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 3-node "elements" sharing their middle node:
+    /// local [0,1,2 | 3,4,5], global [0,1,2 | 2,3,4].
+    fn simple_ids() -> Vec<usize> {
+        vec![0, 1, 2, 2, 3, 4]
+    }
+
+    #[test]
+    fn add_combines_shared_copies() {
+        let h = GsHandle::new(&simple_ids());
+        assert_eq!(h.num_groups(), 1);
+        let mut u = vec![1., 2., 3., 10., 20., 30.];
+        h.gs(&mut u, GsOp::Add);
+        assert_eq!(u, vec![1., 2., 13., 13., 20., 30.]);
+    }
+
+    #[test]
+    fn min_max_mul() {
+        let h = GsHandle::new(&simple_ids());
+        let mut u = vec![1., 2., 3., 10., 20., 30.];
+        h.gs(&mut u, GsOp::Min);
+        assert_eq!(u[2], 3.0);
+        assert_eq!(u[3], 3.0);
+        let mut v = vec![1., 2., 3., 10., 20., 30.];
+        h.gs(&mut v, GsOp::Max);
+        assert_eq!(v[2], 10.0);
+        let mut w = vec![1., 2., 0.5, 4., 20., 30.];
+        h.gs(&mut w, GsOp::Mul);
+        assert_eq!(w[2], 2.0);
+        assert_eq!(w[3], 2.0);
+    }
+
+    #[test]
+    fn idempotent_after_first_application() {
+        // After one gs(Add), all copies are equal; Min/Max then fix them.
+        let h = GsHandle::new(&simple_ids());
+        let mut u = vec![1., 2., 3., 10., 20., 30.];
+        h.gs(&mut u, GsOp::Add);
+        let snapshot = u.clone();
+        h.gs(&mut u, GsOp::Max);
+        assert_eq!(u, snapshot);
+    }
+
+    #[test]
+    fn vector_mode_matches_scalar_per_component() {
+        let ids = simple_ids();
+        let h = GsHandle::new(&ids);
+        let stride = 3;
+        let mut uv: Vec<f64> = (0..ids.len() * stride).map(|i| i as f64).collect();
+        let mut scalars: Vec<Vec<f64>> = (0..stride)
+            .map(|c| (0..ids.len()).map(|i| (i * stride + c) as f64).collect())
+            .collect();
+        h.gs_vec(&mut uv, stride, GsOp::Add);
+        for s in scalars.iter_mut() {
+            h.gs(s, GsOp::Add);
+        }
+        for node in 0..ids.len() {
+            for c in 0..stride {
+                assert_eq!(uv[node * stride + c], scalars[c][node]);
+            }
+        }
+    }
+
+    #[test]
+    fn gs_avg_produces_consistent_field() {
+        let h = GsHandle::new(&simple_ids());
+        let mut u = vec![0., 0., 4., 8., 0., 0.];
+        h.gs_avg(&mut u);
+        assert_eq!(u[2], 6.0);
+        assert_eq!(u[3], 6.0);
+    }
+
+    #[test]
+    fn high_multiplicity_group() {
+        // A "corner" shared by four elements.
+        let ids = vec![7, 7, 7, 7, 1, 2];
+        let h = GsHandle::new(&ids);
+        let mut u = vec![1., 2., 3., 4., 9., 9.];
+        h.gs(&mut u, GsOp::Add);
+        for i in 0..4 {
+            assert_eq!(u[i], 10.0);
+        }
+        assert_eq!(u[4], 9.0);
+    }
+
+    #[test]
+    fn no_shared_nodes_is_noop() {
+        let h = GsHandle::new(&[0, 1, 2, 3]);
+        assert_eq!(h.num_groups(), 0);
+        let mut u = vec![5., 6., 7., 8.];
+        h.gs(&mut u, GsOp::Add);
+        assert_eq!(u, vec![5., 6., 7., 8.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let h = GsHandle::new(&simple_ids());
+        let mut u = vec![0.0; 3];
+        h.gs(&mut u, GsOp::Add);
+    }
+}

@@ -1,0 +1,321 @@
+//! Distributed gather-scatter over the simulated machine.
+//!
+//! Each rank holds its own local node array (the elements assigned to it
+//! by the partitioner). One `gs_op` is exactly one communication phase:
+//! every pair of ranks sharing nodes exchanges a single aggregated message
+//! of partial reductions, after which each rank finalizes and writes back
+//! to all its local copies — the paper's combined gather-scatter
+//! ("a single local-to-local transformation").
+
+use crate::local::GsOp;
+use sem_comm::SimComm;
+use std::collections::HashMap;
+
+/// Per-rank shared-node group: local indices of one global id plus its
+/// slot in the external exchange (if the id crosses rank boundaries).
+#[derive(Clone, Debug)]
+struct Group {
+    locals: Vec<u32>,
+    ext_slot: Option<u32>,
+}
+
+/// One rank's preprocessed exchange pattern.
+#[derive(Clone, Debug)]
+struct RankPattern {
+    n_local: usize,
+    groups: Vec<Group>,
+    /// Neighbour ranks (sorted) with, for each, the external slots of the
+    /// global ids shared with that neighbour in canonical (gid) order.
+    nbrs: Vec<(usize, Vec<u32>)>,
+    /// Number of externally shared ids on this rank.
+    n_ext: usize,
+}
+
+/// Distributed gather-scatter handle.
+#[derive(Clone, Debug)]
+pub struct ParGs {
+    patterns: Vec<RankPattern>,
+}
+
+impl ParGs {
+    /// Build from per-rank local→global id maps (the distributed
+    /// `gs_init`).
+    pub fn new(ids_per_rank: &[Vec<usize>]) -> Self {
+        let p = ids_per_rank.len();
+        assert!(p >= 1, "need at least one rank");
+        // Which ranks hold each gid.
+        let mut holders: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (r, ids) in ids_per_rank.iter().enumerate() {
+            for &g in ids {
+                let h = holders.entry(g).or_default();
+                if h.last() != Some(&r) {
+                    h.push(r);
+                }
+            }
+        }
+        let mut patterns = Vec::with_capacity(p);
+        for (r, ids) in ids_per_rank.iter().enumerate() {
+            // Local copies per gid on this rank.
+            let mut local_of: HashMap<usize, Vec<u32>> = HashMap::new();
+            for (i, &g) in ids.iter().enumerate() {
+                local_of.entry(g).or_default().push(i as u32);
+            }
+            // Externally shared gids on this rank, canonical order.
+            let mut ext_gids: Vec<usize> = local_of
+                .keys()
+                .copied()
+                .filter(|g| holders[g].len() >= 2)
+                .collect();
+            ext_gids.sort_unstable();
+            let ext_slot_of: HashMap<usize, u32> = ext_gids
+                .iter()
+                .enumerate()
+                .map(|(s, &g)| (g, s as u32))
+                .collect();
+            // Groups: every gid with external sharing or local mult ≥ 2.
+            let mut groups = Vec::new();
+            let mut gids: Vec<usize> = local_of.keys().copied().collect();
+            gids.sort_unstable();
+            for g in gids {
+                let locals = &local_of[&g];
+                let ext = ext_slot_of.get(&g).copied();
+                if ext.is_some() || locals.len() >= 2 {
+                    groups.push(Group {
+                        locals: locals.clone(),
+                        ext_slot: ext,
+                    });
+                }
+            }
+            // Neighbours: ranks sharing any ext gid, with slot lists in
+            // canonical order.
+            let mut nbr_slots: HashMap<usize, Vec<u32>> = HashMap::new();
+            for (&g, &slot) in &ext_slot_of {
+                for &other in &holders[&g] {
+                    if other != r {
+                        nbr_slots.entry(other).or_default().push(slot);
+                    }
+                }
+            }
+            let mut nbrs: Vec<(usize, Vec<u32>)> = nbr_slots.into_iter().collect();
+            nbrs.sort_by_key(|(rank, _)| *rank);
+            for (_, slots) in nbrs.iter_mut() {
+                slots.sort_unstable();
+            }
+            patterns.push(RankPattern {
+                n_local: ids.len(),
+                groups,
+                nbrs,
+                n_ext: ext_gids.len(),
+            });
+        }
+        ParGs { patterns }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Messages sent per `gs_op` (both directions of every neighbour
+    /// pair) — the paper's per-solve communication kernel count.
+    pub fn messages_per_op(&self) -> usize {
+        self.patterns.iter().map(|p| p.nbrs.len()).sum()
+    }
+
+    /// Total payload words per `gs_op`.
+    pub fn words_per_op(&self) -> usize {
+        self.patterns
+            .iter()
+            .map(|p| p.nbrs.iter().map(|(_, s)| s.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Distributed `gs_op`: combine all copies of every shared node with
+    /// `op` across all ranks, one aggregated message per neighbour pair.
+    ///
+    /// # Panics
+    /// Panics if `fields` lengths do not match the init pattern.
+    pub fn gs(&self, fields: &mut [Vec<f64>], op: GsOp, comm: &mut SimComm) {
+        let p = self.ranks();
+        assert_eq!(fields.len(), p, "one field per rank");
+        assert_eq!(comm.ranks(), p, "communicator rank count");
+        // Phase 1: local partials for externally shared ids.
+        let mut partials: Vec<Vec<f64>> = Vec::with_capacity(p);
+        for (r, pat) in self.patterns.iter().enumerate() {
+            assert_eq!(fields[r].len(), pat.n_local, "rank {r} field length");
+            let mut part = vec![op.identity(); pat.n_ext];
+            for grp in &pat.groups {
+                if let Some(slot) = grp.ext_slot {
+                    let mut acc = op.identity();
+                    for &i in &grp.locals {
+                        acc = op.combine(acc, fields[r][i as usize]);
+                    }
+                    part[slot as usize] = acc;
+                }
+            }
+            partials.push(part);
+        }
+        // Phase 2: one message per neighbour pair per direction.
+        let mut outboxes: Vec<Vec<(usize, Vec<f64>)>> = Vec::with_capacity(p);
+        for (r, pat) in self.patterns.iter().enumerate() {
+            let mut out = Vec::with_capacity(pat.nbrs.len());
+            for (nbr, slots) in &pat.nbrs {
+                let payload: Vec<f64> =
+                    slots.iter().map(|&s| partials[r][s as usize]).collect();
+                out.push((*nbr, payload));
+            }
+            outboxes.push(out);
+        }
+        let inboxes = comm.exchange(outboxes);
+        // Phase 3: fold received partials into totals, write back.
+        for (r, pat) in self.patterns.iter().enumerate() {
+            let mut totals = partials[r].clone();
+            for (src, payload) in &inboxes[r] {
+                // Find this neighbour's slot list (nbrs sorted by rank, as
+                // are inbox sources).
+                let (_, slots) = pat
+                    .nbrs
+                    .iter()
+                    .find(|(nbr, _)| nbr == src)
+                    .expect("message from unknown neighbour");
+                assert_eq!(payload.len(), slots.len(), "payload length");
+                for (&slot, &v) in slots.iter().zip(payload.iter()) {
+                    totals[slot as usize] = op.combine(totals[slot as usize], v);
+                }
+            }
+            for grp in &pat.groups {
+                let val = match grp.ext_slot {
+                    Some(slot) => totals[slot as usize],
+                    None => {
+                        let mut acc = op.identity();
+                        for &i in &grp.locals {
+                            acc = op.combine(acc, fields[r][i as usize]);
+                        }
+                        acc
+                    }
+                };
+                for &i in &grp.locals {
+                    fields[r][i as usize] = val;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::GsHandle;
+
+    /// 1D chain of 3 ranks, 2 "elements" each of 2 nodes; global line
+    /// 0-1-2-3-4-5-6 with interfaces shared across ranks.
+    /// Rank r holds global ids [2r, 2r+1, 2r+1, 2r+2].
+    fn chain_ids() -> Vec<Vec<usize>> {
+        (0..3)
+            .map(|r| vec![2 * r, 2 * r + 1, 2 * r + 1, 2 * r + 2])
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_gs() {
+        let ids = chain_ids();
+        // Flatten for the sequential reference.
+        let flat_ids: Vec<usize> = ids.iter().flatten().copied().collect();
+        let seq = GsHandle::new(&flat_ids);
+        let mut flat: Vec<f64> = (0..flat_ids.len()).map(|i| (i * i) as f64 + 1.0).collect();
+        let mut fields: Vec<Vec<f64>> = ids
+            .iter()
+            .scan(0usize, |off, v| {
+                let f = flat[*off..*off + v.len()].to_vec();
+                *off += v.len();
+                Some(f)
+            })
+            .collect();
+        seq.gs(&mut flat, GsOp::Add);
+        let pargs = ParGs::new(&ids);
+        let mut comm = SimComm::new(3);
+        pargs.gs(&mut fields, GsOp::Add, &mut comm);
+        let flat_par: Vec<f64> = fields.iter().flatten().copied().collect();
+        assert_eq!(flat_par, flat);
+    }
+
+    #[test]
+    fn message_pattern_of_chain() {
+        let pargs = ParGs::new(&chain_ids());
+        // Rank 0↔1 and 1↔2 share one id each: 4 directed messages of one
+        // word.
+        assert_eq!(pargs.messages_per_op(), 4);
+        assert_eq!(pargs.words_per_op(), 4);
+        let mut comm = SimComm::new(3);
+        let mut fields: Vec<Vec<f64>> = chain_ids()
+            .iter()
+            .map(|v| vec![1.0; v.len()])
+            .collect();
+        pargs.gs(&mut fields, GsOp::Add, &mut comm);
+        let st = comm.stats();
+        assert_eq!(st.messages, 4);
+        assert_eq!(st.bytes, 4 * 8);
+    }
+
+    #[test]
+    fn cross_rank_sum_is_correct() {
+        let ids = vec![vec![0, 1], vec![1, 2], vec![2, 0]]; // ring
+        let pargs = ParGs::new(&ids);
+        let mut comm = SimComm::new(3);
+        let mut fields = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        pargs.gs(&mut fields, GsOp::Add, &mut comm);
+        // gid 0: 1 + 6 = 7; gid 1: 2 + 3 = 5; gid 2: 4 + 5 = 9.
+        assert_eq!(fields[0], vec![7.0, 5.0]);
+        assert_eq!(fields[1], vec![5.0, 9.0]);
+        assert_eq!(fields[2], vec![9.0, 7.0]);
+    }
+
+    #[test]
+    fn min_across_ranks() {
+        let ids = vec![vec![0, 5], vec![5, 9]];
+        let pargs = ParGs::new(&ids);
+        let mut comm = SimComm::new(2);
+        let mut fields = vec![vec![3.0, 8.0], vec![2.0, 1.0]];
+        pargs.gs(&mut fields, GsOp::Min, &mut comm);
+        assert_eq!(fields[0][1], 2.0);
+        assert_eq!(fields[1][0], 2.0);
+        assert_eq!(fields[0][0], 3.0); // unshared untouched
+    }
+
+    #[test]
+    fn multiplicity_three_across_ranks() {
+        // One gid on all three ranks (a "corner" of the partition).
+        let ids = vec![vec![42, 0], vec![42, 1], vec![42, 2]];
+        let pargs = ParGs::new(&ids);
+        let mut comm = SimComm::new(3);
+        let mut fields = vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![4.0, 0.0]];
+        pargs.gs(&mut fields, GsOp::Add, &mut comm);
+        for f in &fields {
+            assert_eq!(f[0], 7.0);
+        }
+        // Corner sharing costs each rank 2 messages.
+        assert_eq!(pargs.messages_per_op(), 6);
+    }
+
+    #[test]
+    fn intra_rank_duplicates_combined_without_messages() {
+        let ids = vec![vec![0, 0, 1], vec![2, 3, 4]];
+        let pargs = ParGs::new(&ids);
+        assert_eq!(pargs.messages_per_op(), 0);
+        let mut comm = SimComm::new(2);
+        let mut fields = vec![vec![1.0, 2.0, 3.0], vec![0.0; 3]];
+        pargs.gs(&mut fields, GsOp::Add, &mut comm);
+        assert_eq!(fields[0], vec![3.0, 3.0, 3.0]);
+        assert_eq!(comm.stats().messages, 0);
+    }
+
+    #[test]
+    fn single_rank_reduces_to_local() {
+        let ids = vec![vec![0, 1, 1, 2]];
+        let pargs = ParGs::new(&ids);
+        let mut comm = SimComm::new(1);
+        let mut fields = vec![vec![1.0, 2.0, 3.0, 4.0]];
+        pargs.gs(&mut fields, GsOp::Add, &mut comm);
+        assert_eq!(fields[0], vec![1.0, 5.0, 5.0, 4.0]);
+    }
+}

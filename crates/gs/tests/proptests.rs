@@ -1,0 +1,137 @@
+//! Property-based tests of the gather-scatter library: algebraic laws of
+//! `gs_op` on arbitrary id maps, equivalence of the distributed form with
+//! the serial one under arbitrary partitions, and conservation laws.
+
+use proptest::prelude::*;
+use sem_comm::SimComm;
+use sem_gs::{GsHandle, GsOp, ParGs};
+
+/// Random local→global id maps with controlled sharing.
+fn ids_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..20, 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After one gs(Add), all copies of a global id hold the same value,
+    /// and the shared total is conserved (sum over unique ids unchanged).
+    #[test]
+    fn gs_add_consistency_and_conservation(ids in ids_strategy(),
+                                           data in proptest::collection::vec(-5.0..5.0f64, 60)) {
+        let u0: Vec<f64> = ids.iter().enumerate().map(|(i, _)| data[i % data.len()]).collect();
+        let h = GsHandle::new(&ids);
+        let mut u = u0.clone();
+        h.gs(&mut u, GsOp::Add);
+        // Consistency.
+        for (a, &ida) in ids.iter().enumerate() {
+            for (b, &idb) in ids.iter().enumerate() {
+                if ida == idb {
+                    prop_assert!((u[a] - u[b]).abs() < 1e-12);
+                }
+            }
+        }
+        // Each copy equals the sum of the original copies.
+        let n_global = ids.iter().max().unwrap() + 1;
+        let mut sums = vec![0.0; n_global];
+        for (i, &g) in ids.iter().enumerate() {
+            sums[g] += u0[i];
+        }
+        for (i, &g) in ids.iter().enumerate() {
+            prop_assert!((u[i] - sums[g]).abs() < 1e-10);
+        }
+    }
+
+    /// gs is idempotent for Min/Max after the first application.
+    #[test]
+    fn gs_minmax_idempotent(ids in ids_strategy(),
+                            data in proptest::collection::vec(-5.0..5.0f64, 60)) {
+        let h = GsHandle::new(&ids);
+        for op in [GsOp::Min, GsOp::Max] {
+            let mut u: Vec<f64> = ids.iter().enumerate()
+                .map(|(i, _)| data[i % data.len()]).collect();
+            h.gs(&mut u, op);
+            let snapshot = u.clone();
+            h.gs(&mut u, op);
+            prop_assert_eq!(&u, &snapshot);
+        }
+    }
+
+    /// Vector mode equals per-component scalar application.
+    #[test]
+    fn gs_vector_mode_equivalence(ids in ids_strategy(), stride in 1usize..4,
+                                  data in proptest::collection::vec(-5.0..5.0f64, 240)) {
+        let h = GsHandle::new(&ids);
+        let n = ids.len();
+        let mut uv: Vec<f64> = (0..n * stride).map(|i| data[i % data.len()]).collect();
+        let mut per: Vec<Vec<f64>> = (0..stride)
+            .map(|c| (0..n).map(|i| uv[i * stride + c]).collect())
+            .collect();
+        h.gs_vec(&mut uv, stride, GsOp::Add);
+        for comp in per.iter_mut() {
+            h.gs(comp, GsOp::Add);
+        }
+        for i in 0..n {
+            for c in 0..stride {
+                prop_assert!((uv[i * stride + c] - per[c][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Distributed gs over an arbitrary partition matches the serial gs,
+    /// for every reduction op.
+    #[test]
+    fn distributed_matches_serial(ids in ids_strategy(),
+                                  p in 1usize..5,
+                                  assignment_seed in 0u64..100,
+                                  data in proptest::collection::vec(-5.0..5.0f64, 60)) {
+        // Partition local slots round-robin-ish by a seeded pattern.
+        let n = ids.len();
+        let mut ids_per_rank: Vec<Vec<usize>> = vec![Vec::new(); p];
+        let mut slot_of: Vec<(usize, usize)> = Vec::with_capacity(n);
+        for (i, &g) in ids.iter().enumerate() {
+            let r = ((i as u64).wrapping_mul(assignment_seed.wrapping_add(7)) % p as u64) as usize;
+            slot_of.push((r, ids_per_rank[r].len()));
+            ids_per_rank[r].push(g);
+        }
+        for op in [GsOp::Add, GsOp::Min, GsOp::Max, GsOp::Mul] {
+            let u0: Vec<f64> = (0..n).map(|i| data[i % data.len()]).collect();
+            // Serial.
+            let h = GsHandle::new(&ids);
+            let mut want = u0.clone();
+            h.gs(&mut want, op);
+            // Distributed.
+            let mut fields: Vec<Vec<f64>> = vec![Vec::new(); p];
+            for (i, &(r, _)) in slot_of.iter().enumerate() {
+                fields[r].push(u0[i]);
+            }
+            let pargs = ParGs::new(&ids_per_rank);
+            let mut comm = SimComm::new(p);
+            pargs.gs(&mut fields, op, &mut comm);
+            for (i, &(r, off)) in slot_of.iter().enumerate() {
+                prop_assert!((fields[r][off] - want[i]).abs() < 1e-10,
+                    "op {:?} slot {}", op, i);
+            }
+        }
+    }
+
+    /// gs_avg produces a consistent field whose per-id value is the mean.
+    #[test]
+    fn gs_avg_is_mean(ids in ids_strategy(),
+                      data in proptest::collection::vec(-5.0..5.0f64, 60)) {
+        let h = GsHandle::new(&ids);
+        let u0: Vec<f64> = (0..ids.len()).map(|i| data[i % data.len()]).collect();
+        let mut u = u0.clone();
+        h.gs_avg(&mut u);
+        let n_global = ids.iter().max().unwrap() + 1;
+        let mut sums = vec![0.0; n_global];
+        let mut counts = vec![0usize; n_global];
+        for (i, &g) in ids.iter().enumerate() {
+            sums[g] += u0[i];
+            counts[g] += 1;
+        }
+        for (i, &g) in ids.iter().enumerate() {
+            prop_assert!((u[i] - sums[g] / counts[g] as f64).abs() < 1e-10);
+        }
+    }
+}

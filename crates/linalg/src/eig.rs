@@ -1,0 +1,304 @@
+//! Symmetric eigensolvers.
+//!
+//! The fast diagonalization method (FDM) behind the Schwarz local solves
+//! needs the generalized symmetric eigendecomposition `Ã z = λ B̃ z` of the
+//! one-dimensional extended-domain stiffness/mass pairs (Lynch, Rice &
+//! Thomas 1964; paper §5). The matrices are tiny (order `N+3`), so a robust
+//! cyclic Jacobi iteration is the right tool. The same solver provides the
+//! Fiedler vectors used by recursive spectral bisection partitioning
+//! (through `sem-mesh`, which shifts to a dense solve for small graphs).
+
+use crate::chol::Cholesky;
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `A = V Λ Vᵀ` with
+/// eigenvalues ascending and eigenvectors in the columns of `V`.
+#[derive(Clone, Debug)]
+pub struct SymEig {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` pairs with `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi eigensolver for a dense symmetric matrix.
+///
+/// Sweeps Givens rotations over all off-diagonal entries until the
+/// off-diagonal Frobenius norm falls below `1e-14` times the matrix norm
+/// (at most 50 sweeps; convergence for symmetric matrices is quadratic and
+/// a handful of sweeps suffices in practice).
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn sym_eig(a: &Matrix) -> SymEig {
+    assert!(a.is_square(), "sym_eig requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let scale = a.norm_fro().max(f64::MIN_POSITIVE);
+    for _sweep in 0..50 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classical Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Update rows/columns p and q of m (symmetric form).
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort ascending.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let vals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| vals[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (jnew, &jold) in idx.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, jnew)] = v[(i, jold)];
+        }
+    }
+    SymEig { values, vectors }
+}
+
+/// Generalized symmetric eigendecomposition `A z = λ B z` with `B` SPD.
+///
+/// Returns eigenvalues ascending and `B`-orthonormal eigenvectors
+/// (`ZᵀBZ = I`, `ZᵀAZ = Λ`), which is exactly the normalization the FDM
+/// inverse formula requires.
+///
+/// # Panics
+/// Panics if shapes disagree or `B` is not positive definite.
+pub fn gen_sym_eig(a: &Matrix, b: &Matrix) -> SymEig {
+    assert!(a.is_square() && b.is_square(), "gen_sym_eig: square matrices");
+    assert_eq!(a.rows(), b.rows(), "gen_sym_eig: dimension mismatch");
+    let n = a.rows();
+    let chol = Cholesky::new(b).expect("gen_sym_eig: B must be SPD");
+    let l = chol.l();
+    // C = L⁻¹ A L⁻ᵀ, formed column by column via triangular solves.
+    // First W = L⁻¹ A (solve L W = A column-wise on Aᵀ rows).
+    let mut w = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut col = a.col(j);
+        forward_solve(l, &mut col);
+        for i in 0..n {
+            w[(i, j)] = col[i];
+        }
+    }
+    // C = W L⁻ᵀ: Cᵀ = L⁻¹ Wᵀ, i.e. solve L (row of C) = row of W... do per row.
+    let mut c = Matrix::zeros(n, n);
+    for i in 0..n {
+        let mut row: Vec<f64> = (0..n).map(|j| w[(i, j)]).collect();
+        forward_solve(l, &mut row);
+        for j in 0..n {
+            c[(i, j)] = row[j];
+        }
+    }
+    // Symmetrize against roundoff.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (c[(i, j)] + c[(j, i)]);
+            c[(i, j)] = avg;
+            c[(j, i)] = avg;
+        }
+    }
+    let eig = sym_eig(&c);
+    // Back-transform: z = L⁻ᵀ y.
+    let mut vectors = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut y = eig.vectors.col(j);
+        backward_solve_t(l, &mut y);
+        for i in 0..n {
+            vectors[(i, j)] = y[i];
+        }
+    }
+    SymEig {
+        values: eig.values,
+        vectors,
+    }
+}
+
+/// Solve `L x = b` in place for lower-triangular `L`.
+fn forward_solve(l: &Matrix, x: &mut [f64]) {
+    let n = l.rows();
+    for i in 0..n {
+        let mut sum = x[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+}
+
+/// Solve `Lᵀ x = b` in place for lower-triangular `L`.
+fn backward_solve_t(l: &Matrix, x: &mut [f64]) {
+    let n = l.rows();
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn eigenvalues_of_1d_laplacian_are_known() {
+        // λ_k = 2 - 2 cos(kπ/(n+1)), k = 1..n.
+        let n = 10;
+        let eig = sym_eig(&laplacian_1d(n));
+        for (k, lam) in eig.values.iter().enumerate() {
+            let want = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((lam - want).abs() < 1e-12, "k={k} got {lam} want {want}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal_and_diagonalize() {
+        let n = 8;
+        let a = laplacian_1d(n);
+        let eig = sym_eig(&a);
+        let v = &eig.vectors;
+        let vtv = v.transpose().matmul(v);
+        let vtav = v.transpose().matmul(&a).matmul(v);
+        for i in 0..n {
+            for j in 0..n {
+                let want_i = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - want_i).abs() < 1e-12);
+                let want_a = if i == j { eig.values[i] } else { 0.0 };
+                assert!((vtav[(i, j)] - want_a).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_immediate() {
+        let eig = sym_eig(&Matrix::from_diag(&[3.0, 1.0, 2.0]));
+        assert!((eig.values[0] - 1.0).abs() < 1e-14);
+        assert!((eig.values[1] - 2.0).abs() < 1e-14);
+        assert!((eig.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn generalized_reduces_to_standard_with_identity_b() {
+        let a = laplacian_1d(6);
+        let b = Matrix::identity(6);
+        let ge = gen_sym_eig(&a, &b);
+        let se = sym_eig(&a);
+        for (g, w) in ge.values.iter().zip(se.values.iter()) {
+            assert!((g - w).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn generalized_satisfies_pencil_and_b_orthonormality() {
+        let n = 7;
+        let a = laplacian_1d(n);
+        // FE-style tridiagonal mass matrix (SPD).
+        let b = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0 / 6.0
+            } else if i.abs_diff(j) == 1 {
+                1.0 / 6.0
+            } else {
+                0.0
+            }
+        });
+        let eig = gen_sym_eig(&a, &b);
+        let z = &eig.vectors;
+        // ZᵀBZ = I
+        let ztbz = z.transpose().matmul(&b).matmul(z);
+        // ZᵀAZ = Λ
+        let ztaz = z.transpose().matmul(&a).matmul(z);
+        for i in 0..n {
+            for j in 0..n {
+                let want_i = if i == j { 1.0 } else { 0.0 };
+                assert!((ztbz[(i, j)] - want_i).abs() < 1e-10);
+                let want_l = if i == j { eig.values[i] } else { 0.0 };
+                assert!((ztaz[(i, j)] - want_l).abs() < 1e-9);
+            }
+        }
+        // Residual check A z = λ B z for each pair.
+        for j in 0..n {
+            let zj = z.col(j);
+            let az = a.matvec(&zj);
+            let bz = b.matvec(&zj);
+            for i in 0..n {
+                assert!((az[i] - eig.values[j] * bz[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn fdm_inverse_identity_in_1d() {
+        // FDM: A⁻¹ = S Λ⁻¹ Sᵀ with S the B-orthonormal eigenvectors when B=I.
+        let n = 5;
+        let a = laplacian_1d(n);
+        let eig = sym_eig(&a);
+        let s = &eig.vectors;
+        let lam_inv = Matrix::from_diag(&eig.values.iter().map(|l| 1.0 / l).collect::<Vec<_>>());
+        let ainv = s.matmul(&lam_inv).matmul(&s.transpose());
+        let prod = ainv.matmul(&a);
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-11);
+            }
+        }
+    }
+}

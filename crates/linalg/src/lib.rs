@@ -1,0 +1,39 @@
+//! # sem-linalg
+//!
+//! Dense linear algebra substrate for the `terasem` spectral element
+//! workspace, reproducing the numerical kernels that Tufo & Fischer (SC'99)
+//! obtained from vendor BLAS and hand-tuned Fortran:
+//!
+//! * [`Matrix`] — a small, row-major dense matrix used for the 1D operators
+//!   (stiffness, mass, derivative, interpolation) of the tensor-product
+//!   spectral element bases.
+//! * [`mxm`] — the matrix–matrix product kernel family of the paper's
+//!   Table 3 (`lkm`/`ghm`/`csm`/`f3`/`f2` become `naive`/`blocked`/
+//!   `unroll4`/`f3`/`f2`), plus a per-shape dispatcher mirroring the
+//!   paper's "perf." kernel selection.
+//! * [`tensor`] — application of tensor-product operators
+//!   `(A_z ⊗ A_y ⊗ A_x) u` as sequences of mxm calls (Eq. 3 of the paper).
+//! * [`chol`], [`lu`], [`banded`] — direct factorizations used by the
+//!   Schwarz local solves, coarse-grid baselines (redundant banded LU,
+//!   distributed inverse), and setup phases.
+//! * [`eig`] — cyclic-Jacobi symmetric eigensolver and the generalized
+//!   symmetric eigenproblem `A z = λ B z` required by the fast
+//!   diagonalization method (FDM).
+//! * [`complex`] — complex arithmetic, complex LU, and inverse iteration for
+//!   the Orr–Sommerfeld reference eigenproblem of Table 1.
+//! * [`vector`] — level-1 helpers (dot, axpy, norms) shared by the
+//!   iterative solvers.
+
+pub mod banded;
+pub mod chol;
+pub mod complex;
+pub mod eig;
+pub mod lu;
+pub mod matrix;
+pub mod mxm;
+pub mod tensor;
+pub mod vector;
+
+pub use complex::Complex;
+pub use matrix::Matrix;
+pub use mxm::{mxm, MxmKernel};

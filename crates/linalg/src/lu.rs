@@ -1,0 +1,186 @@
+//! LU factorization with partial pivoting.
+//!
+//! General-purpose direct solver used in setup phases (e.g. building the
+//! FDM eigenbases' inverses for verification, forming explicit operator
+//! matrices in tests) and wherever a matrix is square but not SPD.
+
+use crate::matrix::Matrix;
+
+/// LU factorization `P A = L U` with partial pivoting.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    lu: Matrix,
+    piv: Vec<usize>,
+    sign: f64,
+}
+
+/// Error raised when a zero (to machine precision) pivot is encountered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Column at which elimination broke down.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl Lu {
+    /// Factor a square matrix.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Result<Self, SingularMatrix> {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 {
+                return Err(SingularMatrix { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                piv.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let upd = m * lu[(k, j)];
+                    lu[(i, j)] -= upd;
+                }
+            }
+        }
+        Ok(Lu { lu, piv, sign })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b` into a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "LU solve: dimension mismatch");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-lower L.
+        for i in 1..n {
+            let mut sum = x[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant from the factor diagonal.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Explicit inverse.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_small_system() {
+        let a = Matrix::from_rows(&[&[2., 1., 1.], &[4., -6., 0.], &[-2., 7., 2.]]);
+        let b = [5., -2., 9.];
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&b);
+        let bx = a.matvec(&x);
+        for (g, w) in bx.iter().zip(b.iter()) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[1., 2.], &[3., 4.]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0., 1.], &[1., 0.]]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&[3., 7.]);
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+        assert!((lu.det() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1., 2.], &[2., 4.]]);
+        assert!(Lu::new(&a).is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4., 3.], &[6., 3.]]);
+        let inv = Lu::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-13);
+            }
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Dense row-major matrix.
+//!
+//! The spectral element method manipulates many *small* dense matrices: the
+//! one-dimensional stiffness/mass/derivative operators are of order `N+1`
+//! with `N` typically 7–16. A simple contiguous row-major layout with
+//! panic-on-mismatch semantics is the right tool; everything
+//! performance-critical goes through the [`crate::mxm`] kernels instead of
+//! generic operator overloading.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+///
+/// Entry `(i, j)` (row `i`, column `j`) is stored at `data[i * cols + j]`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Create an `n × n` diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(i, j)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The main diagonal copied into a new vector.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a preallocated output.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let xi = x[i];
+            for (yj, a) in y.iter_mut().zip(row.iter()) {
+                *yj += a * xi;
+            }
+        }
+        y
+    }
+
+    /// Matrix product `C = A B` using the default mxm kernel.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dimension mismatch {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut c = Matrix::zeros(self.rows, other.cols);
+        crate::mxm::mxm(
+            self.as_slice(),
+            self.rows,
+            self.cols,
+            other.as_slice(),
+            other.cols,
+            c.as_mut_slice(),
+        );
+        c
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// `self += s * other` entrywise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, s: f64, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "axpy shape mismatch");
+        assert_eq!(self.cols, other.cols, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Symmetry defect `max |A - Aᵀ|` (0 for exactly symmetric matrices).
+    pub fn symmetry_defect(&self) -> f64 {
+        assert!(self.is_square(), "symmetry_defect requires square matrix");
+        let mut d: f64 = 0.0;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                d = d.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        d
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:11.4e} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.diag(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert_eq!(m.col(1), vec![2., 5.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_rows(&[&[1., 2.], &[3., 4.], &[5., 6.]]);
+        let y = m.matvec(&[1., 1.]);
+        assert_eq!(y, vec![3., 7., 11.]);
+        let yt = m.matvec_t(&[1., 1., 1.]);
+        assert_eq!(yt, vec![9., 12.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_fn(4, 4, |i, j| ((i + 1) * (j + 2)) as f64);
+        let i = Matrix::identity(4);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Matrix::from_rows(&[&[1., 2., 3.], &[4., 5., 6.]]);
+        let b = Matrix::from_rows(&[&[7., 8.], &[9., 10.], &[11., 12.]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[0., 1.], &[1., 0.]]);
+        a.axpy(2.0, &b);
+        a.scale(0.5);
+        assert_eq!(a[(0, 0)], 0.5);
+        assert_eq!(a[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn symmetry_defect_detects_asymmetry() {
+        let s = Matrix::from_rows(&[&[1., 2.], &[2., 3.]]);
+        assert_eq!(s.symmetry_defect(), 0.0);
+        let a = Matrix::from_rows(&[&[1., 2.], &[2.5, 3.]]);
+        assert!((a.symmetry_defect() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[&[3., 0.], &[0., -4.]]);
+        assert!((m.norm_fro() - 5.0).abs() < 1e-15);
+        assert_eq!(m.norm_max(), 4.0);
+    }
+}

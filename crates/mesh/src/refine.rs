@@ -1,0 +1,190 @@
+//! Uniform quad/oct refinement.
+//!
+//! The paper's Table 2 mesh family is produced by "two rounds of
+//! quad-refinement from an initial mesh having K = 93 elements"; this
+//! module provides the straight-sided refinement used for such families
+//! (curved generators like the annulus refine parametrically instead, see
+//! [`crate::generators::AnnulusParams::refined`]).
+
+use crate::topology::{BcTag, Mesh};
+use std::collections::HashMap;
+
+/// Split every element into `2^d` children by edge/face/center midpoints.
+/// Boundary tags are inherited by the child faces lying on the parent
+/// face; periodic axis lengths are preserved.
+pub fn refine(mesh: &Mesh) -> Mesh {
+    let dim = mesh.dim;
+    let mut verts = mesh.verts.clone();
+    // Midpoint cache keyed by the sorted set of parent vertex ids it
+    // averages (edge: 2 ids, face: 4 ids, center: 8 ids).
+    let mut cache: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut midpoint = |ids: &mut Vec<usize>, verts: &mut Vec<[f64; 3]>| -> usize {
+        ids.sort_unstable();
+        if let Some(&v) = cache.get(ids) {
+            return v;
+        }
+        let mut p = [0.0; 3];
+        for &i in ids.iter() {
+            for d in 0..3 {
+                p[d] += verts[i][d];
+            }
+        }
+        for d in p.iter_mut() {
+            *d /= ids.len() as f64;
+        }
+        let v = verts.len();
+        verts.push(p);
+        cache.insert(ids.clone(), v);
+        v
+    };
+
+    let mut elems = Vec::with_capacity(mesh.num_elems() << dim);
+    let mut face_bc = Vec::with_capacity(mesh.num_elems() << dim);
+    let corners_per = 1 << dim;
+    for (e, parent) in mesh.elems.iter().enumerate() {
+        // Child (ci) occupies the sub-cube at corner ci; its corner v is
+        // the average of the parent corners selected by merging bits.
+        for ci in 0..corners_per {
+            let mut child = Vec::with_capacity(corners_per);
+            for v in 0..corners_per {
+                // Child corner v in reference coords: per axis, child ci
+                // contributes a half-offset. The physical point is the
+                // average of parent corners whose bits agree with
+                // (ci, v) per axis: parent corner set = all corners c
+                // where for each axis, c_axis ∈ {ci_axis, v_axis} mapped
+                // through the midpoint construction.
+                let mut ids: Vec<usize> = Vec::new();
+                // Reference coordinate of this child corner per axis is
+                // (ci_axis + v_axis) / 2 ∈ {0, 1/2, 1}. A coordinate of
+                // 0 uses parent corners with bit 0, 1 uses bit 1, and 1/2
+                // averages both.
+                let mut sets: Vec<Vec<usize>> = Vec::with_capacity(dim);
+                for axis in 0..dim {
+                    let a = (ci >> axis) & 1;
+                    let b = (v >> axis) & 1;
+                    match a + b {
+                        0 => sets.push(vec![0]),
+                        2 => sets.push(vec![1]),
+                        _ => sets.push(vec![0, 1]),
+                    }
+                }
+                // Cartesian product of per-axis bit choices.
+                let mut combos: Vec<usize> = vec![0];
+                for (axis, set) in sets.iter().enumerate() {
+                    let mut next = Vec::new();
+                    for &c in &combos {
+                        for &bit in set {
+                            next.push(c | (bit << axis));
+                        }
+                    }
+                    combos = next;
+                }
+                for c in combos {
+                    ids.push(parent[c]);
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                let vid = if ids.len() == 1 {
+                    ids[0]
+                } else {
+                    midpoint(&mut ids, &mut verts)
+                };
+                child.push(vid);
+            }
+            elems.push(child);
+            // Child face f is on the parent boundary face f iff the child
+            // sits on that side of the parent.
+            let mut bc = [BcTag::Interior; 6];
+            for f in 0..2 * dim {
+                let axis = f / 2;
+                let side = f % 2;
+                if (ci >> axis) & 1 == side {
+                    bc[f] = mesh.face_bc[e][f];
+                }
+            }
+            face_bc.push(bc);
+        }
+    }
+    let out = Mesh {
+        dim,
+        verts,
+        elems,
+        face_bc,
+        periodic: mesh.periodic,
+    };
+    out.validate();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{box2d, box3d};
+    use crate::geom::Geometry;
+
+    #[test]
+    fn refine_2d_counts() {
+        let m = box2d(2, 3, [0.0, 2.0], [0.0, 3.0], false, false);
+        let r = refine(&m);
+        assert_eq!(r.num_elems(), 4 * 6);
+        // Vertices of a refined structured box: (2kx+1)(2ky+1).
+        assert_eq!(r.num_verts(), 5 * 7);
+    }
+
+    #[test]
+    fn refine_3d_counts() {
+        let m = box3d(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0], [false; 3]);
+        let r = refine(&m);
+        assert_eq!(r.num_elems(), 64);
+        assert_eq!(r.num_verts(), 5 * 5 * 5);
+    }
+
+    #[test]
+    fn refined_geometry_preserves_measure() {
+        let m = box2d(3, 2, [0.0, 1.5], [0.0, 1.0], false, false);
+        let r = refine(&m);
+        let g0 = Geometry::new(&m, 4);
+        let g1 = Geometry::new(&r, 4);
+        assert!((g0.total_measure() - g1.total_measure()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn boundary_tags_inherited() {
+        let m = box2d(1, 1, [0.0, 1.0], [0.0, 1.0], false, false);
+        let r = refine(&m);
+        // 4 children, each keeps 2 boundary faces of the unit square.
+        assert_eq!(r.count_bc(BcTag::Dirichlet), 8);
+        // Interior faces between children are untagged.
+        assert_eq!(r.count_bc(BcTag::Interior), 8);
+    }
+
+    #[test]
+    fn periodic_tags_survive_refinement() {
+        let m = box2d(2, 2, [0.0, 1.0], [0.0, 1.0], true, false);
+        let r = refine(&m);
+        assert_eq!(r.periodic[0], Some(1.0));
+        assert!(r.count_bc(BcTag::Periodic) > 0);
+    }
+
+    #[test]
+    fn double_refinement_produces_family() {
+        // The Table 2 family shape: K, 4K, 16K.
+        let m = box2d(3, 2, [0.0, 1.0], [0.0, 1.0], false, false);
+        let r1 = refine(&m);
+        let r2 = refine(&r1);
+        assert_eq!(m.num_elems() * 4, r1.num_elems());
+        assert_eq!(m.num_elems() * 16, r2.num_elems());
+    }
+
+    #[test]
+    fn refined_elements_share_midpoint_vertices() {
+        let m = box2d(2, 1, [0.0, 2.0], [0.0, 1.0], false, false);
+        let r = refine(&m);
+        // Conformity: adjacency graph is connected with the right counts.
+        let adj = r.adjacency();
+        let total_edges: usize = adj.iter().map(|a| a.len()).sum();
+        // 4×2 structured grid of children: internal faces = 3*2 + 4*1 = 10,
+        // each counted twice.
+        assert_eq!(total_edges, 20);
+    }
+}

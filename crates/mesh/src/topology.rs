@@ -1,0 +1,254 @@
+//! Element/vertex topology.
+//!
+//! A mesh is an unstructured array of `K` deformed quadrilateral (2D) or
+//! hexahedral (3D) elements. Vertices are shared between conforming
+//! neighbours; within an element, vertices are ordered lexicographically
+//! in the reference coordinates `(r, s, t)`:
+//!
+//! ```text
+//! 2D:  v0 = (-1,-1)   v1 = (+1,-1)      3D: v0..v3 as 2D at t = -1,
+//!      v2 = (-1,+1)   v3 = (+1,+1)          v4..v7 as 2D at t = +1
+//! ```
+//!
+//! Faces are numbered `0: r=-1, 1: r=+1, 2: s=-1, 3: s=+1, 4: t=-1,
+//! 5: t=+1` and carry boundary-condition tags.
+
+/// Boundary condition tag attached to an element face.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BcTag {
+    /// Interior face (conforming neighbour) — no boundary condition.
+    #[default]
+    Interior,
+    /// Dirichlet (essential) boundary: value imposed by the application.
+    Dirichlet,
+    /// Natural (do-nothing / Neumann) boundary.
+    Neumann,
+    /// Periodic face: identified with the opposite side of the domain.
+    Periodic,
+}
+
+/// A spectral element mesh: vertices, element→vertex connectivity, face
+/// boundary tags, and periodic axis lengths.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    /// Spatial dimension: 2 or 3.
+    pub dim: usize,
+    /// Vertex coordinates (third component unused in 2D).
+    pub verts: Vec<[f64; 3]>,
+    /// Element vertex indices: 4 per element in 2D, 8 in 3D,
+    /// lexicographic reference ordering.
+    pub elems: Vec<Vec<usize>>,
+    /// Per-element, per-face boundary tags (first `2·dim` entries used).
+    pub face_bc: Vec<[BcTag; 6]>,
+    /// Periodic length per axis (`Some(L)` if the domain wraps with
+    /// period `L` along that axis).
+    pub periodic: [Option<f64>; 3],
+}
+
+impl Mesh {
+    /// Number of elements.
+    pub fn num_elems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Number of vertices.
+    pub fn num_verts(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Vertices per element (4 or 8).
+    pub fn verts_per_elem(&self) -> usize {
+        1 << self.dim
+    }
+
+    /// Faces per element (4 or 6).
+    pub fn faces_per_elem(&self) -> usize {
+        2 * self.dim
+    }
+
+    /// Centroid of element `e` (mean of its vertices).
+    pub fn centroid(&self, e: usize) -> [f64; 3] {
+        let mut c = [0.0; 3];
+        for &v in &self.elems[e] {
+            for d in 0..3 {
+                c[d] += self.verts[v][d];
+            }
+        }
+        let n = self.elems[e].len() as f64;
+        for d in c.iter_mut() {
+            *d /= n;
+        }
+        c
+    }
+
+    /// Axis-aligned bounding box of the whole mesh: `(min, max)`.
+    pub fn bbox(&self) -> ([f64; 3], [f64; 3]) {
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for v in &self.verts {
+            for d in 0..3 {
+                lo[d] = lo[d].min(v[d]);
+                hi[d] = hi[d].max(v[d]);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// The vertex indices (within the element's vertex list) on face `f`.
+    pub fn face_corner_slots(dim: usize, f: usize) -> Vec<usize> {
+        assert!(f < 2 * dim, "face {f} out of range for dim {dim}");
+        let axis = f / 2; // 0: r, 1: s, 2: t
+        let side = f % 2; // 0: -1 side, 1: +1 side
+        let nv = 1 << dim;
+        (0..nv)
+            .filter(|&v| (v >> axis) & 1 == side)
+            .collect()
+    }
+
+    /// Element adjacency: two elements are neighbours when they share a
+    /// full face (`2^{d-1}` common vertices). Returns, per element, the
+    /// sorted list of neighbouring element indices.
+    ///
+    /// Periodic identifications are *not* included (periodicity is an
+    /// identification of coordinates, handled by the numbering pass); the
+    /// adjacency here is the partitioning graph of §6.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        use std::collections::HashMap;
+        let k = self.num_elems();
+        let need = 1 << (self.dim - 1);
+        // Map each face (sorted vertex tuple) to the elements touching it.
+        let mut face_map: HashMap<Vec<usize>, Vec<usize>> = HashMap::new();
+        for (e, _) in self.elems.iter().enumerate() {
+            for f in 0..self.faces_per_elem() {
+                let slots = Self::face_corner_slots(self.dim, f);
+                let mut key: Vec<usize> = slots.iter().map(|&s| self.elems[e][s]).collect();
+                key.sort_unstable();
+                debug_assert_eq!(key.len(), need);
+                face_map.entry(key).or_default().push(e);
+            }
+        }
+        let mut adj = vec![Vec::new(); k];
+        for (_, elems) in face_map {
+            if elems.len() == 2 {
+                adj[elems[0]].push(elems[1]);
+                adj[elems[1]].push(elems[0]);
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        adj
+    }
+
+    /// Count of boundary faces carrying each tag (diagnostic).
+    pub fn count_bc(&self, tag: BcTag) -> usize {
+        self.face_bc
+            .iter()
+            .map(|faces| {
+                faces[..self.faces_per_elem()]
+                    .iter()
+                    .filter(|&&t| t == tag)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Validate basic invariants (vertex indices in range, element counts
+    /// consistent). Panics with a description on failure; used by tests
+    /// and generators.
+    pub fn validate(&self) {
+        assert!(self.dim == 2 || self.dim == 3, "dim must be 2 or 3");
+        assert_eq!(self.elems.len(), self.face_bc.len(), "face_bc per element");
+        let nv = self.verts_per_elem();
+        for (e, verts) in self.elems.iter().enumerate() {
+            assert_eq!(verts.len(), nv, "element {e} vertex count");
+            for &v in verts {
+                assert!(v < self.verts.len(), "element {e} vertex {v} out of range");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two unit quads sharing an edge.
+    fn two_quads() -> Mesh {
+        Mesh {
+            dim: 2,
+            verts: vec![
+                [0., 0., 0.],
+                [1., 0., 0.],
+                [2., 0., 0.],
+                [0., 1., 0.],
+                [1., 1., 0.],
+                [2., 1., 0.],
+            ],
+            elems: vec![vec![0, 1, 3, 4], vec![1, 2, 4, 5]],
+            face_bc: vec![[BcTag::Dirichlet; 6]; 2],
+            periodic: [None; 3],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let m = two_quads();
+        m.validate();
+        assert_eq!(m.num_elems(), 2);
+        assert_eq!(m.num_verts(), 6);
+        assert_eq!(m.verts_per_elem(), 4);
+        assert_eq!(m.faces_per_elem(), 4);
+    }
+
+    #[test]
+    fn face_corner_slots_2d() {
+        // Face 0 (r=-1): slots with bit0 = 0 → {0, 2}.
+        assert_eq!(Mesh::face_corner_slots(2, 0), vec![0, 2]);
+        assert_eq!(Mesh::face_corner_slots(2, 1), vec![1, 3]);
+        assert_eq!(Mesh::face_corner_slots(2, 2), vec![0, 1]);
+        assert_eq!(Mesh::face_corner_slots(2, 3), vec![2, 3]);
+    }
+
+    #[test]
+    fn face_corner_slots_3d() {
+        assert_eq!(Mesh::face_corner_slots(3, 0), vec![0, 2, 4, 6]); // r=-1
+        assert_eq!(Mesh::face_corner_slots(3, 5), vec![4, 5, 6, 7]); // t=+1
+        assert_eq!(Mesh::face_corner_slots(3, 2).len(), 4);
+    }
+
+    #[test]
+    fn adjacency_of_shared_edge() {
+        let m = two_quads();
+        let adj = m.adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0]);
+    }
+
+    #[test]
+    fn centroid_and_bbox() {
+        let m = two_quads();
+        let c = m.centroid(0);
+        assert!((c[0] - 0.5).abs() < 1e-15);
+        assert!((c[1] - 0.5).abs() < 1e-15);
+        let (lo, hi) = m.bbox();
+        assert_eq!(lo[0], 0.0);
+        assert_eq!(hi[0], 2.0);
+    }
+
+    #[test]
+    fn bc_counting() {
+        let m = two_quads();
+        assert_eq!(m.count_bc(BcTag::Dirichlet), 8);
+        assert_eq!(m.count_bc(BcTag::Neumann), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_catches_bad_vertex() {
+        let mut m = two_quads();
+        m.elems[0][0] = 99;
+        m.validate();
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-step diagnostics: the quantities the paper's instrumented code
+//! reports (iteration counts, timings, flops) plus physical monitors
+//! (CFL, kinetic energy, divergence).
+
+use sem_ops::convect::gradient;
+use sem_ops::fields::{dot_weighted, norm_l2};
+use sem_ops::SemOps;
+
+/// Statistics of one timestep.
+#[derive(Clone, Debug, Default)]
+pub struct StepStats {
+    /// Step index (1-based after the first call to `step`).
+    pub step: usize,
+    /// Simulation time after the step.
+    pub time: f64,
+    /// Pressure CG iterations.
+    pub pressure_iters: usize,
+    /// Pressure residual before iterating (shows the projection gain).
+    pub pressure_initial_residual: f64,
+    /// Helmholtz iterations per velocity component.
+    pub helmholtz_iters: Vec<usize>,
+    /// Temperature solve iterations (0 when no scalar is active).
+    pub temp_iters: usize,
+    /// Convective CFL number of the step.
+    pub cfl: f64,
+    /// Flops spent in this step (instrumented).
+    pub flops: u64,
+    /// Wall-clock seconds for the step.
+    pub seconds: f64,
+}
+
+/// Convective CFL: `max |u_i| Δt / Δx_i` over all nodes, with the local
+/// grid spacing taken from adjacent GLL nodes along each direction.
+pub fn cfl(ops: &SemOps, vel: &[Vec<f64>], dt: f64) -> f64 {
+    let geo = &ops.geo;
+    let npts = geo.npts;
+    let dim = geo.dim;
+    let mut worst = 0.0_f64;
+    // Minimal reference GLL spacing.
+    let dref = geo.gll.points[1] - geo.gll.points[0];
+    for e in 0..geo.k {
+        let ext = geo.element_extents(e);
+        for d in 0..dim {
+            // Conservative local spacing: extent × (reference spacing / 2).
+            let dx = ext[d] * dref / 2.0;
+            if dx <= 0.0 {
+                continue;
+            }
+            let comp = &vel[d][e * npts..(e + 1) * npts];
+            let vmax = comp.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            worst = worst.max(vmax * dt / dx);
+        }
+    }
+    worst
+}
+
+/// Total kinetic energy `½ ∫ |u|²`.
+pub fn kinetic_energy(ops: &SemOps, vel: &[Vec<f64>]) -> f64 {
+    vel.iter().map(|c| {
+        let n = norm_l2(ops, c);
+        0.5 * n * n
+    }).sum()
+}
+
+/// L² norm of the pointwise divergence (a physical-space diagnostic; the
+/// discrete constraint `D u = 0` is enforced in the weak sense).
+pub fn divergence_norm(ops: &SemOps, vel: &[Vec<f64>]) -> f64 {
+    let n = ops.n_velocity();
+    let dim = ops.geo.dim;
+    let mut g = vec![vec![0.0; n]; dim];
+    let mut div = vec![0.0; n];
+    for (c, comp) in vel.iter().enumerate() {
+        gradient(ops, comp, &mut g);
+        for (dv, &gv) in div.iter_mut().zip(g[c].iter()) {
+            *dv += gv;
+        }
+    }
+    norm_l2(ops, &div)
+}
+
+/// Discrete L² inner product of two velocity fields (mass-weighted).
+pub fn field_inner(ops: &SemOps, u: &[f64], v: &[f64]) -> f64 {
+    let n = ops.n_velocity();
+    assert_eq!(u.len(), n);
+    assert_eq!(v.len(), n);
+    let weighted: Vec<f64> = v
+        .iter()
+        .zip(ops.bm_assembled.iter())
+        .map(|(&a, &b)| a * b)
+        .collect();
+    dot_weighted(ops, u, &weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_mesh::generators::box2d;
+    use sem_ops::fields::eval_on_nodes;
+
+    fn ops2d() -> SemOps {
+        SemOps::new(box2d(2, 2, [0.0, 1.0], [0.0, 1.0], true, true), 6)
+    }
+
+    #[test]
+    fn cfl_scales_linearly_with_dt_and_velocity() {
+        let ops = ops2d();
+        let n = ops.n_velocity();
+        let vel = vec![vec![2.0; n], vec![0.0; n]];
+        let c1 = cfl(&ops, &vel, 0.1);
+        let c2 = cfl(&ops, &vel, 0.2);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+        let vel2 = vec![vec![4.0; n], vec![0.0; n]];
+        let c3 = cfl(&ops, &vel2, 0.1);
+        assert!((c3 - 2.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinetic_energy_of_uniform_flow() {
+        let ops = ops2d();
+        let n = ops.n_velocity();
+        let vel = vec![vec![3.0; n], vec![4.0; n]];
+        // ½(9 + 16)·area = 12.5.
+        let ke = kinetic_energy(&ops, &vel);
+        assert!((ke - 12.5).abs() < 1e-9, "{ke}");
+    }
+
+    #[test]
+    fn divergence_norm_of_solenoidal_field() {
+        let ops = ops2d();
+        let u = eval_on_nodes(&ops, |_, y, _| y);
+        let v = eval_on_nodes(&ops, |x, _, _| x);
+        let d = divergence_norm(&ops, &[u, v]);
+        assert!(d < 1e-10, "{d}");
+        let u2 = eval_on_nodes(&ops, |x, _, _| x);
+        let d2 = divergence_norm(&ops, &[u2, eval_on_nodes(&ops, |_, _, _| 0.0)]);
+        assert!((d2 - 1.0).abs() < 1e-9, "{d2}");
+    }
+
+    #[test]
+    fn field_inner_is_mass_weighted() {
+        let ops = ops2d();
+        let n = ops.n_velocity();
+        let ones = vec![1.0; n];
+        // ⟨1, 1⟩_B = area = 1.
+        assert!((field_inner(&ops, &ones, &ones) - 1.0).abs() < 1e-9);
+    }
+}

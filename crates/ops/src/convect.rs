@@ -1,0 +1,208 @@
+//! Physical-space gradients and the convection operator.
+//!
+//! The convective term is evaluated in nonconservative (advective) form
+//! `(c·∇)u` pointwise on the GLL grid — this is the operator the OIFS
+//! subintegration (§4) applies repeatedly inside its explicit RK stages.
+//! Stabilization against the aliasing this introduces at high Reynolds
+//! number is exactly the job of the §2 filter.
+
+use crate::space::SemOps;
+use rayon::prelude::*;
+use sem_linalg::tensor::{apply_x, apply_y_2d, apply_y_3d, apply_z_3d};
+
+/// Per-element flop estimate of one full physical gradient.
+pub fn grad_flops_per_elem(dim: usize, n: usize) -> u64 {
+    let n1 = (n + 1) as u64;
+    if dim == 2 {
+        4 * n1.pow(3) + 6 * n1.pow(2)
+    } else {
+        6 * n1.pow(4) + 15 * n1.pow(3)
+    }
+}
+
+/// Physical gradient: `out[c] = ∂u/∂x_c` at every GLL node.
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn gradient(ops: &SemOps, u: &[f64], out: &mut [Vec<f64>]) {
+    let dim = ops.geo.dim;
+    assert_eq!(u.len(), ops.n_velocity(), "gradient: u length");
+    assert_eq!(out.len(), dim, "gradient: one output per dimension");
+    for c in out.iter() {
+        assert_eq!(c.len(), ops.n_velocity(), "gradient: component length");
+    }
+    let npts = ops.geo.npts;
+    let nx = ops.geo.nx;
+    let geo = &ops.geo;
+    let k = ops.k();
+    let mut outs: Vec<_> = out.iter_mut().map(|c| c.chunks_mut(npts)).collect();
+    let mut per_elem: Vec<Vec<&mut [f64]>> = (0..k).map(|_| Vec::with_capacity(dim)).collect();
+    for chunks in outs.iter_mut() {
+        for (e, ch) in chunks.by_ref().enumerate() {
+            per_elem[e].push(ch);
+        }
+    }
+    per_elem.into_par_iter().enumerate().for_each_init(
+        || vec![0.0; 3 * npts],
+        |scratch, (e, mut comps)| {
+            let (dr, rest) = scratch.split_at_mut(npts);
+            let (ds, dt) = rest.split_at_mut(npts);
+            let ue = &u[e * npts..(e + 1) * npts];
+            if dim == 2 {
+                apply_x(&geo.d1t, nx, ue, dr);
+                apply_y_2d(&geo.d1, nx, ue, ds);
+            } else {
+                apply_x(&geo.d1t, nx * nx, ue, dr);
+                apply_y_3d(&geo.d1, nx, nx, ue, ds);
+                apply_z_3d(&geo.d1, nx * nx, ue, dt);
+            }
+            let dd = dim * dim;
+            let base = e * npts * dd;
+            for (c, oc) in comps.iter_mut().enumerate() {
+                for i in 0..npts {
+                    let d = &geo.drdx[base + i * dd..base + (i + 1) * dd];
+                    let mut acc = d[c] * dr[i] + d[dim + c] * ds[i];
+                    if dim == 3 {
+                        acc += d[2 * dim + c] * dt[i];
+                    }
+                    oc[i] = acc;
+                }
+            }
+        },
+    );
+    ops.charge_flops(ops.k() as u64 * grad_flops_per_elem(dim, ops.geo.n));
+}
+
+/// Convection `out = (c·∇)u` with advecting field `c = [cx, cy(, cz)]`.
+///
+/// `work` must hold `dim` velocity-space vectors (gradient scratch).
+pub fn convect(
+    ops: &SemOps,
+    c: &[&[f64]],
+    u: &[f64],
+    out: &mut [f64],
+    work: &mut [Vec<f64>],
+) {
+    let dim = ops.geo.dim;
+    assert_eq!(c.len(), dim, "convect: one advecting component per dim");
+    assert_eq!(out.len(), ops.n_velocity(), "convect: out length");
+    gradient(ops, u, work);
+    let n = out.len();
+    out.par_iter_mut().enumerate().for_each(|(i, o)| {
+        let mut acc = c[0][i] * work[0][i] + c[1][i] * work[1][i];
+        if dim == 3 {
+            acc += c[2][i] * work[2][i];
+        }
+        *o = acc;
+    });
+    ops.charge_flops((2 * dim as u64 - 1) * n as u64);
+}
+
+/// Pointwise vorticity ω = ∂v/∂x − ∂u/∂y of a 2D velocity field
+/// (diagnostic for the shear-layer experiment, Fig. 3).
+pub fn vorticity_2d(ops: &SemOps, u: &[f64], v: &[f64]) -> Vec<f64> {
+    assert_eq!(ops.geo.dim, 2, "vorticity_2d needs a 2D discretization");
+    let n = ops.n_velocity();
+    let mut gu = vec![vec![0.0; n]; 2];
+    let mut gv = vec![vec![0.0; n]; 2];
+    gradient(ops, u, &mut gu);
+    gradient(ops, v, &mut gv);
+    (0..n).map(|i| gv[0][i] - gu[1][i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::eval_on_nodes;
+    use sem_mesh::generators::{box2d, box3d};
+
+    fn ops2d(n: usize) -> SemOps {
+        SemOps::new(box2d(2, 2, [0.0, 1.0], [0.0, 1.0], false, false), n)
+    }
+
+    #[test]
+    fn gradient_of_polynomial_is_exact() {
+        let ops = ops2d(6);
+        // u = x³y²: ∂x = 3x²y², ∂y = 2x³y (degrees ≤ 6, exact).
+        let u = eval_on_nodes(&ops, |x, y, _| x.powi(3) * y * y);
+        let mut g = vec![vec![0.0; ops.n_velocity()]; 2];
+        gradient(&ops, &u, &mut g);
+        for i in 0..ops.n_velocity() {
+            let (x, y) = (ops.geo.x[i], ops.geo.y[i]);
+            assert!((g[0][i] - 3.0 * x * x * y * y).abs() < 1e-10);
+            assert!((g[1][i] - 2.0 * x.powi(3) * y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gradient_3d_exact_on_trilinear() {
+        let mesh = box3d(1, 2, 1, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0], [false; 3]);
+        let ops = SemOps::new(mesh, 3);
+        let u = eval_on_nodes(&ops, |x, y, z| x * y * z);
+        let mut g = vec![vec![0.0; ops.n_velocity()]; 3];
+        gradient(&ops, &u, &mut g);
+        for i in 0..ops.n_velocity() {
+            let (x, y, z) = (ops.geo.x[i], ops.geo.y[i], ops.geo.z[i]);
+            assert!((g[0][i] - y * z).abs() < 1e-10);
+            assert!((g[1][i] - x * z).abs() < 1e-10);
+            assert!((g[2][i] - x * y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn convection_of_linear_by_constant() {
+        let ops = ops2d(4);
+        let n = ops.n_velocity();
+        // c = (2, 3), u = 5x − 7y: (c·∇)u = 10 − 21 = −11.
+        let cx = vec![2.0; n];
+        let cy = vec![3.0; n];
+        let u = eval_on_nodes(&ops, |x, y, _| 5.0 * x - 7.0 * y);
+        let mut out = vec![0.0; n];
+        let mut work = vec![vec![0.0; n]; 2];
+        convect(&ops, &[&cx, &cy], &u, &mut out, &mut work);
+        for &v in &out {
+            assert!((v + 11.0).abs() < 1e-10, "{v}");
+        }
+    }
+
+    #[test]
+    fn vorticity_of_rigid_rotation() {
+        let ops = ops2d(4);
+        // (u, v) = (−y, x): ω = 2 everywhere.
+        let u = eval_on_nodes(&ops, |_, y, _| -y);
+        let v = eval_on_nodes(&ops, |x, _, _| x);
+        let w = vorticity_2d(&ops, &u, &v);
+        for &x in &w {
+            assert!((x - 2.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gradient_on_curved_geometry() {
+        // Quarter annulus: gradient of u = x² should be (2x, 0).
+        use sem_mesh::{Geometry, Mesh};
+        let mesh = Mesh {
+            dim: 2,
+            verts: vec![[1., 0., 0.], [2., 0., 0.], [0., 1., 0.], [0., 2., 0.]],
+            elems: vec![vec![0, 1, 2, 3]],
+            face_bc: vec![[sem_mesh::BcTag::Dirichlet; 6]],
+            periodic: [None; 3],
+        };
+        let geo = Geometry::with_mapping(&mesh, 14, |_, rst| {
+            let rho = 1.5 + 0.5 * rst[0];
+            let th = std::f64::consts::FRAC_PI_4 * (rst[1] + 1.0);
+            [rho * th.cos(), rho * th.sin(), 0.0]
+        });
+        let ops = SemOps::with_geometry(mesh, geo);
+        let u = eval_on_nodes(&ops, |x, _, _| x * x);
+        let mut g = vec![vec![0.0; ops.n_velocity()]; 2];
+        gradient(&ops, &u, &mut g);
+        // u = x² is not a polynomial in (r, s) on the curved element, so
+        // expect spectral (not exact) accuracy.
+        for i in 0..ops.n_velocity() {
+            let x = ops.geo.x[i];
+            assert!((g[0][i] - 2.0 * x).abs() < 1e-6, "i={i}: {} vs {}", g[0][i], 2.0 * x);
+            assert!(g[1][i].abs() < 1e-6);
+        }
+    }
+}

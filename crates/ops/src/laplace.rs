@@ -1,0 +1,288 @@
+//! Mass, stiffness and Helmholtz operators (Eq. 4).
+//!
+//! The deformed-element Laplacian is applied as
+//! `A u = Dᵀ G D u`: differentiate along each reference axis
+//! (tensor contractions), combine with the diagonal geometric factors
+//! `G_ij`, and apply the transposed derivatives. Work per 3D element is
+//! `12(N+1)⁴ + 15(N+1)³` flops with `7(N+1)³` memory references — the
+//! counts of §3. All element loops are rayon-parallel (the paper's
+//! dual-processor intranode mode generalized to many cores).
+
+use crate::space::SemOps;
+use rayon::prelude::*;
+use sem_linalg::tensor::{apply_x, apply_y_2d, apply_y_3d, apply_z_3d};
+
+/// Apply the (diagonal) velocity mass matrix: `out = B u` (local,
+/// unassembled).
+pub fn mass_local(ops: &SemOps, u: &[f64], out: &mut [f64]) {
+    assert_eq!(u.len(), ops.n_velocity(), "mass: u length");
+    assert_eq!(out.len(), ops.n_velocity(), "mass: out length");
+    out.par_iter_mut()
+        .zip(u.par_iter())
+        .zip(ops.geo.bm.par_iter())
+        .for_each(|((o, &ui), &b)| *o = b * ui);
+    ops.charge_flops(u.len() as u64);
+}
+
+/// Per-element flop count of one stiffness application.
+pub fn stiffness_flops_per_elem(dim: usize, n: usize) -> u64 {
+    let n1 = (n + 1) as u64;
+    if dim == 2 {
+        8 * n1.pow(3) + 6 * n1.pow(2)
+    } else {
+        12 * n1.pow(4) + 15 * n1.pow(3)
+    }
+}
+
+/// Apply the stiffness (Laplacian) operator: `out = A u`, local
+/// (unassembled). Follow with [`SemOps::dssum_mask`] for the global
+/// operator.
+pub fn stiffness_local(ops: &SemOps, u: &[f64], out: &mut [f64]) {
+    let npts = ops.geo.npts;
+    assert_eq!(u.len(), ops.n_velocity(), "stiffness: u length");
+    assert_eq!(out.len(), ops.n_velocity(), "stiffness: out length");
+    let nx = ops.geo.nx;
+    let dim = ops.geo.dim;
+    let geo = &ops.geo;
+    out.par_chunks_mut(npts)
+        .zip(u.par_chunks(npts))
+        .enumerate()
+        .for_each_init(
+            || vec![0.0; 6 * npts],
+            |scratch, (e, (oe, ue))| {
+                let (ur, rest) = scratch.split_at_mut(npts);
+                let (us, rest) = rest.split_at_mut(npts);
+                let (ut, rest) = rest.split_at_mut(npts);
+                let (wr, rest) = rest.split_at_mut(npts);
+                let (ws, wt_) = rest.split_at_mut(npts);
+                let wt = &mut wt_[..npts];
+                if dim == 2 {
+                    apply_x(&geo.d1t, nx, ue, ur);
+                    apply_y_2d(&geo.d1, nx, ue, us);
+                    let g = &geo.g[e * npts * 3..(e + 1) * npts * 3];
+                    for i in 0..npts {
+                        let (grr, grs, gss) = (g[3 * i], g[3 * i + 1], g[3 * i + 2]);
+                        wr[i] = grr * ur[i] + grs * us[i];
+                        ws[i] = grs * ur[i] + gss * us[i];
+                    }
+                    // Dᵀ along x: pass the untransposed D as "axt".
+                    apply_x(&geo.d1, nx, wr, ur);
+                    apply_y_2d(&geo.d1t, nx, ws, us);
+                    for i in 0..npts {
+                        oe[i] = ur[i] + us[i];
+                    }
+                } else {
+                    apply_x(&geo.d1t, nx * nx, ue, ur);
+                    apply_y_3d(&geo.d1, nx, nx, ue, us);
+                    apply_z_3d(&geo.d1, nx * nx, ue, ut);
+                    let g = &geo.g[e * npts * 6..(e + 1) * npts * 6];
+                    for i in 0..npts {
+                        let (grr, grs, grt) = (g[6 * i], g[6 * i + 1], g[6 * i + 2]);
+                        let (gss, gst, gtt) = (g[6 * i + 3], g[6 * i + 4], g[6 * i + 5]);
+                        let (a, b, c) = (ur[i], us[i], ut[i]);
+                        wr[i] = grr * a + grs * b + grt * c;
+                        ws[i] = grs * a + gss * b + gst * c;
+                        wt[i] = grt * a + gst * b + gtt * c;
+                    }
+                    apply_x(&geo.d1, nx * nx, wr, ur);
+                    apply_y_3d(&geo.d1t, nx, nx, ws, us);
+                    apply_z_3d(&geo.d1t, nx * nx, wt, ut);
+                    for i in 0..npts {
+                        oe[i] = ur[i] + us[i] + ut[i];
+                    }
+                }
+            },
+        );
+    ops.charge_flops(ops.k() as u64 * stiffness_flops_per_elem(dim, ops.geo.n));
+}
+
+/// Apply the Helmholtz operator `out = h1·A u + h2·B u` (local).
+///
+/// `h1 = ν` (viscosity), `h2 = β₀/Δt` (the BDF diagonal shift) in the
+/// momentum solves of §4.
+pub fn helmholtz_local(ops: &SemOps, u: &[f64], out: &mut [f64], h1: f64, h2: f64) {
+    stiffness_local(ops, u, out);
+    let n = u.len();
+    out.par_iter_mut()
+        .zip(u.par_iter())
+        .zip(ops.geo.bm.par_iter())
+        .for_each(|((o, &ui), &b)| *o = h1 * *o + h2 * b * ui);
+    ops.charge_flops(3 * n as u64);
+}
+
+/// Assembled global Helmholtz: local apply + direct stiffness summation +
+/// Dirichlet mask. This is the `H` of the velocity subproblems.
+pub fn helmholtz(ops: &SemOps, u: &[f64], out: &mut [f64], h1: f64, h2: f64) {
+    helmholtz_local(ops, u, out, h1, h2);
+    ops.dssum_mask(out);
+}
+
+/// Assembled global stiffness: `A u` + dssum + mask.
+pub fn stiffness(ops: &SemOps, u: &[f64], out: &mut [f64]) {
+    stiffness_local(ops, u, out);
+    ops.dssum_mask(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::dot_weighted;
+    use sem_mesh::generators::{box2d, box3d};
+    use sem_mesh::Geometry;
+    use sem_mesh::Mesh;
+
+    fn ops_2d(k: usize, n: usize) -> SemOps {
+        SemOps::new(box2d(k, k, [0.0, 1.0], [0.0, 1.0], false, false), n)
+    }
+
+    #[test]
+    fn stiffness_annihilates_constants_locally() {
+        let ops = ops_2d(2, 6);
+        let u = vec![3.5; ops.n_velocity()];
+        let mut out = vec![0.0; ops.n_velocity()];
+        stiffness_local(&ops, &u, &mut out);
+        for v in out {
+            assert!(v.abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn stiffness_energy_of_linear_field_2d() {
+        // u = x on [0,1]²: ∫|∇u|² = 1. Energy = Σ wt·u·(A u assembled).
+        let ops = ops_2d(3, 5);
+        let u: Vec<f64> = ops.geo.x.clone();
+        let mut au = vec![0.0; u.len()];
+        stiffness_local(&ops, &u, &mut au);
+        ops.dssum(&mut au); // no mask: u=x is not homogeneous on boundary
+        let energy = dot_weighted(&ops, &u, &au);
+        assert!((energy - 1.0).abs() < 1e-10, "energy {energy}");
+    }
+
+    #[test]
+    fn stiffness_energy_of_product_field_2d() {
+        // u = x·y: |∇u|² = x² + y², ∫ over [0,1]² = 2/3.
+        let ops = ops_2d(2, 7);
+        let u: Vec<f64> = ops
+            .geo
+            .x
+            .iter()
+            .zip(ops.geo.y.iter())
+            .map(|(&x, &y)| x * y)
+            .collect();
+        let mut au = vec![0.0; u.len()];
+        stiffness_local(&ops, &u, &mut au);
+        ops.dssum(&mut au);
+        let energy = dot_weighted(&ops, &u, &au);
+        assert!((energy - 2.0 / 3.0).abs() < 1e-10, "energy {energy}");
+    }
+
+    #[test]
+    fn stiffness_energy_3d() {
+        // u = x + 2y + 3z on unit cube: ∫|∇u|² = 1 + 4 + 9 = 14.
+        let mesh = box3d(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0], [false; 3]);
+        let ops = SemOps::new(mesh, 4);
+        let u: Vec<f64> = (0..ops.n_velocity())
+            .map(|i| ops.geo.x[i] + 2.0 * ops.geo.y[i] + 3.0 * ops.geo.z[i])
+            .collect();
+        let mut au = vec![0.0; u.len()];
+        stiffness_local(&ops, &u, &mut au);
+        ops.dssum(&mut au);
+        let energy = dot_weighted(&ops, &u, &au);
+        assert!((energy - 14.0).abs() < 1e-9, "energy {energy}");
+    }
+
+    #[test]
+    fn stiffness_energy_on_curved_element() {
+        // Quarter annulus 1 ≤ ρ ≤ 2: u = x ⇒ ∫|∇u|² = area = 3π/4.
+        let mesh = Mesh {
+            dim: 2,
+            verts: vec![[1., 0., 0.], [2., 0., 0.], [0., 1., 0.], [0., 2., 0.]],
+            elems: vec![vec![0, 1, 2, 3]],
+            face_bc: vec![[sem_mesh::BcTag::Dirichlet; 6]],
+            periodic: [None; 3],
+        };
+        let geo = Geometry::with_mapping(&mesh, 10, |_, rst| {
+            let rho = 1.5 + 0.5 * rst[0];
+            let th = std::f64::consts::FRAC_PI_4 * (rst[1] + 1.0);
+            [rho * th.cos(), rho * th.sin(), 0.0]
+        });
+        let ops = SemOps::with_geometry(mesh, geo);
+        let u = ops.geo.x.clone();
+        let mut au = vec![0.0; u.len()];
+        stiffness_local(&ops, &u, &mut au);
+        let energy = dot_weighted(&ops, &u, &au);
+        let want = 3.0 * std::f64::consts::PI / 4.0;
+        assert!((energy - want).abs() < 1e-6, "energy {energy} want {want}");
+    }
+
+    #[test]
+    fn assembled_operator_is_symmetric() {
+        let ops = ops_2d(2, 4);
+        let n = ops.n_velocity();
+        // ⟨A u, v⟩_wt = ⟨u, A v⟩_wt for masked consistent fields.
+        let mk = |seed: usize| -> Vec<f64> {
+            let mut v: Vec<f64> = (0..n)
+                .map(|i| (((i * 31 + seed * 17) % 101) as f64 - 50.0) / 50.0)
+                .collect();
+            // Make consistent across copies and masked.
+            ops.gs.gs(&mut v, sem_gs::GsOp::Add);
+            for (x, m) in v.iter_mut().zip(ops.mask.iter()) {
+                *x *= m;
+            }
+            v
+        };
+        let u = mk(1);
+        let v = mk(2);
+        let mut au = vec![0.0; n];
+        let mut av = vec![0.0; n];
+        stiffness(&ops, &u, &mut au);
+        stiffness(&ops, &v, &mut av);
+        let lhs = dot_weighted(&ops, &au, &v);
+        let rhs = dot_weighted(&ops, &u, &av);
+        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn helmholtz_reduces_to_mass_plus_stiffness() {
+        let ops = ops_2d(2, 5);
+        let n = ops.n_velocity();
+        let u: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
+        let (h1, h2) = (0.7, 3.0);
+        let mut h = vec![0.0; n];
+        helmholtz_local(&ops, &u, &mut h, h1, h2);
+        let mut a = vec![0.0; n];
+        stiffness_local(&ops, &u, &mut a);
+        let mut b = vec![0.0; n];
+        mass_local(&ops, &u, &mut b);
+        for i in 0..n {
+            assert!((h[i] - (h1 * a[i] + h2 * b[i])).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn flop_accounting_matches_formula() {
+        let ops = ops_2d(2, 5);
+        ops.take_flops();
+        let u = vec![1.0; ops.n_velocity()];
+        let mut out = vec![0.0; ops.n_velocity()];
+        stiffness_local(&ops, &u, &mut out);
+        let got = ops.take_flops();
+        assert_eq!(got, 4 * stiffness_flops_per_elem(2, 5));
+    }
+
+    #[test]
+    fn mass_is_positive_diagonal() {
+        let ops = ops_2d(2, 4);
+        let u = vec![1.0; ops.n_velocity()];
+        let mut out = vec![0.0; ops.n_velocity()];
+        mass_local(&ops, &u, &mut out);
+        assert!(out.iter().all(|&v| v > 0.0));
+        // Total mass = area.
+        let total = dot_weighted(&ops, &u, &{
+            let mut o = out.clone();
+            ops.dssum(&mut o);
+            o
+        });
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+}

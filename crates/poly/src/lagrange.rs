@@ -1,0 +1,199 @@
+//! Lagrange interpolation bases on arbitrary node sets.
+//!
+//! Everything is built from barycentric weights, which are stable on the
+//! clustered GLL/Gauss node distributions: the spectral differentiation
+//! matrix `D̂` (applied in tensor form as `D_r = I ⊗ … ⊗ D̂`, §3), and the
+//! rectangular interpolation matrices that move data between the velocity
+//! (GLL), pressure (Gauss), coarse (vertex), and dealiasing grids.
+
+use sem_linalg::Matrix;
+
+/// Barycentric weights `w_j = 1 / Π_{k≠j} (x_j − x_k)` for a node set.
+///
+/// # Panics
+/// Panics if two nodes coincide.
+pub fn barycentric_weights(nodes: &[f64]) -> Vec<f64> {
+    let n = nodes.len();
+    let mut w = vec![1.0; n];
+    for j in 0..n {
+        for k in 0..n {
+            if k != j {
+                let d = nodes[j] - nodes[k];
+                assert!(d != 0.0, "duplicate interpolation nodes at {j}, {k}");
+                w[j] *= d;
+            }
+        }
+        w[j] = 1.0 / w[j];
+    }
+    w
+}
+
+/// Evaluate all Lagrange cardinal functions `h_j(x)` at a point.
+///
+/// Exact (returns a unit vector) when `x` coincides with a node.
+pub fn lagrange_eval(nodes: &[f64], bary: &[f64], x: f64) -> Vec<f64> {
+    let n = nodes.len();
+    assert_eq!(bary.len(), n, "barycentric weight count");
+    // If x is (numerically) a node, the cardinal property is exact.
+    for (j, &xj) in nodes.iter().enumerate() {
+        if x == xj {
+            let mut h = vec![0.0; n];
+            h[j] = 1.0;
+            return h;
+        }
+    }
+    let mut h = vec![0.0; n];
+    let mut denom = 0.0;
+    for j in 0..n {
+        let t = bary[j] / (x - nodes[j]);
+        h[j] = t;
+        denom += t;
+    }
+    for v in h.iter_mut() {
+        *v /= denom;
+    }
+    h
+}
+
+/// Interpolation matrix `J` from `from` nodes to `to` points:
+/// `(J u)(y_i) = Σ_j u_j h_j(y_i)`, shape `to.len() × from.len()`.
+pub fn interp_matrix(from: &[f64], to: &[f64]) -> Matrix {
+    let bary = barycentric_weights(from);
+    let mut j = Matrix::zeros(to.len(), from.len());
+    for (i, &y) in to.iter().enumerate() {
+        let h = lagrange_eval(from, &bary, y);
+        for (k, &hv) in h.iter().enumerate() {
+            j[(i, k)] = hv;
+        }
+    }
+    j
+}
+
+/// Spectral differentiation matrix on a node set:
+/// `D_ij = h'_j(x_i)`, so that `(D u)_i = u'(x_i)` exactly for `u ∈ P_N`.
+///
+/// Off-diagonal entries use the barycentric formula
+/// `D_ij = (w_j / w_i) / (x_i − x_j)`; diagonals come from the row-sum
+/// identity `Σ_j D_ij = 0` (differentiation annihilates constants).
+pub fn deriv_matrix(nodes: &[f64]) -> Matrix {
+    let n = nodes.len();
+    let w = barycentric_weights(nodes);
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        let mut diag = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = (w[j] / w[i]) / (nodes[i] - nodes[j]);
+                d[(i, j)] = v;
+                diag -= v;
+            }
+        }
+        d[(i, i)] = diag;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quad::{gauss, gauss_lobatto};
+
+    #[test]
+    fn cardinal_property() {
+        let r = gauss_lobatto(7);
+        let bary = barycentric_weights(&r.points);
+        for (j, &xj) in r.points.iter().enumerate() {
+            let h = lagrange_eval(&r.points, &bary, xj);
+            for (k, &hv) in h.iter().enumerate() {
+                let want = if k == j { 1.0 } else { 0.0 };
+                assert!((hv - want).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity() {
+        let r = gauss_lobatto(9);
+        let bary = barycentric_weights(&r.points);
+        for &x in &[-0.95, -0.5, 0.0, 0.3, 0.99] {
+            let h = lagrange_eval(&r.points, &bary, x);
+            let s: f64 = h.iter().sum();
+            assert!((s - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_polynomials() {
+        let from = gauss_lobatto(8).points; // supports P_7
+        let to = gauss(5).points;
+        let j = interp_matrix(&from, &to);
+        for p in 0..8 {
+            let u: Vec<f64> = from.iter().map(|&x| x.powi(p)).collect();
+            let v = j.matvec(&u);
+            for (i, &y) in to.iter().enumerate() {
+                assert!((v[i] - y.powi(p)).abs() < 1e-12, "degree {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_spectral_accuracy_on_smooth_function() {
+        // exp(x) interpolated on GLL nodes: error collapses with N.
+        let eval_pts: Vec<f64> = (0..50).map(|i| -1.0 + 2.0 * i as f64 / 49.0).collect();
+        let mut last_err = f64::INFINITY;
+        for np in [4, 8, 12] {
+            let from = gauss_lobatto(np).points;
+            let j = interp_matrix(&from, &eval_pts);
+            let u: Vec<f64> = from.iter().map(|&x| x.exp()).collect();
+            let v = j.matvec(&u);
+            let err = eval_pts
+                .iter()
+                .zip(v.iter())
+                .map(|(&x, &g)| (g - x.exp()).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(err < last_err * 0.1, "np={np}: {err} vs {last_err}");
+            last_err = err;
+        }
+        assert!(last_err < 1e-10);
+    }
+
+    #[test]
+    fn derivative_matrix_exact_on_polynomials() {
+        let nodes = gauss_lobatto(10).points; // P_9
+        let d = deriv_matrix(&nodes);
+        for p in 0..10 {
+            let u: Vec<f64> = nodes.iter().map(|&x| x.powi(p)).collect();
+            let du = d.matvec(&u);
+            for (i, &x) in nodes.iter().enumerate() {
+                let want = if p == 0 { 0.0 } else { p as f64 * x.powi(p - 1) };
+                assert!((du[i] - want).abs() < 1e-10, "degree {p} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matrix_corner_entries_match_gll_formula() {
+        // D_00 = −N(N+1)/4 on GLL nodes.
+        for np in [5, 9, 16] {
+            let n = (np - 1) as f64;
+            let d = deriv_matrix(&gauss_lobatto(np).points);
+            assert!((d[(0, 0)] + n * (n + 1.0) / 4.0).abs() < 1e-10, "np={np}");
+            assert!((d[(np - 1, np - 1)] - n * (n + 1.0) / 4.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn derivative_rows_sum_to_zero() {
+        let d = deriv_matrix(&gauss_lobatto(12).points);
+        for i in 0..12 {
+            let s: f64 = d.row(i).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate interpolation nodes")]
+    fn duplicate_nodes_panic() {
+        barycentric_weights(&[0.0, 0.5, 0.5]);
+    }
+}

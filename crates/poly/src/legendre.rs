@@ -1,0 +1,143 @@
+//! Legendre polynomial evaluation.
+//!
+//! The spectral element basis is built on Legendre–Gauss–Lobatto points —
+//! the zeros of `(1-x²) P'_N(x)` — and the stabilization filter works in
+//! the Legendre modal basis, so fast, accurate evaluation of `P_n` and its
+//! first two derivatives underpins the whole discretization.
+
+/// Evaluate the Legendre polynomial `P_n(x)` by the three-term recurrence.
+pub fn legendre(n: usize, x: f64) -> f64 {
+    legendre_and_deriv(n, x).0
+}
+
+/// Evaluate `(P_n(x), P'_n(x))` simultaneously.
+///
+/// Uses the standard recurrence for `P_n` together with the derivative
+/// identity `(x² − 1) P'_n = n (x P_n − P_{n−1})`, specialized at the
+/// endpoints where that identity degenerates.
+pub fn legendre_and_deriv(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    if n == 1 {
+        return (x, 1.0);
+    }
+    let mut pm1 = 1.0; // P_0
+    let mut p = x; // P_1
+    for k in 2..=n {
+        let kf = k as f64;
+        let pk = ((2.0 * kf - 1.0) * x * p - (kf - 1.0) * pm1) / kf;
+        pm1 = p;
+        p = pk;
+    }
+    let nf = n as f64;
+    let dp = if (x * x - 1.0).abs() < 1e-14 {
+        // P'_n(±1) = (±1)^{n-1} n(n+1)/2.
+        let sign = if x > 0.0 {
+            1.0
+        } else if n % 2 == 0 {
+            -1.0
+        } else {
+            1.0
+        };
+        sign * nf * (nf + 1.0) / 2.0
+    } else {
+        nf * (x * p - pm1) / (x * x - 1.0)
+    };
+    (p, dp)
+}
+
+/// Evaluate `(P_n, P'_n, P''_n)` at `x` (interior points only for `P''`).
+///
+/// `P''` comes from the Legendre ODE `(1−x²) P'' − 2x P' + n(n+1) P = 0`.
+///
+/// # Panics
+/// Panics if `|x| = 1` (where the ODE form is singular).
+pub fn legendre_d2(n: usize, x: f64) -> (f64, f64, f64) {
+    assert!((x * x - 1.0).abs() > 1e-14, "legendre_d2 needs |x| < 1");
+    let (p, dp) = legendre_and_deriv(n, x);
+    let nf = n as f64;
+    let d2 = (2.0 * x * dp - nf * (nf + 1.0) * p) / (1.0 - x * x);
+    (p, dp, d2)
+}
+
+/// Norm factor `γ_n = ∫ P_n² dx = 2/(2n+1)` of the continuous inner
+/// product.
+pub fn legendre_norm(n: usize) -> f64 {
+    2.0 / (2.0 * n as f64 + 1.0)
+}
+
+/// Discrete GLL norm factor of `P_n` on an `(N+1)`-point GLL rule:
+/// equals `γ_n` for `n < N` but `2/N` for the top mode `n = N`
+/// (the rule is exact only through degree `2N−1`).
+pub fn legendre_norm_gll(n: usize, big_n: usize) -> f64 {
+    assert!(n <= big_n, "mode {n} exceeds rule order {big_n}");
+    if n < big_n {
+        legendre_norm(n)
+    } else {
+        2.0 / big_n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_order_values() {
+        // P_2 = (3x²-1)/2, P_3 = (5x³-3x)/2.
+        let x = 0.3;
+        assert!((legendre(2, x) - (3.0 * x * x - 1.0) / 2.0).abs() < 1e-15);
+        assert!((legendre(3, x) - (5.0 * x * x * x - 3.0 * x) / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn endpoint_values() {
+        for n in 0..12 {
+            assert!((legendre(n, 1.0) - 1.0).abs() < 1e-13);
+            let want = if n % 2 == 0 { 1.0 } else { -1.0 };
+            assert!((legendre(n, -1.0) - want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for n in 1..10 {
+            for &x in &[-0.9, -0.33, 0.0, 0.5, 0.87] {
+                let (_, dp) = legendre_and_deriv(n, x);
+                let fd = (legendre(n, x + h) - legendre(n, x - h)) / (2.0 * h);
+                assert!((dp - fd).abs() < 1e-7, "n={n} x={x}: {dp} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_derivative_formula() {
+        for n in 1..10 {
+            let (_, dp) = legendre_and_deriv(n, 1.0);
+            let nf = n as f64;
+            assert!((dp - nf * (nf + 1.0) / 2.0).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn second_derivative_satisfies_ode() {
+        for n in 2..9 {
+            for &x in &[-0.7, 0.1, 0.6] {
+                let (p, dp, d2) = legendre_d2(n, x);
+                let nf = n as f64;
+                let ode = (1.0 - x * x) * d2 - 2.0 * x * dp + nf * (nf + 1.0) * p;
+                assert!(ode.abs() < 1e-10, "n={n} x={x} ode residual {ode}");
+            }
+        }
+    }
+
+    #[test]
+    fn norms() {
+        assert!((legendre_norm(0) - 2.0).abs() < 1e-15);
+        assert!((legendre_norm(3) - 2.0 / 7.0).abs() < 1e-15);
+        assert!((legendre_norm_gll(3, 5) - legendre_norm(3)).abs() < 1e-15);
+        assert!((legendre_norm_gll(5, 5) - 2.0 / 5.0).abs() < 1e-15);
+    }
+}

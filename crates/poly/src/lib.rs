@@ -1,0 +1,21 @@
+//! # sem-poly
+//!
+//! Orthogonal polynomial machinery for the spectral element method (§2 of
+//! Tufo & Fischer SC'99): Legendre polynomials, Gauss and
+//! Gauss–Lobatto–Legendre (GLL) quadrature, Lagrange interpolation bases
+//! with spectral differentiation, Legendre modal transforms, the
+//! Fischer–Mullen stabilization filter, and the one-dimensional reference
+//! operators (stiffness `Â`, mass `B̂`, and their low-order finite element
+//! counterparts) from which all tensor-product spectral element operators
+//! are assembled.
+
+pub mod filter;
+pub mod lagrange;
+pub mod legendre;
+pub mod modal;
+pub mod ops1d;
+pub mod quad;
+
+pub use filter::filter_matrix;
+pub use lagrange::{deriv_matrix, interp_matrix};
+pub use quad::{gauss, gauss_lobatto, QuadRule};

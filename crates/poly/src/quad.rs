@@ -1,0 +1,221 @@
+//! Gauss and Gauss–Lobatto–Legendre quadrature rules.
+//!
+//! The velocity space `P_N` lives on the `(N+1)`-point GLL rule (which
+//! includes the endpoints, giving the boundary-minimal C⁰ coupling of §2);
+//! the pressure space `P_{N−2}` lives on the `(N−1)`-point interior Gauss
+//! rule. Nodes are found by Newton iteration from Chebyshev initial
+//! guesses; both rules are accurate to machine precision for all orders
+//! used in practice (`N ≤ 64` is tested).
+
+use crate::legendre::{legendre_and_deriv, legendre_d2};
+
+/// A quadrature rule on the reference interval `[-1, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuadRule {
+    /// Nodes in ascending order.
+    pub points: Vec<f64>,
+    /// Positive weights, summing to 2.
+    pub weights: Vec<f64>,
+}
+
+impl QuadRule {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the rule is empty (never for the constructors here).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Integrate a function over `[-1, 1]` with this rule.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.points
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+/// The `(N+1)`-point Gauss–Lobatto–Legendre rule: endpoints ±1 plus the
+/// zeros of `P'_N`, exact for polynomials through degree `2N−1`.
+///
+/// # Examples
+///
+/// ```
+/// use sem_poly::quad::gauss_lobatto;
+/// let rule = gauss_lobatto(9); // N = 8
+/// assert_eq!(rule.points[0], -1.0);
+/// assert!((rule.weights.iter().sum::<f64>() - 2.0).abs() < 1e-12);
+/// // Exact through degree 2N−1 = 15:
+/// let integral = rule.integrate(|x| x.powi(14));
+/// assert!((integral - 2.0 / 15.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics if `n_points < 2` or Newton fails to converge (does not happen
+/// for any practical order).
+pub fn gauss_lobatto(n_points: usize) -> QuadRule {
+    assert!(n_points >= 2, "GLL rule needs at least 2 points");
+    let n = n_points - 1; // polynomial order
+    let mut points = vec![0.0; n_points];
+    let mut weights = vec![0.0; n_points];
+    points[0] = -1.0;
+    points[n] = 1.0;
+    // Interior nodes: zeros of P'_N, Newton from Chebyshev-Lobatto guesses.
+    for k in 1..n {
+        let mut x = -(std::f64::consts::PI * k as f64 / n as f64).cos();
+        // Polish a few guesses that can fall near adjacent roots.
+        let mut converged = false;
+        for _ in 0..100 {
+            let (_, dp, d2) = legendre_d2(n, x);
+            let dx = dp / d2;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "GLL Newton failed at node {k} of order {n}");
+        points[k] = x;
+    }
+    points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let nf = n as f64;
+    for k in 0..n_points {
+        let (p, _) = legendre_and_deriv(n, points[k]);
+        weights[k] = 2.0 / (nf * (nf + 1.0) * p * p);
+    }
+    QuadRule { points, weights }
+}
+
+/// The `m`-point Gauss–Legendre rule: zeros of `P_m`, exact through degree
+/// `2m−1`. Used for the interior pressure grid (`m = N−1`) and dealiasing.
+///
+/// # Panics
+/// Panics if `m == 0` or Newton fails to converge.
+pub fn gauss(m: usize) -> QuadRule {
+    assert!(m >= 1, "Gauss rule needs at least 1 point");
+    let mut points = vec![0.0; m];
+    let mut weights = vec![0.0; m];
+    for k in 0..m {
+        // Chebyshev initial guess (descending), then Newton on P_m.
+        let mut x = -((std::f64::consts::PI * (k as f64 + 0.75)) / (m as f64 + 0.5)).cos();
+        let mut converged = false;
+        for _ in 0..100 {
+            let (p, dp) = legendre_and_deriv(m, x);
+            let dx = p / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "Gauss Newton failed at node {k} of order {m}");
+        points[k] = x;
+        let (_, dp) = legendre_and_deriv(m, x);
+        weights[k] = 2.0 / ((1.0 - x * x) * dp * dp);
+    }
+    points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Weights were computed per unsorted node, but the formula depends only
+    // on x, so recompute in sorted order for clarity.
+    for k in 0..m {
+        let x = points[k];
+        let (_, dp) = legendre_and_deriv(m, x);
+        weights[k] = 2.0 / ((1.0 - x * x) * dp * dp);
+    }
+    QuadRule { points, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gll_known_small_rules() {
+        // N=2 (3 points): {-1, 0, 1}, weights {1/3, 4/3, 1/3}.
+        let r = gauss_lobatto(3);
+        assert!((r.points[1]).abs() < 1e-15);
+        assert!((r.weights[0] - 1.0 / 3.0).abs() < 1e-15);
+        assert!((r.weights[1] - 4.0 / 3.0).abs() < 1e-15);
+        // N=3 (4 points): interior ±1/√5.
+        let r4 = gauss_lobatto(4);
+        assert!((r4.points[1] + (0.2_f64).sqrt()).abs() < 1e-14);
+        assert!((r4.points[2] - (0.2_f64).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gauss_known_small_rules() {
+        // 2-point Gauss: ±1/√3, weights 1.
+        let r = gauss(2);
+        assert!((r.points[0] + 1.0 / 3.0_f64.sqrt()).abs() < 1e-15);
+        assert!((r.weights[0] - 1.0).abs() < 1e-15);
+        // 3-point Gauss: {−√(3/5), 0, √(3/5)}, weights {5/9, 8/9, 5/9}.
+        let r3 = gauss(3);
+        assert!((r3.points[0] + (0.6_f64).sqrt()).abs() < 1e-15);
+        assert!((r3.weights[1] - 8.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weights_sum_to_two() {
+        for np in [2, 3, 5, 8, 16, 33, 65] {
+            let r = gauss_lobatto(np);
+            let s: f64 = r.weights.iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "GLL {np}: {s}");
+        }
+        for m in [1, 2, 4, 7, 15, 32, 64] {
+            let r = gauss(m);
+            let s: f64 = r.weights.iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "Gauss {m}: {s}");
+        }
+    }
+
+    #[test]
+    fn gll_exactness_through_2n_minus_1() {
+        // ∫ x^p dx over [-1,1] is 0 for odd p, 2/(p+1) for even p.
+        for np in [3, 5, 9, 17] {
+            let n = np - 1;
+            let r = gauss_lobatto(np);
+            for p in 0..=(2 * n - 1) {
+                let got = r.integrate(|x| x.powi(p as i32));
+                let want = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+                assert!((got - want).abs() < 1e-12, "GLL np={np} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_exactness_through_2m_minus_1() {
+        for m in [2, 4, 8, 14] {
+            let r = gauss(m);
+            for p in 0..=(2 * m - 1) {
+                let got = r.integrate(|x| x.powi(p as i32));
+                let want = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+                assert!((got - want).abs() < 1e-12, "Gauss m={m} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_sorted_and_symmetric() {
+        for np in [4, 9, 16, 31] {
+            let r = gauss_lobatto(np);
+            for w in r.points.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for k in 0..np {
+                assert!((r.points[k] + r.points[np - 1 - k]).abs() < 1e-13);
+                assert!((r.weights[k] - r.weights[np - 1 - k]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn integrate_smooth_function() {
+        // ∫ e^x dx = e − 1/e; a 12-point Gauss rule nails it.
+        let want = std::f64::consts::E - 1.0 / std::f64::consts::E;
+        let got = gauss(12).integrate(f64::exp);
+        assert!((got - want).abs() < 1e-13);
+    }
+}

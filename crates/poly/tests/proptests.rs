@@ -1,0 +1,150 @@
+//! Property-based tests of the polynomial substrate: quadrature
+//! exactness, interpolation/differentiation identities, modal transform
+//! roundtrips, and filter invariants — over random orders, polynomials,
+//! and filter strengths.
+
+use proptest::prelude::*;
+use sem_poly::filter::{filter_matrix, filter_matrix_interp};
+use sem_poly::lagrange::{deriv_matrix, interp_matrix};
+use sem_poly::legendre::legendre;
+use sem_poly::modal::{to_modal, to_nodal};
+use sem_poly::quad::{gauss, gauss_lobatto};
+
+/// Evaluate a polynomial with the given coefficients (ascending powers).
+fn poly_eval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Analytic integral of the polynomial over [-1, 1].
+fn poly_integral(coeffs: &[f64]) -> f64 {
+    coeffs
+        .iter()
+        .enumerate()
+        .map(|(p, &c)| {
+            if p % 2 == 1 {
+                0.0
+            } else {
+                2.0 * c / (p as f64 + 1.0)
+            }
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GLL rule with N+1 points integrates random polynomials of degree
+    /// ≤ 2N−1 exactly.
+    #[test]
+    fn gll_quadrature_exactness(n in 2usize..12, coeffs in proptest::collection::vec(-3.0..3.0f64, 1..8)) {
+        let deg = coeffs.len() - 1;
+        prop_assume!(deg <= 2 * n - 1);
+        let rule = gauss_lobatto(n + 1);
+        let got = rule.integrate(|x| poly_eval(&coeffs, x));
+        let want = poly_integral(&coeffs);
+        prop_assert!((got - want).abs() < 1e-10 * (1.0 + want.abs()));
+    }
+
+    /// Gauss rule with m points integrates degree ≤ 2m−1 exactly.
+    #[test]
+    fn gauss_quadrature_exactness(m in 1usize..12, coeffs in proptest::collection::vec(-3.0..3.0f64, 1..8)) {
+        let deg = coeffs.len() - 1;
+        prop_assume!(deg <= 2 * m - 1);
+        let rule = gauss(m);
+        let got = rule.integrate(|x| poly_eval(&coeffs, x));
+        let want = poly_integral(&coeffs);
+        prop_assert!((got - want).abs() < 1e-10 * (1.0 + want.abs()));
+    }
+
+    /// Differentiation matrix: exact derivative of random polynomials of
+    /// degree ≤ N on the GLL nodes.
+    #[test]
+    fn deriv_matrix_exact(n in 2usize..14, coeffs in proptest::collection::vec(-3.0..3.0f64, 1..10)) {
+        prop_assume!(coeffs.len() - 1 <= n);
+        let nodes = gauss_lobatto(n + 1).points;
+        let d = deriv_matrix(&nodes);
+        let u: Vec<f64> = nodes.iter().map(|&x| poly_eval(&coeffs, x)).collect();
+        let du = d.matvec(&u);
+        let dcoeffs: Vec<f64> = coeffs.iter().enumerate().skip(1)
+            .map(|(p, &c)| p as f64 * c).collect();
+        for (i, &x) in nodes.iter().enumerate() {
+            let want = if dcoeffs.is_empty() { 0.0 } else { poly_eval(&dcoeffs, x) };
+            prop_assert!((du[i] - want).abs() < 1e-8 * (1.0 + want.abs()));
+        }
+    }
+
+    /// Interpolation between node sets is exact on shared polynomial space.
+    #[test]
+    fn interpolation_exact((nf, nt) in (3usize..12, 1usize..12),
+                           coeffs in proptest::collection::vec(-2.0..2.0f64, 1..8)) {
+        prop_assume!(coeffs.len() <= nf); // degree ≤ nf−1
+        let from = gauss_lobatto(nf).points;
+        let to = gauss(nt).points;
+        let j = interp_matrix(&from, &to);
+        let u: Vec<f64> = from.iter().map(|&x| poly_eval(&coeffs, x)).collect();
+        let v = j.matvec(&u);
+        for (i, &y) in to.iter().enumerate() {
+            let want = poly_eval(&coeffs, y);
+            prop_assert!((v[i] - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    /// Modal/nodal transforms are mutually inverse for arbitrary data.
+    #[test]
+    fn modal_roundtrip(n in 2usize..14, data in proptest::collection::vec(-5.0..5.0f64, 3..15)) {
+        prop_assume!(data.len() == n + 1);
+        let uhat = to_modal(&data);
+        let back = to_nodal(&uhat);
+        for (g, w) in back.iter().zip(data.iter()) {
+            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
+        }
+    }
+
+    /// Both filter constructions: fixed points on P_{N−1}, endpoint rows
+    /// of the interpolation form are unit vectors (the C⁰ property), and
+    /// the modal form attenuates the top coefficient by exactly 1−α.
+    #[test]
+    fn filter_invariants(n in 3usize..12, alpha in 0.0..=1.0f64) {
+        let np = n + 1;
+        let fm = filter_matrix(np, alpha);
+        let fi = filter_matrix_interp(np, alpha);
+        let nodes = gauss_lobatto(np).points;
+        // Fixed points: P_{N-1} basis functions.
+        for mode in 0..n {
+            let u: Vec<f64> = nodes.iter().map(|&x| legendre(mode, x)).collect();
+            for f in [&fm, &fi] {
+                let fu = f.matvec(&u);
+                for (g, w) in fu.iter().zip(u.iter()) {
+                    prop_assert!((g - w).abs() < 1e-8);
+                }
+            }
+        }
+        // Interpolation form: endpoint rows are unit vectors.
+        for row in [0, n] {
+            for j in 0..np {
+                let want = if j == row { 1.0 } else { 0.0 };
+                prop_assert!((fi[(row, j)] - want).abs() < 1e-9,
+                    "row {row} col {j}: {}", fi[(row, j)]);
+            }
+        }
+        // Modal form: top mode scaled by exactly 1−α.
+        let top: Vec<f64> = nodes.iter().map(|&x| legendre(n, x)).collect();
+        let ftop = fm.matvec(&top);
+        for (g, w) in ftop.iter().zip(top.iter()) {
+            prop_assert!((g - (1.0 - alpha) * w).abs() < 1e-8);
+        }
+    }
+
+    /// Quadrature weights are positive and sum to 2 for every order.
+    #[test]
+    fn weights_positive_sum_two(n in 2usize..40) {
+        let rule = gauss_lobatto(n);
+        prop_assert!(rule.weights.iter().all(|&w| w > 0.0));
+        let s: f64 = rule.weights.iter().sum();
+        prop_assert!((s - 2.0).abs() < 1e-11);
+        let gr = gauss(n);
+        prop_assert!(gr.weights.iter().all(|&w| w > 0.0));
+        let s: f64 = gr.weights.iter().sum();
+        prop_assert!((s - 2.0).abs() < 1e-11);
+    }
+}

@@ -1,0 +1,322 @@
+//! The element-vertex coarse space (§5).
+//!
+//! The Schwarz coarse component `R₀ᵀ A₀⁻¹ R₀` lives on the spectral
+//! element vertex mesh: coarse basis functions are the multilinear vertex
+//! functions of each element, `A₀` is their (exactly integrated) stiffness
+//! matrix, and `R₀ᵀ` evaluates coarse functions on the interior Gauss
+//! (pressure) grid of each element — which is where the paper's
+//! `(2 × N₂)·(N₂ × 2)` coarse-mapping matrix products come from (§6).
+//!
+//! The pressure operator is consistently singular (pure Neumann), so `A₀`
+//! is regularized by pinning one vertex; the preconditioned iteration
+//! projects means anyway.
+
+use crate::sparse::Csr;
+use sem_linalg::chol::Cholesky;
+use sem_linalg::tensor::{kron2_apply, kron3_apply};
+use sem_linalg::Matrix;
+use sem_mesh::geom::split_index;
+use sem_mesh::VertexNumbering;
+use sem_ops::SemOps;
+use sem_poly::quad::gauss;
+
+/// Coarse-grid solver: restriction/prolongation between the pressure grid
+/// and the vertex mesh, plus a factored coarse operator.
+pub struct CoarseSolver {
+    /// Vertex numbering (element corner → global vertex).
+    pub vn: VertexNumbering,
+    /// Evaluation matrix from 2 endpoint values to the interior Gauss
+    /// points (`ngp × 2`): column `a` holds the linear hat `l_a` sampled
+    /// at the Gauss nodes.
+    e1: Matrix,
+    /// Its transpose (`2 × ngp`).
+    e1t: Matrix,
+    /// Assembled, pinned coarse operator (kept for XXᵀ experiments).
+    pub a0: Csr,
+    /// Cholesky factor of the pinned coarse operator.
+    chol: Cholesky,
+    dim: usize,
+    npts_p: usize,
+}
+
+/// Assemble the element-vertex stiffness matrix `A₀` from the geometric
+/// factors (exact GLL quadrature of multilinear gradients), as triplets.
+pub fn assemble_vertex_laplacian(ops: &SemOps, vn: &VertexNumbering) -> Vec<(usize, usize, f64)> {
+    let geo = &ops.geo;
+    let dim = geo.dim;
+    let nx = geo.nx;
+    let npts = geo.npts;
+    let nv = 1 << dim;
+    // 1D linear hats and slopes at the GLL points.
+    let pts = &geo.gll.points;
+    let l0: Vec<f64> = pts.iter().map(|&x| (1.0 - x) / 2.0).collect();
+    let l1: Vec<f64> = pts.iter().map(|&x| (1.0 + x) / 2.0).collect();
+    let hat = [&l0, &l1];
+    let slope = [-0.5, 0.5];
+    let mut triplets = Vec::with_capacity(geo.k * nv * nv);
+    // Per-node reference gradients of each vertex basis.
+    for e in 0..geo.k {
+        let mut a_loc = vec![0.0; nv * nv];
+        for idx in 0..npts {
+            let (i, j, kk) = split_index(idx, nx, dim);
+            let gbase = (e * npts + idx) * if dim == 2 { 3 } else { 6 };
+            // Gradients (d/dr, d/ds, d/dt) of each basis at this node.
+            let mut gr = [[0.0; 3]; 8];
+            for a in 0..nv {
+                let (ar, as_, at) = (a & 1, (a >> 1) & 1, (a >> 2) & 1);
+                if dim == 2 {
+                    gr[a][0] = slope[ar] * hat[as_][j];
+                    gr[a][1] = hat[ar][i] * slope[as_];
+                } else {
+                    gr[a][0] = slope[ar] * hat[as_][j] * hat[at][kk];
+                    gr[a][1] = hat[ar][i] * slope[as_] * hat[at][kk];
+                    gr[a][2] = hat[ar][i] * hat[as_][j] * slope[at];
+                }
+            }
+            for a in 0..nv {
+                for b in a..nv {
+                    let q = if dim == 2 {
+                        let g = &geo.g[gbase..gbase + 3];
+                        g[0] * gr[a][0] * gr[b][0]
+                            + g[1] * (gr[a][0] * gr[b][1] + gr[a][1] * gr[b][0])
+                            + g[2] * gr[a][1] * gr[b][1]
+                    } else {
+                        let g = &geo.g[gbase..gbase + 6];
+                        g[0] * gr[a][0] * gr[b][0]
+                            + g[1] * (gr[a][0] * gr[b][1] + gr[a][1] * gr[b][0])
+                            + g[2] * (gr[a][0] * gr[b][2] + gr[a][2] * gr[b][0])
+                            + g[3] * gr[a][1] * gr[b][1]
+                            + g[4] * (gr[a][1] * gr[b][2] + gr[a][2] * gr[b][1])
+                            + g[5] * gr[a][2] * gr[b][2]
+                    };
+                    a_loc[a * nv + b] += q;
+                    if a != b {
+                        a_loc[b * nv + a] += q;
+                    }
+                }
+            }
+        }
+        for a in 0..nv {
+            let ga = vn.ids[e * nv + a];
+            for b in 0..nv {
+                let gb = vn.ids[e * nv + b];
+                triplets.push((ga, gb, a_loc[a * nv + b]));
+            }
+        }
+    }
+    triplets
+}
+
+impl CoarseSolver {
+    /// Build the coarse solver for a discretization.
+    pub fn new(ops: &SemOps) -> Self {
+        let vn = VertexNumbering::new(&ops.mesh);
+        let dim = ops.geo.dim;
+        let n0 = vn.n_global;
+        let mut triplets = assemble_vertex_laplacian(ops, &vn);
+        // Pin vertex 0: drop its row/column, unit diagonal.
+        triplets.retain(|&(i, j, _)| i != 0 && j != 0);
+        triplets.push((0, 0, 1.0));
+        let a0 = Csr::from_triplets(n0, &triplets);
+        let chol = Cholesky::new(&a0.to_dense())
+            .expect("pinned coarse operator must be SPD");
+        let gr = gauss(ops.ngp);
+        let e1 = Matrix::from_fn(ops.ngp, 2, |g, a| {
+            let x = gr.points[g];
+            if a == 0 {
+                (1.0 - x) / 2.0
+            } else {
+                (1.0 + x) / 2.0
+            }
+        });
+        let e1t = e1.transpose();
+        CoarseSolver {
+            vn,
+            e1,
+            e1t,
+            a0,
+            chol,
+            dim,
+            npts_p: ops.npts_p,
+        }
+    }
+
+    /// Number of coarse dofs.
+    pub fn n_coarse(&self) -> usize {
+        self.vn.n_global
+    }
+
+    /// Restriction `R₀`: pressure-space residual → coarse vertex vector.
+    pub fn restrict(&self, r: &[f64]) -> Vec<f64> {
+        let nv = 1 << self.dim;
+        let k = r.len() / self.npts_p;
+        let mut out = vec![0.0; self.n_coarse()];
+        let mut local = vec![0.0; nv];
+        let mut work = vec![0.0; 4 * self.npts_p + 16];
+        for e in 0..k {
+            let re = &r[e * self.npts_p..(e + 1) * self.npts_p];
+            // (E1ᵀ ⊗ E1ᵀ) r : ay = e1t (2×ngp), axt = e1 (ngp×2).
+            if self.dim == 2 {
+                kron2_apply(&self.e1t, &self.e1, re, &mut local, &mut work);
+            } else {
+                kron3_apply(&self.e1t, &self.e1t, &self.e1, re, &mut local, &mut work);
+            }
+            for a in 0..nv {
+                out[self.vn.ids[e * nv + a]] += local[a];
+            }
+        }
+        out
+    }
+
+    /// Prolongation `R₀ᵀ`: coarse vertex vector → pressure-space field.
+    pub fn prolong(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.n_coarse(), "prolong: coarse length");
+        let nv = 1 << self.dim;
+        let k = out.len() / self.npts_p;
+        let mut local = vec![0.0; nv];
+        let mut work = vec![0.0; 4 * self.npts_p + 16];
+        for e in 0..k {
+            for a in 0..nv {
+                local[a] = v[self.vn.ids[e * nv + a]];
+            }
+            let oe = &mut out[e * self.npts_p..(e + 1) * self.npts_p];
+            if self.dim == 2 {
+                kron2_apply(&self.e1, &self.e1t, &local, oe, &mut work);
+            } else {
+                kron3_apply(&self.e1, &self.e1, &self.e1t, &local, oe, &mut work);
+            }
+        }
+    }
+
+    /// The full coarse component `z = R₀ᵀ A₀⁻¹ R₀ r`.
+    pub fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let mut v = self.restrict(r);
+        v[0] = 0.0; // pinned dof
+        self.chol.solve_in_place(&mut v);
+        self.prolong(&v, z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_mesh::generators::box2d;
+
+    fn ops2d(k: usize, n: usize) -> SemOps {
+        SemOps::new(box2d(k, k, [0.0, 1.0], [0.0, 1.0], false, false), n)
+    }
+
+    #[test]
+    fn vertex_laplacian_energy_of_linear_function() {
+        // v = x at vertices: bilinear interpolant is x itself;
+        // energy vᵀA₀v = ∫|∇x|² = area = 1 (before pinning).
+        let ops = ops2d(3, 4);
+        let vn = VertexNumbering::new(&ops.mesh);
+        let triplets = assemble_vertex_laplacian(&ops, &vn);
+        let a0 = Csr::from_triplets(vn.n_global, &triplets);
+        // Vertex coordinates via any element corner holding that vertex.
+        let mut vx = vec![0.0; vn.n_global];
+        let nv = 4;
+        for (e, elem) in ops.mesh.elems.iter().enumerate() {
+            for a in 0..nv {
+                vx[vn.ids[e * nv + a]] = ops.mesh.verts[elem[a]][0];
+            }
+        }
+        let av = a0.matvec(&vx);
+        let energy: f64 = vx.iter().zip(av.iter()).map(|(a, b)| a * b).sum();
+        assert!((energy - 1.0).abs() < 1e-10, "energy {energy}");
+    }
+
+    #[test]
+    fn vertex_laplacian_annihilates_constants() {
+        let ops = ops2d(2, 5);
+        let vn = VertexNumbering::new(&ops.mesh);
+        let triplets = assemble_vertex_laplacian(&ops, &vn);
+        let a0 = Csr::from_triplets(vn.n_global, &triplets);
+        let ones = vec![1.0; vn.n_global];
+        for v in a0.matvec(&ones) {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn restrict_prolong_are_adjoint() {
+        let ops = ops2d(2, 5);
+        let cs = CoarseSolver::new(&ops);
+        let np = ops.n_pressure();
+        let r: Vec<f64> = (0..np).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
+        let v: Vec<f64> = (0..cs.n_coarse())
+            .map(|i| ((i * 3 % 11) as f64 - 5.0) / 5.0)
+            .collect();
+        let rv = cs.restrict(&r);
+        let mut pv = vec![0.0; np];
+        cs.prolong(&v, &mut pv);
+        let lhs: f64 = rv.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f64 = r.iter().zip(pv.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn prolongation_of_vertex_values_is_multilinear() {
+        let ops = ops2d(2, 6);
+        let cs = CoarseSolver::new(&ops);
+        // Coarse function v = x (vertex coordinates): prolongation must be
+        // x at the Gauss nodes.
+        let mut v = vec![0.0; cs.n_coarse()];
+        for (e, elem) in ops.mesh.elems.iter().enumerate() {
+            for a in 0..4 {
+                v[cs.vn.ids[e * 4 + a]] = ops.mesh.verts[elem[a]][0];
+            }
+        }
+        let mut p = vec![0.0; ops.n_pressure()];
+        cs.prolong(&v, &mut p);
+        // Gauss-node x coordinates via interpolation of geometry.
+        let gr = gauss(ops.ngp);
+        for e in 0..ops.k() {
+            let (x0, x1) = {
+                let xs = &ops.geo.x[e * ops.geo.npts..(e + 1) * ops.geo.npts];
+                (
+                    xs.iter().cloned().fold(f64::INFINITY, f64::min),
+                    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                )
+            };
+            for idx in 0..ops.npts_p {
+                let (i, _, _) = split_index(idx, ops.ngp, 2);
+                let want = x0 + (x1 - x0) * (gr.points[i] + 1.0) / 2.0;
+                let got = p[e * ops.npts_p + idx];
+                assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_apply_is_symmetric_psd() {
+        let ops = ops2d(3, 4);
+        let cs = CoarseSolver::new(&ops);
+        let np = ops.n_pressure();
+        let r: Vec<f64> = (0..np).map(|i| (i as f64 * 0.13).sin()).collect();
+        let s: Vec<f64> = (0..np).map(|i| (i as f64 * 0.29).cos()).collect();
+        let mut zr = vec![0.0; np];
+        let mut zs = vec![0.0; np];
+        cs.apply(&r, &mut zr);
+        cs.apply(&s, &mut zs);
+        let lhs: f64 = zr.iter().zip(s.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f64 = r.iter().zip(zs.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        let quad: f64 = r.iter().zip(zr.iter()).map(|(a, b)| a * b).sum();
+        assert!(quad >= -1e-10);
+    }
+
+    #[test]
+    fn coarse_solver_3d_builds_and_applies() {
+        use sem_mesh::generators::box3d;
+        let mesh = box3d(2, 2, 1, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0], [false; 3]);
+        let ops = SemOps::new(mesh, 3);
+        let cs = CoarseSolver::new(&ops);
+        assert_eq!(cs.n_coarse(), 3 * 3 * 2);
+        let r = vec![1.0; ops.n_pressure()];
+        let mut z = vec![0.0; ops.n_pressure()];
+        cs.apply(&r, &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,198 @@
+//! Compressed sparse row matrices for coarse-grid operators.
+//!
+//! The coarse operator `A₀` (element-vertex Laplacian, or the Fig. 6
+//! 5-point Poisson matrices) is sparse with a compact stencil; the XXᵀ
+//! factorization exploits that sparsity, so a minimal CSR type is part of
+//! the solver substrate.
+
+/// Symmetric sparse matrix in CSR format (full pattern stored).
+#[derive(Clone, Debug)]
+pub struct Csr {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from triplets `(i, j, v)`; duplicate entries are summed.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut rows: Vec<std::collections::BTreeMap<usize, f64>> =
+            vec![std::collections::BTreeMap::new(); n];
+        for &(i, j, v) in triplets {
+            assert!(i < n && j < n, "triplet ({i},{j}) out of range for n={n}");
+            *rows[i].entry(j).or_insert(0.0) += v;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for row in rows {
+            for (j, v) in row {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// The 5-point Laplacian on an `m × m` interior grid (the Fig. 6
+    /// coarse problems: `m = 63 → n = 3969`, `m = 127 → n = 16129`).
+    pub fn laplacian_5pt(m: usize) -> Self {
+        let n = m * m;
+        let mut t = Vec::with_capacity(5 * n);
+        for i in 0..m {
+            for j in 0..m {
+                let p = i * m + j;
+                t.push((p, p, 4.0));
+                if i > 0 {
+                    t.push((p, p - m, -1.0));
+                }
+                if i + 1 < m {
+                    t.push((p, p + m, -1.0));
+                }
+                if j > 0 {
+                    t.push((p, p - 1, -1.0));
+                }
+                if j + 1 < m {
+                    t.push((p, p + 1, -1.0));
+                }
+            }
+        }
+        Csr::from_triplets(n, &t)
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row `i` as `(columns, values)` slices.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A x` into preallocated output.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "csr matvec: x length");
+        assert_eq!(y.len(), self.n, "csr matvec: y length");
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                acc += v * x[j];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Sparse column `j` of a symmetric matrix = sparse row `j`.
+    pub fn col_of_symmetric(&self, j: usize) -> (&[usize], &[f64]) {
+        self.row(j)
+    }
+
+    /// Adjacency lists (neighbours by nonzero off-diagonals).
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        (0..self.n)
+            .map(|i| {
+                let (cols, _) = self.row(i);
+                cols.iter().copied().filter(|&j| j != i).collect()
+            })
+            .collect()
+    }
+
+    /// Dense conversion (tests / tiny systems only).
+    pub fn to_dense(&self) -> sem_linalg::Matrix {
+        let mut m = sem_linalg::Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let a = Csr::from_triplets(2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 0, -1.0)]);
+        assert_eq!(a.nnz(), 2);
+        let y = a.matvec(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn laplacian_5pt_structure() {
+        let a = Csr::laplacian_5pt(3);
+        assert_eq!(a.dim(), 9);
+        // Center node has 4 neighbours.
+        let (cols, vals) = a.row(4);
+        assert_eq!(cols.len(), 5);
+        let diag = cols.iter().position(|&c| c == 4).unwrap();
+        assert_eq!(vals[diag], 4.0);
+        // Constant vector is NOT in the nullspace (Dirichlet-eliminated
+        // boundary): A·1 has positive entries at the boundary nodes.
+        let y = a.matvec(&vec![1.0; 9]);
+        assert!(y[0] > 0.0);
+        assert_eq!(y[4], 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = Csr::laplacian_5pt(4);
+        let d = a.to_dense();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+        let ys = a.matvec(&x);
+        let yd = d.matvec(&x);
+        for (s, w) in ys.iter().zip(yd.iter()) {
+            assert!((s - w).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn symmetric_column_access() {
+        let a = Csr::laplacian_5pt(3);
+        let (cols_r, vals_r) = a.row(1);
+        let (cols_c, vals_c) = a.col_of_symmetric(1);
+        assert_eq!(cols_r, cols_c);
+        assert_eq!(vals_r, vals_c);
+    }
+
+    #[test]
+    fn adjacency_excludes_diagonal() {
+        let a = Csr::laplacian_5pt(3);
+        let adj = a.adjacency();
+        assert_eq!(adj[4], vec![1, 3, 5, 7]);
+        assert_eq!(adj[0], vec![1, 3]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Buoyancy-driven convection (Rayleigh–Bénard) with temperature
+//! transport — the class of flow behind the paper's Fig. 1 spherical
+//! convection simulation and its Fig. 4 projection study.
+//!
+//! A 2:1 box heated from below at `Ra = 10⁵`, `Pr = 0.71`: the conduction
+//! state is unstable and convection rolls develop. Prints the Nusselt
+//! number (wall heat flux / conductive flux) and kinetic energy history,
+//! and shows the successive-RHS projection cutting pressure iterations.
+//!
+//! Run with: `cargo run --release --example convection_cell`
+
+use terasem::mesh::generators::box2d;
+use terasem::ns::config::Boussinesq;
+use terasem::ns::diagnostics::kinetic_energy;
+use terasem::ns::{ConvectionScheme, NsConfig, NsSolver};
+use terasem::ops::convect::gradient;
+use terasem::ops::SemOps;
+use terasem::solvers::cg::CgOptions;
+
+/// Nusselt number at the hot wall: `−⟨∂T/∂y⟩ / (ΔT/H)` along `y = 0`.
+fn nusselt(s: &NsSolver) -> f64 {
+    let t = s.temp.as_ref().unwrap();
+    let n = s.ops.n_velocity();
+    let mut g = vec![vec![0.0; n]; 2];
+    gradient(&s.ops, t, &mut g);
+    // Average −dT/dy over bottom-wall nodes.
+    let mut sum = 0.0;
+    let mut count = 0;
+    for i in 0..n {
+        if s.ops.geo.y[i].abs() < 1e-12 {
+            sum += -g[1][i];
+            count += 1;
+        }
+    }
+    sum / count as f64
+}
+
+fn main() {
+    let (ra, pr) = (1e5, 0.71);
+    let mesh = box2d(8, 4, [0.0, 2.0], [0.0, 1.0], true, false);
+    let ops = SemOps::new(mesh, 7);
+    let cfg = NsConfig {
+        dt: 2e-4,
+        nu: pr,
+        convection: ConvectionScheme::Ext,
+        filter_alpha: 0.05,
+        pressure_lmax: 26,
+        pressure_cg: CgOptions { tol: 1e-7, ..Default::default() },
+        boussinesq: Some(Boussinesq {
+            g_beta: [0.0, ra * pr, 0.0],
+            kappa: 1.0,
+        }),
+        ..Default::default()
+    };
+    println!(
+        "Rayleigh–Bénard: Ra = {ra:.0e}, Pr = {pr}, K = {}, N = {}",
+        ops.k(),
+        ops.geo.n
+    );
+    let mut s = NsSolver::new(ops, cfg);
+    s.set_temperature(|x, y, _| {
+        (1.0 - y) + 0.01 * (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin()
+    });
+    s.set_temp_bc(Box::new(|_, y, _, _| if y > 0.5 { 0.0 } else { 1.0 }));
+
+    let steps = 150;
+    println!(
+        "{:>6} {:>9} {:>12} {:>8} {:>8}",
+        "step", "time", "KE", "Nu", "p-iters"
+    );
+    for step in 1..=steps {
+        let st = s.step();
+        if step % 25 == 0 || step == 1 {
+            println!(
+                "{:>6} {:>9.4} {:>12.5e} {:>8.3} {:>8}",
+                step,
+                s.time,
+                kinetic_energy(&s.ops, &s.vel),
+                nusselt(&s),
+                st.pressure_iters
+            );
+        }
+    }
+    let nu_final = nusselt(&s);
+    println!();
+    println!("final Nusselt number: {nu_final:.3} (conduction = 1; convection at Ra = 1e5 gives Nu ≈ 3–5)");
+    println!("(watch the p-iters column fall as the projection history builds — the Fig. 4 effect)");
+}

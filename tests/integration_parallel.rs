@@ -1,0 +1,135 @@
+//! Cross-crate integration: the distributed pieces — RSB partitioning,
+//! the distributed gather-scatter over the simulated machine, and the
+//! XXᵀ coarse solver on a coarse operator assembled from a real mesh.
+
+use terasem::comm::SimComm;
+use terasem::gs::{GsHandle, GsOp, ParGs};
+use terasem::mesh::generators::{box2d, box3d};
+use terasem::mesh::partition::{cut_edges, partition_linear, partition_rsb, shared_vertices};
+use terasem::mesh::{Geometry, GlobalNumbering, VertexNumbering};
+use terasem::ops::SemOps;
+use terasem::solvers::coarse::assemble_vertex_laplacian;
+use terasem::solvers::sparse::Csr;
+use terasem::solvers::xxt::{nested_dissection, XxtSolver};
+
+/// Distributed gather-scatter over an RSB partition reproduces the serial
+/// direct-stiffness summation exactly.
+#[test]
+fn distributed_gs_matches_serial_on_partitioned_mesh() {
+    let mesh = box2d(6, 4, [0.0, 3.0], [0.0, 2.0], false, false);
+    let n = 4;
+    let geo = Geometry::new(&mesh, n);
+    let num = GlobalNumbering::new(&mesh, &geo);
+    let p = 4;
+    let part = partition_rsb(&mesh, p);
+    // Distribute element-local ids by rank.
+    let npts = geo.npts;
+    let mut ids_per_rank: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let mut owner_of_slot: Vec<(usize, usize)> = Vec::new(); // (rank, offset)
+    for e in 0..mesh.num_elems() {
+        let r = part[e];
+        owner_of_slot.push((r, ids_per_rank[r].len()));
+        ids_per_rank[r].extend_from_slice(&num.ids[e * npts..(e + 1) * npts]);
+    }
+    // Field data.
+    let serial_field: Vec<f64> = (0..num.ids.len()).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
+    let mut fields: Vec<Vec<f64>> = vec![Vec::new(); p];
+    for e in 0..mesh.num_elems() {
+        let (r, _) = owner_of_slot[e];
+        fields[r].extend_from_slice(&serial_field[e * npts..(e + 1) * npts]);
+    }
+    // Serial reference.
+    let gs = GsHandle::new(&num.ids);
+    let mut want = serial_field.clone();
+    gs.gs(&mut want, GsOp::Add);
+    // Distributed.
+    let pargs = ParGs::new(&ids_per_rank);
+    let mut comm = SimComm::new(p);
+    pargs.gs(&mut fields, GsOp::Add, &mut comm);
+    for e in 0..mesh.num_elems() {
+        let (r, off) = owner_of_slot[e];
+        for i in 0..npts {
+            assert_eq!(
+                fields[r][off + i],
+                want[e * npts + i],
+                "element {e} node {i}"
+            );
+        }
+    }
+    // Communication actually happened, through aggregated messages.
+    let stats = comm.stats();
+    assert!(stats.messages > 0);
+    assert_eq!(stats.messages as usize, pargs.messages_per_op());
+}
+
+/// RSB communication quality: fewer shared vertices than a naive linear
+/// split on a 3D mesh (the paper's reason for using it).
+#[test]
+fn rsb_reduces_shared_vertices_in_3d() {
+    let mesh = box3d(4, 4, 4, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0], [false; 3]);
+    let p = 8;
+    let rsb = partition_rsb(&mesh, p);
+    let lin = partition_linear(mesh.num_elems(), p);
+    let sv_rsb = shared_vertices(&mesh, &rsb);
+    let sv_lin = shared_vertices(&mesh, &lin);
+    assert!(
+        sv_rsb <= sv_lin,
+        "RSB {sv_rsb} shared vertices vs linear {sv_lin}"
+    );
+    let adj = mesh.adjacency();
+    assert!(cut_edges(&adj, &rsb) <= cut_edges(&adj, &lin));
+}
+
+/// XXᵀ on the *actual* coarse operator of a spectral element mesh (the
+/// element-vertex Laplacian), compared against a dense direct solve.
+#[test]
+fn xxt_solves_real_coarse_operator() {
+    let mesh = box2d(8, 8, [0.0, 1.0], [0.0, 1.0], false, false);
+    let ops = SemOps::new(mesh, 4);
+    let vn = VertexNumbering::new(&ops.mesh);
+    let mut triplets = assemble_vertex_laplacian(&ops, &vn);
+    // Pin vertex 0 (same regularization as the coarse solver).
+    triplets.retain(|&(i, j, _)| i != 0 && j != 0);
+    triplets.push((0, 0, 1.0));
+    let a0 = Csr::from_triplets(vn.n_global, &triplets);
+    let order = nested_dissection(&a0.adjacency());
+    let xxt = XxtSolver::new(&a0, &order);
+    let n = a0.dim();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let x = xxt.solve(&b);
+    let ax = a0.matvec(&x);
+    let resid: f64 = ax
+        .iter()
+        .zip(b.iter())
+        .map(|(g, w)| (g - w) * (g - w))
+        .sum::<f64>()
+        .sqrt();
+    assert!(resid < 1e-9, "XXT residual on real coarse operator: {resid}");
+    // Sparsity: far below dense.
+    assert!(xxt.nnz() < n * n / 2, "factor not sparse: {} of {}", xxt.nnz(), n * n);
+}
+
+/// The gather-scatter message volume scales with the partition's shared
+/// faces — the quantity RSB minimizes (§6).
+#[test]
+fn gs_volume_tracks_partition_quality() {
+    let mesh = box2d(8, 8, [0.0, 1.0], [0.0, 1.0], false, false);
+    let n = 3;
+    let geo = Geometry::new(&mesh, n);
+    let num = GlobalNumbering::new(&mesh, &geo);
+    let npts = geo.npts;
+    let build = |part: &[usize], p: usize| -> usize {
+        let mut ids_per_rank: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for e in 0..mesh.num_elems() {
+            ids_per_rank[part[e]].extend_from_slice(&num.ids[e * npts..(e + 1) * npts]);
+        }
+        ParGs::new(&ids_per_rank).words_per_op()
+    };
+    let p = 4;
+    let rsb_words = build(&partition_rsb(&mesh, p), p);
+    let lin_words = build(&partition_linear(mesh.num_elems(), p), p);
+    assert!(
+        rsb_words <= lin_words,
+        "RSB {rsb_words} words vs linear {lin_words}"
+    );
+}
