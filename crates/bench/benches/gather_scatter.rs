@@ -1,15 +1,15 @@
-//! Criterion bench of the gather-scatter kernel (§6): scalar vs vector
-//! mode, and the distributed form's per-op cost over the simulated
-//! machine.
+//! Microbench of the gather-scatter kernel (§6): scalar vs vector mode,
+//! and the distributed form's per-op cost over the simulated machine.
+//! Runs on the in-repo harness ([`sem_bench::timing`]).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sem_bench::timing::BenchGroup;
 use sem_comm::SimComm;
 use sem_gs::{GsHandle, GsOp, ParGs};
 use sem_mesh::generators::box2d;
 use sem_mesh::partition::partition_rsb;
 use sem_mesh::{Geometry, GlobalNumbering};
 
-fn bench_gs(c: &mut Criterion) {
+fn main() {
     let mesh = box2d(16, 16, [0.0, 1.0], [0.0, 1.0], false, false);
     let n = 8;
     let geo = Geometry::new(&mesh, n);
@@ -17,20 +17,16 @@ fn bench_gs(c: &mut Criterion) {
     let gs = GsHandle::new(&num.ids);
     let nl = num.ids.len();
     let mut u: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.37).sin()).collect();
-    let mut group = c.benchmark_group("gather_scatter");
+    let mut group = BenchGroup::new("gather_scatter");
     group.sample_size(30);
-    group.bench_function("scalar_add", |b| {
-        b.iter(|| {
-            gs.gs(&mut u, GsOp::Add);
-            std::hint::black_box(&mut u);
-        })
+    group.bench("scalar_add", || {
+        gs.gs(&mut u, GsOp::Add);
+        std::hint::black_box(&mut u);
     });
     let mut uv: Vec<f64> = (0..nl * 3).map(|i| (i as f64 * 0.17).cos()).collect();
-    group.bench_function("vector3_add", |b| {
-        b.iter(|| {
-            gs.gs_vec(&mut uv, 3, GsOp::Add);
-            std::hint::black_box(&mut uv);
-        })
+    group.bench("vector3_add", || {
+        gs.gs_vec(&mut uv, 3, GsOp::Add);
+        std::hint::black_box(&mut uv);
     });
     // Distributed over 8 simulated ranks (RSB partition).
     let p = 8;
@@ -45,15 +41,9 @@ fn bench_gs(c: &mut Criterion) {
         .iter()
         .map(|ids| ids.iter().map(|&g| g as f64).collect())
         .collect();
-    group.bench_function("distributed_add_p8", |b| {
-        b.iter(|| {
-            let mut comm = SimComm::new(p);
-            pargs.gs(&mut fields, GsOp::Add, &mut comm);
-            std::hint::black_box(&mut fields);
-        })
+    group.bench("distributed_add_p8", || {
+        let mut comm = SimComm::new(p);
+        pargs.gs(&mut fields, GsOp::Add, &mut comm);
+        std::hint::black_box(&mut fields);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_gs);
-criterion_main!(benches);

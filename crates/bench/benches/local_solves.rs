@@ -1,9 +1,10 @@
-//! Criterion bench behind Table 2's CPU column: FDM vs direct-Cholesky
+//! Microbench behind Table 2's CPU column: FDM vs direct-Cholesky
 //! ("FEM") local subdomain solves. The paper's claim: FDM matches FEM
 //! iterations but is faster per solve (`O(N³)` vs `O(N⁴)` in 2D at the
-//! sizes that matter, with smaller constants).
+//! sizes that matter, with smaller constants). Runs on the in-repo
+//! harness ([`sem_bench::timing`]).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sem_bench::timing::BenchGroup;
 use sem_linalg::chol::Cholesky;
 use sem_linalg::tensor::kron;
 use sem_linalg::Matrix;
@@ -27,31 +28,23 @@ fn build_pair(m: usize, overlap: usize) -> (FdmElement, Cholesky, usize) {
     (fdm, chol, n)
 }
 
-fn bench_local(c: &mut Criterion) {
+fn main() {
     for m in [6usize, 10, 14] {
         // m = N − 1 interior pressure points (N = 7, 11, 15).
         let (fdm, chol, n) = build_pair(m, 1);
         let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
         let mut out = vec![0.0; n];
         let mut work = vec![0.0; 3 * n];
-        let mut group = c.benchmark_group(format!("local_solve_m{m}"));
+        let mut group = BenchGroup::new(&format!("local_solve_m{m}"));
         group.sample_size(30);
-        group.bench_with_input(BenchmarkId::new("fdm", m), &m, |b, _| {
-            b.iter(|| {
-                fdm.solve(&u, &mut out, &mut work);
-                std::hint::black_box(&mut out);
-            })
+        group.bench("fdm", || {
+            fdm.solve(&u, &mut out, &mut work);
+            std::hint::black_box(&mut out);
         });
-        group.bench_with_input(BenchmarkId::new("fem_cholesky", m), &m, |b, _| {
-            b.iter(|| {
-                out.copy_from_slice(&u);
-                chol.solve_in_place(&mut out);
-                std::hint::black_box(&mut out);
-            })
+        group.bench("fem_cholesky", || {
+            out.copy_from_slice(&u);
+            chol.solve_in_place(&mut out);
+            std::hint::black_box(&mut out);
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_local);
-criterion_main!(benches);

@@ -1,10 +1,11 @@
-//! Criterion microbench behind Table 3: the mxm kernel family on
-//! representative SEM shapes (square operator, long-C, coarse mapping).
+//! Microbench behind Table 3: the mxm kernel family on representative
+//! SEM shapes (square operator, long-C, coarse mapping). Runs on the
+//! in-repo harness ([`sem_bench::timing`]).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sem_bench::timing::BenchGroup;
 use sem_linalg::mxm::{mxm_flops, mxm_with, MxmKernel};
 
-fn bench_mxm(c: &mut Criterion) {
+fn main() {
     let shapes = [
         (16usize, 16usize, 16usize), // D u along x (N = 15)
         (16, 14, 196),               // pressure interpolation, long C
@@ -12,27 +13,16 @@ fn bench_mxm(c: &mut Criterion) {
         (256, 16, 16),               // z-direction 3D contraction
     ];
     for (n1, n2, n3) in shapes {
-        let mut group = c.benchmark_group(format!("mxm_{n1}x{n2}x{n3}"));
-        group.throughput(Throughput::Elements(mxm_flops(n1, n2, n3)));
+        let mut group = BenchGroup::new(&format!("mxm_{n1}x{n2}x{n3}"));
         group.sample_size(20);
         let a: Vec<f64> = (0..n1 * n2).map(|i| (i as f64 * 0.37).sin()).collect();
         let b: Vec<f64> = (0..n2 * n3).map(|i| (i as f64 * 0.73).cos()).collect();
         let mut out = vec![0.0; n1 * n3];
         for kernel in MxmKernel::ALL.iter().copied().chain([MxmKernel::Auto]) {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(kernel.name()),
-                &kernel,
-                |bch, &k| {
-                    bch.iter(|| {
-                        mxm_with(k, &a, n1, n2, &b, n3, &mut out);
-                        std::hint::black_box(&mut out);
-                    })
-                },
-            );
+            group.throughput(kernel.name(), mxm_flops(n1, n2, n3), || {
+                mxm_with(kernel, &a, n1, n2, &b, n3, &mut out);
+                std::hint::black_box(&mut out);
+            });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_mxm);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Criterion bench of the full Navier–Stokes step, with the DESIGN.md
+//! Microbench of the full Navier–Stokes step, with the DESIGN.md
 //! ablations:
 //!
 //! * `ablation_convection`: EXT2 vs OIFS cost per step (OIFS pays
@@ -6,8 +6,10 @@
 //!   time);
 //! * `ablation_pressure`: Schwarz+coarse+projection vs unpreconditioned
 //!   pressure iteration cost inside a real step sequence.
+//!
+//! Runs on the in-repo harness ([`sem_bench::timing`]).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sem_bench::timing::BenchGroup;
 use sem_mesh::generators::box2d;
 use sem_ns::{ConvectionScheme, NsConfig, NsSolver};
 use sem_ops::SemOps;
@@ -38,27 +40,26 @@ fn taylor_green(scheme: ConvectionScheme, dt: f64) -> NsSolver {
     s
 }
 
-fn bench_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ns_step");
+fn main() {
+    let mut group = BenchGroup::new("ns_step");
     group.sample_size(10);
     // EXT2 at a CFL-safe dt vs OIFS at 4x that dt: same simulated time
     // per step-quad, which is the paper's actual trade.
     let mut s_ext = taylor_green(ConvectionScheme::Ext, 2e-3);
-    group.bench_function("ablation_convection_ext2_dt", |b| {
-        b.iter(|| std::hint::black_box(s_ext.step()))
+    group.bench("ablation_convection_ext2_dt", || {
+        std::hint::black_box(s_ext.step());
     });
     let mut s_oifs = taylor_green(ConvectionScheme::Oifs { substeps: 4 }, 8e-3);
-    group.bench_function("ablation_convection_oifs_4dt", |b| {
-        b.iter(|| std::hint::black_box(s_oifs.step()))
+    group.bench("ablation_convection_oifs_4dt", || {
+        std::hint::black_box(s_oifs.step());
     });
-    group.finish();
 
     // Pressure preconditioning ablation inside real steps.
-    let mut group = c.benchmark_group("ablation_pressure");
+    let mut group = BenchGroup::new("ablation_pressure");
     group.sample_size(10);
     let mut s_full = taylor_green(ConvectionScheme::Ext, 2e-3);
-    group.bench_function("schwarz_coarse_projection", |b| {
-        b.iter(|| std::hint::black_box(s_full.step()))
+    group.bench("schwarz_coarse_projection", || {
+        std::hint::black_box(s_full.step());
     });
     let two_pi = 2.0 * std::f64::consts::PI;
     let mesh = box2d(4, 4, [0.0, two_pi], [0.0, two_pi], true, true);
@@ -80,11 +81,7 @@ fn bench_step(c: &mut Criterion) {
     for _ in 0..3 {
         s_noproj.step();
     }
-    group.bench_function("schwarz_coarse_no_projection", |b| {
-        b.iter(|| std::hint::black_box(s_noproj.step()))
+    group.bench("schwarz_coarse_no_projection", || {
+        std::hint::black_box(s_noproj.step());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_step);
-criterion_main!(benches);

@@ -1,14 +1,15 @@
-//! Criterion bench of the matrix-free operator evaluations (§3): the
+//! Microbench of the matrix-free operator evaluations (§3): the
 //! deformed-element Laplacian (Eq. 4 — `12N⁴ + 15N³` work per element),
 //! the Helmholtz operator, and the consistent Poisson operator `E`.
+//! Runs on the in-repo harness ([`sem_bench::timing`]).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sem_bench::timing::BenchGroup;
 use sem_mesh::generators::{box2d, box3d};
 use sem_ops::laplace::{helmholtz_local, stiffness_flops_per_elem, stiffness_local};
 use sem_ops::pressure::EOperator;
 use sem_ops::SemOps;
 
-fn bench_operators(c: &mut Criterion) {
+fn main() {
     // 2D: K = 64, N = 8.
     let ops2 = SemOps::new(box2d(8, 8, [0.0, 1.0], [0.0, 1.0], false, false), 8);
     // 3D: K = 27, N = 7 (deformed counts identical for the box).
@@ -20,36 +21,24 @@ fn bench_operators(c: &mut Criterion) {
         let n = ops.n_velocity();
         let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
         let mut out = vec![0.0; n];
-        let mut group = c.benchmark_group(format!("operators_{label}"));
+        let mut group = BenchGroup::new(&format!("operators_{label}"));
         group.sample_size(20);
-        group.throughput(Throughput::Elements(
-            ops.k() as u64 * stiffness_flops_per_elem(ops.geo.dim, ops.geo.n),
-        ));
-        group.bench_function("stiffness", |b| {
-            b.iter(|| {
-                stiffness_local(ops, &u, &mut out);
-                std::hint::black_box(&mut out);
-            })
+        let flops = ops.k() as u64 * stiffness_flops_per_elem(ops.geo.dim, ops.geo.n);
+        group.throughput("stiffness", flops, || {
+            stiffness_local(ops, &u, &mut out);
+            std::hint::black_box(&mut out);
         });
-        group.bench_function("helmholtz", |b| {
-            b.iter(|| {
-                helmholtz_local(ops, &u, &mut out, 0.01, 100.0);
-                std::hint::black_box(&mut out);
-            })
+        group.throughput("helmholtz", flops, || {
+            helmholtz_local(ops, &u, &mut out, 0.01, 100.0);
+            std::hint::black_box(&mut out);
         });
         let np = ops.n_pressure();
         let p: Vec<f64> = (0..np).map(|i| (i as f64 * 0.29).cos()).collect();
         let mut ep = vec![0.0; np];
         let mut e = EOperator::new(ops);
-        group.bench_function("consistent_poisson_e", |b| {
-            b.iter(|| {
-                e.apply(ops, &p, &mut ep);
-                std::hint::black_box(&mut ep);
-            })
+        group.bench("consistent_poisson_e", || {
+            e.apply(ops, &p, &mut ep);
+            std::hint::black_box(&mut ep);
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_operators);
-criterion_main!(benches);

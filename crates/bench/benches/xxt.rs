@@ -1,13 +1,13 @@
-//! Criterion bench of the XXᵀ coarse solver: solve throughput plus the
+//! Microbench of the XXᵀ coarse solver: solve throughput plus the
 //! DESIGN.md ordering ablation (nested dissection vs natural order —
 //! sparsity of the conjugate factor is what bounds the communication
-//! volume).
+//! volume). Runs on the in-repo harness ([`sem_bench::timing`]).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sem_bench::timing::BenchGroup;
 use sem_solvers::sparse::Csr;
 use sem_solvers::xxt::{natural_order, nested_dissection, XxtSolver};
 
-fn bench_xxt(c: &mut Criterion) {
+fn main() {
     let m = 31; // n = 961
     let a = Csr::laplacian_5pt(m);
     let n = a.dim();
@@ -21,19 +21,15 @@ fn bench_xxt(c: &mut Criterion) {
         xxt_nat.nnz() as f64 / xxt_nd.nnz() as f64
     );
     let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
-    let mut group = c.benchmark_group("xxt_n961");
+    let mut group = BenchGroup::new("xxt_n961");
     group.sample_size(30);
-    group.bench_function("solve_nd", |bch| {
-        bch.iter(|| std::hint::black_box(xxt_nd.solve(&b)))
+    group.bench("solve_nd", || {
+        std::hint::black_box(xxt_nd.solve(&b));
     });
-    group.bench_function("solve_natural", |bch| {
-        bch.iter(|| std::hint::black_box(xxt_nat.solve(&b)))
+    group.bench("solve_natural", || {
+        std::hint::black_box(xxt_nat.solve(&b));
     });
-    group.bench_function("setup_nd", |bch| {
-        bch.iter(|| std::hint::black_box(XxtSolver::new(&a, &order_nd)))
+    group.bench("setup_nd", || {
+        std::hint::black_box(XxtSolver::new(&a, &order_nd));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_xxt);
-criterion_main!(benches);

@@ -49,9 +49,7 @@ fn count_cores(s: &NsSolver, w: &[f64]) -> usize {
             continue;
         }
         let mut xs: Vec<f64> = (0..w.len())
-            .filter(|&i| {
-                (s.ops.geo.y[i] - yc).abs() < 0.1 && w[i] * sign > 0.6 * wmax
-            })
+            .filter(|&i| (s.ops.geo.y[i] - yc).abs() < 0.1 && w[i] * sign > 0.6 * wmax)
             .map(|i| s.ops.geo.x[i])
             .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());

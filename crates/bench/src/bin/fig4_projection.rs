@@ -52,7 +52,14 @@ fn main() {
     for i in (0..steps).step_by(stride) {
         let (i26, r26) = runs[0].1[i];
         let (i0, r0) = runs[1].1[i];
-        println!("{:>5} | {:>9} {:>12.3e} | {:>9} {:>12.3e}", i + 1, i26, r26, i0, r0);
+        println!(
+            "{:>5} | {:>9} {:>12.3e} | {:>9} {:>12.3e}",
+            i + 1,
+            i26,
+            r26,
+            i0,
+            r0
+        );
     }
     // Steady-state comparison over the last quarter of the run.
     let tail = steps / 4;

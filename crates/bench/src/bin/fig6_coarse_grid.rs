@@ -11,13 +11,13 @@
 use sem_bench::{fmt_secs, header, parse_scale, timed, Scale};
 use sem_comm::MachineModel;
 use sem_solvers::sparse::Csr;
-use sem_solvers::xxt::{
-    banded_lu_cost, distributed_inverse_cost, nested_dissection, XxtSolver,
-};
+use sem_solvers::xxt::{banded_lu_cost, distributed_inverse_cost, nested_dissection, XxtSolver};
 
 fn run_problem(m: usize, model: &MachineModel) {
     let n = m * m;
-    header(&format!("Fig. 6: coarse-grid solve times, n = {n} ({m}x{m} Poisson)"));
+    header(&format!(
+        "Fig. 6: coarse-grid solve times, n = {n} ({m}x{m} Poisson)"
+    ));
     let a = Csr::laplacian_5pt(m);
     let (order, t_nd) = timed(|| nested_dissection(&a.adjacency()));
     let (xxt, t_factor) = timed(|| XxtSolver::new(&a, &order));

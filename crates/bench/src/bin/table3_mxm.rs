@@ -12,8 +12,12 @@ use std::time::Instant;
 
 fn bench_kernel(k: MxmKernel, n1: usize, n2: usize, n3: usize, min_time: f64) -> f64 {
     // Deterministic data; fresh C each call like the paper's noncached runs.
-    let a: Vec<f64> = (0..n1 * n2).map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0).collect();
-    let b: Vec<f64> = (0..n2 * n3).map(|i| ((i * 73 % 97) as f64 - 48.0) / 48.0).collect();
+    let a: Vec<f64> = (0..n1 * n2)
+        .map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0)
+        .collect();
+    let b: Vec<f64> = (0..n2 * n3)
+        .map(|i| ((i * 73 % 97) as f64 - 48.0) / 48.0)
+        .collect();
     let mut c = vec![0.0; n1 * n3];
     // Warmup.
     for _ in 0..4 {

@@ -12,8 +12,9 @@
 //! measured 82% intranode efficiency; "std." costs ~8% of the sustained
 //! rate (fixed mxm kernel instead of per-shape dispatch).
 //!
-//! Additionally, a host-thread scaling section measures real rayon
-//! speedup (the modern analogue of the paper's `-Mconcur` dual mode).
+//! Additionally, a host-thread scaling section measures real speedup of
+//! the `sem_comm::par` element loops (the modern analogue of the paper's
+//! `-Mconcur` dual mode).
 
 use sem_bench::workloads::hairpin_channel;
 use sem_bench::{fmt_secs, header, parse_scale, Scale};
@@ -126,8 +127,7 @@ fn main() {
     let k_big = 8168.0_f64;
     let n_big = 15.0_f64;
     let k_small = (ksmall[0] * ksmall[1] * ksmall[2]) as f64;
-    let work_ratio =
-        (k_big * (n_big + 1.0).powi(4)) / (k_small * (nsmall as f64 + 1.0).powi(4));
+    let work_ratio = (k_big * (n_big + 1.0).powi(4)) / (k_small * (nsmall as f64 + 1.0).powi(4));
     let flops_step_big = prof.flops * work_ratio;
     println!(
         "  scaled to (K,N) = (8168,15): {:.2} Gflop/step (work ratio {:.0})",
@@ -136,12 +136,23 @@ fn main() {
     );
 
     // --- communication structure of the big problem ---------------------
-    let mesh = box3d(32, 16, 16, [0.0, 8.0], [0.0, 2.0], [0.0, 4.0], [false, false, true]);
+    let mesh = box3d(
+        32,
+        16,
+        16,
+        [0.0, 8.0],
+        [0.0, 2.0],
+        [0.0, 4.0],
+        [false, false, true],
+    );
     let adj = mesh.adjacency();
     let nodes_per_face = ((n_big as usize) + 1).pow(2);
     // Coarse grid: the paper quotes 10,142 distributed coarse dofs; the
     // 33x17x17 vertex grid gives 9537.
-    println!("  building XXT coarse solver on the {} vertex grid…", 33 * 17 * 17);
+    println!(
+        "  building XXT coarse solver on the {} vertex grid…",
+        33 * 17 * 17
+    );
     let a0 = vertex_laplacian(33, 17, 17);
     let order = nested_dissection(&a0.adjacency());
     let xxt = XxtSolver::new(&a0, &order);
@@ -149,7 +160,16 @@ fn main() {
     println!();
     println!(
         "{:>5} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8} | {:>7}",
-        "P", "single/std", "GFLOPS", "dual/std", "GFLOPS", "single/prf", "GFLOPS", "dual/prf", "GFLOPS", "coarse%"
+        "P",
+        "single/std",
+        "GFLOPS",
+        "dual/std",
+        "GFLOPS",
+        "single/prf",
+        "GFLOPS",
+        "dual/prf",
+        "GFLOPS",
+        "coarse%"
     );
     for p in [512usize, 1024, 2048] {
         let part = partition_rsb(&mesh, p);
@@ -201,8 +221,10 @@ fn main() {
 
     // --- real host-thread scaling (the modern dual-processor mode) ------
     println!();
-    println!("host rayon thread scaling (measured):");
-    let max_t = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
+    println!("host thread scaling (measured, sem_comm::par element loops):");
+    let max_t = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
     let threads: Vec<usize> = [1usize, 2, 4, 8, max_t]
         .into_iter()
         .filter(|&t| t <= max_t)
@@ -211,11 +233,7 @@ fn main() {
         .collect();
     let mut t1 = None;
     for t in threads {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(t)
-            .build()
-            .expect("thread pool");
-        let secs = pool.install(|| {
+        let secs = sem_comm::par::with_threads(t, || {
             let mut s = hairpin_channel(ksmall, nsmall, 4e-3, 25);
             let t0 = std::time::Instant::now();
             for _ in 0..4 {
@@ -226,7 +244,12 @@ fn main() {
         if t == 1 {
             t1 = Some(secs);
         }
-        let eff = t1.map(|base| base / secs / t as f64 * 100.0).unwrap_or(100.0);
-        println!("  {t:>3} threads: {} ({eff:.0}% efficiency; paper's dual mode: 82%)", fmt_secs(secs));
+        let eff = t1
+            .map(|base| base / secs / t as f64 * 100.0)
+            .unwrap_or(100.0);
+        println!(
+            "  {t:>3} threads: {} ({eff:.0}% efficiency; paper's dual mode: 82%)",
+            fmt_secs(secs)
+        );
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! The experiment harness: one binary per table/figure of Tufo & Fischer
 //! SC'99 (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for
-//! recorded results), plus Criterion microbenches for the kernels behind
-//! them.
+//! recorded results), plus in-repo microbenches ([`timing`]) for the
+//! kernels behind them.
 //!
 //! Every binary accepts `--full` for paper-scale parameters; the default
 //! "quick" scale runs in seconds-to-minutes on a laptop and reproduces
@@ -88,6 +88,7 @@ pub fn fmt_secs(v: f64) -> String {
     }
 }
 
+pub mod timing;
 pub mod workloads;
 
 #[cfg(test)]

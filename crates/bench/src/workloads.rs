@@ -224,12 +224,7 @@ pub fn cylinder_startup(
 
 /// The Fig. 8 substitute: 3D boundary-layer channel with a Gaussian bump
 /// (deformed hexes), impulsively started Blasius-like profile.
-pub fn hairpin_channel(
-    k: [usize; 3],
-    n: usize,
-    dt: f64,
-    lmax: usize,
-) -> NsSolver {
+pub fn hairpin_channel(k: [usize; 3], n: usize, dt: f64, lmax: usize) -> NsSolver {
     let params = BumpChannelParams {
         k,
         l: [8.0, 2.0, 4.0],
@@ -262,7 +257,8 @@ pub fn hairpin_channel(
     let amp = params.bump_height * params.l[1];
     let (cx, cz) = (params.bump_center[0], params.bump_center[1]);
     let rad2 = params.bump_radius * params.bump_radius;
-    let wall_height = move |x: f64, z: f64| amp * (-((x - cx).powi(2) + (z - cz).powi(2)) / rad2).exp();
+    let wall_height =
+        move |x: f64, z: f64| amp * (-((x - cx).powi(2) + (z - cz).powi(2)) / rad2).exp();
     let mut s = NsSolver::new(ops, cfg);
     s.set_velocity(move |x, y, z| {
         let yw = wall_height(x, z);

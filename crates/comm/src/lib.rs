@@ -15,8 +15,12 @@
 //!   *shape* of Fig. 6 and Table 4 at up to 2048 nodes on a laptop.
 //! * [`RankLedger`] accumulates per-rank costs and reports the
 //!   critical-path (max-over-ranks) time estimate.
+//! * [`par`] is the intranode half: a deterministic chunked parallel-for
+//!   over elements (std threads only, `TERASEM_THREADS` override) — the
+//!   modern form of the paper's dual-processor `-Mconcur` mode.
 
 pub mod model;
+pub mod par;
 pub mod sim;
 
 pub use model::{CostBreakdown, MachineModel, RankLedger};

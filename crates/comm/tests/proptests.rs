@@ -1,25 +1,29 @@
 //! Property-based tests of the simulated machine and cost model:
 //! exchange conservation, model monotonicity, and ledger arithmetic.
+//!
+//! Properties run as explicit seeded loops over [`sem_linalg::rng`]'s
+//! SplitMix64 generator; a failure message prints the exact case seed.
 
-use proptest::prelude::*;
 use sem_comm::{MachineModel, RankLedger, SimComm};
+use sem_linalg::rng::forall;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 100;
 
-    /// Exchange delivers every message exactly once (payload conservation)
-    /// and the stats account every off-rank byte.
-    #[test]
-    fn exchange_conserves_payloads(p in 1usize..6,
-                                   msgs in proptest::collection::vec(
-                                       (0usize..6, 0usize..6, -10.0..10.0f64), 0..20)) {
+/// Exchange delivers every message exactly once (payload conservation)
+/// and the stats account every off-rank byte.
+#[test]
+fn exchange_conserves_payloads() {
+    forall("exchange_conserves_payloads", 0xc0bb_0001, CASES, |rng| {
+        let p = rng.range(1, 6);
+        let n_msgs = rng.index(20);
         let mut comm = SimComm::new(p);
         let mut outboxes: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); p];
         let mut sent_sum = 0.0;
         let mut sent_count = 0usize;
         let mut offrank_bytes = 0u64;
-        for &(src, dst, v) in &msgs {
-            let (src, dst) = (src % p, dst % p);
+        for _ in 0..n_msgs {
+            let (src, dst) = (rng.index(p), rng.index(p));
+            let v = rng.uniform(-10.0, 10.0);
             outboxes[src].push((dst, vec![v, 2.0 * v]));
             sent_sum += 3.0 * v;
             sent_count += 1;
@@ -36,52 +40,64 @@ proptest! {
                 recv_count += 1;
             }
         }
-        prop_assert_eq!(recv_count, sent_count);
-        prop_assert!((recv_sum - sent_sum).abs() < 1e-10 * (1.0 + sent_sum.abs()));
-        prop_assert_eq!(comm.stats().bytes, offrank_bytes);
-    }
+        assert_eq!(recv_count, sent_count);
+        assert!((recv_sum - sent_sum).abs() < 1e-10 * (1.0 + sent_sum.abs()));
+        assert_eq!(comm.stats().bytes, offrank_bytes);
+    });
+}
 
-    /// All-reduce returns the exact sum regardless of rank count.
-    #[test]
-    fn allreduce_is_exact(contribs in proptest::collection::vec(-100.0..100.0f64, 1..16)) {
-        let p = contribs.len();
+/// All-reduce returns the exact sum regardless of rank count.
+#[test]
+fn allreduce_is_exact() {
+    forall("allreduce_is_exact", 0xc0bb_0002, CASES, |rng| {
+        let p = rng.range(1, 16);
+        let contribs = rng.vec(p, -100.0, 100.0);
         let mut comm = SimComm::new(p);
         let got = comm.allreduce_sum(&contribs);
         let want: f64 = contribs.iter().sum();
-        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
-    }
+        assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+    });
+}
 
-    /// Cost model monotonicity: more bytes, more flops, or more ranks in a
-    /// tree never decreases the predicted time.
-    #[test]
-    fn model_monotone(bytes in 0u64..1_000_000, flops in 0u64..1_000_000_000,
-                      p in 2usize..2048) {
+/// Cost model monotonicity: more bytes, more flops, or more ranks in a
+/// tree never decreases the predicted time.
+#[test]
+fn model_monotone() {
+    forall("model_monotone", 0xc0bb_0003, CASES, |rng| {
+        let bytes = rng.next_u64() % 1_000_000;
+        let flops = rng.next_u64() % 1_000_000_000;
+        let p = rng.range(2, 2048);
         let m = MachineModel::asci_red_333_single();
-        prop_assert!(m.ptp_time(bytes + 1) >= m.ptp_time(bytes));
-        prop_assert!(m.compute_time(flops + 1) >= m.compute_time(flops));
-        prop_assert!(m.tree_fan_in_out(2 * p, 8) >= m.tree_fan_in_out(p, 8));
-        prop_assert!(m.latency_lower_bound(p) >= 0.0);
-        prop_assert!(m.allgather_time(p, 64) >= m.latency);
-    }
+        assert!(m.ptp_time(bytes + 1) >= m.ptp_time(bytes));
+        assert!(m.compute_time(flops + 1) >= m.compute_time(flops));
+        assert!(m.tree_fan_in_out(2 * p, 8) >= m.tree_fan_in_out(p, 8));
+        assert!(m.latency_lower_bound(p) >= 0.0);
+        assert!(m.allgather_time(p, 64) >= m.latency);
+    });
+}
 
-    /// Ledger critical path dominates every per-rank charge.
-    #[test]
-    fn ledger_critical_path(charges in proptest::collection::vec(
-        (0usize..4, 1u64..1000, 1u64..100000), 1..30)) {
+/// Ledger critical path dominates every per-rank charge.
+#[test]
+fn ledger_critical_path() {
+    forall("ledger_critical_path", 0xc0bb_0004, CASES, |rng| {
+        let n_charges = rng.range(1, 30);
         let mut l = RankLedger::new(4);
-        for &(r, bytes, flops) in &charges {
+        for _ in 0..n_charges {
+            let r = rng.index(4);
+            let bytes = 1 + rng.next_u64() % 999;
+            let flops = 1 + rng.next_u64() % 99_999;
             l.charge_msg(r, bytes);
             l.charge_flops(r, flops);
         }
         let (msgs, bytes, flops) = l.critical_path();
-        prop_assert!(msgs as usize <= charges.len());
-        prop_assert!(msgs >= 1);
-        prop_assert!(l.total_bytes() >= bytes);
-        prop_assert!(l.total_flops() >= flops);
-        prop_assert!(4 * bytes >= l.total_bytes());
+        assert!(msgs as usize <= n_charges);
+        assert!(msgs >= 1);
+        assert!(l.total_bytes() >= bytes);
+        assert!(l.total_flops() >= flops);
+        assert!(4 * bytes >= l.total_bytes());
         let m = MachineModel::asci_red_333_dual();
         let est = l.estimate(&m);
-        prop_assert!(est.total() > 0.0);
-        prop_assert!(est.compute >= 0.0 && est.latency >= 0.0 && est.bandwidth >= 0.0);
-    }
+        assert!(est.total() > 0.0);
+        assert!(est.compute >= 0.0 && est.latency >= 0.0 && est.bandwidth >= 0.0);
+    });
 }

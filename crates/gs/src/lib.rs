@@ -13,7 +13,7 @@
 //! ```
 //!
 //! [`GsHandle`] reproduces that interface for the shared-memory case (one
-//! address space, rayon-parallel element loops), including the **vector
+//! address space, element loops run through `sem_comm::par`), including the **vector
 //! mode** for multiple degrees of freedom per node and the general set of
 //! commutative/associative reduction operations.
 //!

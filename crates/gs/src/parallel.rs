@@ -160,8 +160,7 @@ impl ParGs {
         for (r, pat) in self.patterns.iter().enumerate() {
             let mut out = Vec::with_capacity(pat.nbrs.len());
             for (nbr, slots) in &pat.nbrs {
-                let payload: Vec<f64> =
-                    slots.iter().map(|&s| partials[r][s as usize]).collect();
+                let payload: Vec<f64> = slots.iter().map(|&s| partials[r][s as usize]).collect();
                 out.push((*nbr, payload));
             }
             outboxes.push(out);
@@ -247,10 +246,7 @@ mod tests {
         assert_eq!(pargs.messages_per_op(), 4);
         assert_eq!(pargs.words_per_op(), 4);
         let mut comm = SimComm::new(3);
-        let mut fields: Vec<Vec<f64>> = chain_ids()
-            .iter()
-            .map(|v| vec![1.0; v.len()])
-            .collect();
+        let mut fields: Vec<Vec<f64>> = chain_ids().iter().map(|v| vec![1.0; v.len()]).collect();
         pargs.gs(&mut fields, GsOp::Add, &mut comm);
         let st = comm.stats();
         assert_eq!(st.messages, 4);

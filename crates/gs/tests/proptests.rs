@@ -1,69 +1,83 @@
 //! Property-based tests of the gather-scatter library: algebraic laws of
 //! `gs_op` on arbitrary id maps, equivalence of the distributed form with
 //! the serial one under arbitrary partitions, and conservation laws.
+//!
+//! Properties run as explicit seeded loops over [`sem_linalg::rng`]'s
+//! SplitMix64 generator; a failure message prints the exact case seed.
 
-use proptest::prelude::*;
 use sem_comm::SimComm;
 use sem_gs::{GsHandle, GsOp, ParGs};
+use sem_linalg::rng::{forall, SplitMix64};
+
+const CASES: usize = 100;
 
 /// Random local→global id maps with controlled sharing.
-fn ids_strategy() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0usize..20, 1..60)
+fn random_ids(rng: &mut SplitMix64) -> Vec<usize> {
+    let len = rng.range(1, 60);
+    (0..len).map(|_| rng.index(20)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// After one gs(Add), all copies of a global id hold the same value,
-    /// and the shared total is conserved (sum over unique ids unchanged).
-    #[test]
-    fn gs_add_consistency_and_conservation(ids in ids_strategy(),
-                                           data in proptest::collection::vec(-5.0..5.0f64, 60)) {
-        let u0: Vec<f64> = ids.iter().enumerate().map(|(i, _)| data[i % data.len()]).collect();
-        let h = GsHandle::new(&ids);
-        let mut u = u0.clone();
-        h.gs(&mut u, GsOp::Add);
-        // Consistency.
-        for (a, &ida) in ids.iter().enumerate() {
-            for (b, &idb) in ids.iter().enumerate() {
-                if ida == idb {
-                    prop_assert!((u[a] - u[b]).abs() < 1e-12);
+/// After one gs(Add), all copies of a global id hold the same value,
+/// and the shared total is conserved (sum over unique ids unchanged).
+#[test]
+fn gs_add_consistency_and_conservation() {
+    forall(
+        "gs_add_consistency_and_conservation",
+        0x65c0_0001,
+        CASES,
+        |rng| {
+            let ids = random_ids(rng);
+            let u0 = rng.vec(ids.len(), -5.0, 5.0);
+            let h = GsHandle::new(&ids);
+            let mut u = u0.clone();
+            h.gs(&mut u, GsOp::Add);
+            // Consistency.
+            for (a, &ida) in ids.iter().enumerate() {
+                for (b, &idb) in ids.iter().enumerate() {
+                    if ida == idb {
+                        assert!((u[a] - u[b]).abs() < 1e-12);
+                    }
                 }
             }
-        }
-        // Each copy equals the sum of the original copies.
-        let n_global = ids.iter().max().unwrap() + 1;
-        let mut sums = vec![0.0; n_global];
-        for (i, &g) in ids.iter().enumerate() {
-            sums[g] += u0[i];
-        }
-        for (i, &g) in ids.iter().enumerate() {
-            prop_assert!((u[i] - sums[g]).abs() < 1e-10);
-        }
-    }
+            // Each copy equals the sum of the original copies.
+            let n_global = ids.iter().max().unwrap() + 1;
+            let mut sums = vec![0.0; n_global];
+            for (i, &g) in ids.iter().enumerate() {
+                sums[g] += u0[i];
+            }
+            for (i, &g) in ids.iter().enumerate() {
+                assert!((u[i] - sums[g]).abs() < 1e-10);
+            }
+        },
+    );
+}
 
-    /// gs is idempotent for Min/Max after the first application.
-    #[test]
-    fn gs_minmax_idempotent(ids in ids_strategy(),
-                            data in proptest::collection::vec(-5.0..5.0f64, 60)) {
+/// gs is idempotent for Min/Max after the first application.
+#[test]
+fn gs_minmax_idempotent() {
+    forall("gs_minmax_idempotent", 0x65c0_0002, CASES, |rng| {
+        let ids = random_ids(rng);
+        let data = rng.vec(ids.len(), -5.0, 5.0);
         let h = GsHandle::new(&ids);
         for op in [GsOp::Min, GsOp::Max] {
-            let mut u: Vec<f64> = ids.iter().enumerate()
-                .map(|(i, _)| data[i % data.len()]).collect();
+            let mut u = data.clone();
             h.gs(&mut u, op);
             let snapshot = u.clone();
             h.gs(&mut u, op);
-            prop_assert_eq!(&u, &snapshot);
+            assert_eq!(&u, &snapshot);
         }
-    }
+    });
+}
 
-    /// Vector mode equals per-component scalar application.
-    #[test]
-    fn gs_vector_mode_equivalence(ids in ids_strategy(), stride in 1usize..4,
-                                  data in proptest::collection::vec(-5.0..5.0f64, 240)) {
+/// Vector mode equals per-component scalar application.
+#[test]
+fn gs_vector_mode_equivalence() {
+    forall("gs_vector_mode_equivalence", 0x65c0_0003, CASES, |rng| {
+        let ids = random_ids(rng);
+        let stride = rng.range(1, 4);
         let h = GsHandle::new(&ids);
         let n = ids.len();
-        let mut uv: Vec<f64> = (0..n * stride).map(|i| data[i % data.len()]).collect();
+        let mut uv = rng.vec(n * stride, -5.0, 5.0);
         let mut per: Vec<Vec<f64>> = (0..stride)
             .map(|c| (0..n).map(|i| uv[i * stride + c]).collect())
             .collect();
@@ -73,29 +87,31 @@ proptest! {
         }
         for i in 0..n {
             for c in 0..stride {
-                prop_assert!((uv[i * stride + c] - per[c][i]).abs() < 1e-12);
+                assert!((uv[i * stride + c] - per[c][i]).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    /// Distributed gs over an arbitrary partition matches the serial gs,
-    /// for every reduction op.
-    #[test]
-    fn distributed_matches_serial(ids in ids_strategy(),
-                                  p in 1usize..5,
-                                  assignment_seed in 0u64..100,
-                                  data in proptest::collection::vec(-5.0..5.0f64, 60)) {
-        // Partition local slots round-robin-ish by a seeded pattern.
+/// Distributed gs over an arbitrary partition matches the serial gs,
+/// for every reduction op.
+#[test]
+fn distributed_matches_serial() {
+    forall("distributed_matches_serial", 0x65c0_0004, CASES, |rng| {
+        let ids = random_ids(rng);
+        let p = rng.range(1, 5);
+        let data = rng.vec(ids.len(), -5.0, 5.0);
+        // Partition local slots by a seeded pattern.
         let n = ids.len();
         let mut ids_per_rank: Vec<Vec<usize>> = vec![Vec::new(); p];
         let mut slot_of: Vec<(usize, usize)> = Vec::with_capacity(n);
-        for (i, &g) in ids.iter().enumerate() {
-            let r = ((i as u64).wrapping_mul(assignment_seed.wrapping_add(7)) % p as u64) as usize;
+        for &g in ids.iter() {
+            let r = rng.index(p);
             slot_of.push((r, ids_per_rank[r].len()));
             ids_per_rank[r].push(g);
         }
         for op in [GsOp::Add, GsOp::Min, GsOp::Max, GsOp::Mul] {
-            let u0: Vec<f64> = (0..n).map(|i| data[i % data.len()]).collect();
+            let u0 = data.clone();
             // Serial.
             let h = GsHandle::new(&ids);
             let mut want = u0.clone();
@@ -109,18 +125,22 @@ proptest! {
             let mut comm = SimComm::new(p);
             pargs.gs(&mut fields, op, &mut comm);
             for (i, &(r, off)) in slot_of.iter().enumerate() {
-                prop_assert!((fields[r][off] - want[i]).abs() < 1e-10,
-                    "op {:?} slot {}", op, i);
+                assert!(
+                    (fields[r][off] - want[i]).abs() < 1e-10,
+                    "op {op:?} slot {i}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// gs_avg produces a consistent field whose per-id value is the mean.
-    #[test]
-    fn gs_avg_is_mean(ids in ids_strategy(),
-                      data in proptest::collection::vec(-5.0..5.0f64, 60)) {
+/// gs_avg produces a consistent field whose per-id value is the mean.
+#[test]
+fn gs_avg_is_mean() {
+    forall("gs_avg_is_mean", 0x65c0_0005, CASES, |rng| {
+        let ids = random_ids(rng);
+        let u0 = rng.vec(ids.len(), -5.0, 5.0);
         let h = GsHandle::new(&ids);
-        let u0: Vec<f64> = (0..ids.len()).map(|i| data[i % data.len()]).collect();
         let mut u = u0.clone();
         h.gs_avg(&mut u);
         let n_global = ids.iter().max().unwrap() + 1;
@@ -131,7 +151,7 @@ proptest! {
             counts[g] += 1;
         }
         for (i, &g) in ids.iter().enumerate() {
-            prop_assert!((u[i] - sums[g] / counts[g] as f64).abs() < 1e-10);
+            assert!((u[i] - sums[g] / counts[g] as f64).abs() < 1e-10);
         }
-    }
+    });
 }

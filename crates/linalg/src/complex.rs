@@ -444,8 +444,7 @@ mod tests {
         for i in 0..n {
             *b.get_mut(i, i) = Complex::ONE;
         }
-        let res =
-            inverse_iteration(&a, &b, Complex::new(1.9, -0.2), 1e-12, 50).expect("converged");
+        let res = inverse_iteration(&a, &b, Complex::new(1.9, -0.2), 1e-12, 50).expect("converged");
         assert!((res.lambda - eigs[1]).abs() < 1e-10, "{:?}", res.lambda);
     }
 

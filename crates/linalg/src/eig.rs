@@ -109,7 +109,10 @@ pub fn sym_eig(a: &Matrix) -> SymEig {
 /// # Panics
 /// Panics if shapes disagree or `B` is not positive definite.
 pub fn gen_sym_eig(a: &Matrix, b: &Matrix) -> SymEig {
-    assert!(a.is_square() && b.is_square(), "gen_sym_eig: square matrices");
+    assert!(
+        a.is_square() && b.is_square(),
+        "gen_sym_eig: square matrices"
+    );
     assert_eq!(a.rows(), b.rows(), "gen_sym_eig: dimension mismatch");
     let n = a.rows();
     let chol = Cholesky::new(b).expect("gen_sym_eig: B must be SPD");

@@ -23,6 +23,9 @@
 //!   the Orr–Sommerfeld reference eigenproblem of Table 1.
 //! * [`vector`] — level-1 helpers (dot, axpy, norms) shared by the
 //!   iterative solvers.
+//! * [`rng`] — a seeded SplitMix64 generator and the explicit seeded-loop
+//!   property-test harness used across the workspace (no external
+//!   `rand`/`proptest` dependency).
 
 pub mod banded;
 pub mod chol;
@@ -31,6 +34,7 @@ pub mod eig;
 pub mod lu;
 pub mod matrix;
 pub mod mxm;
+pub mod rng;
 pub mod tensor;
 pub mod vector;
 

@@ -280,14 +280,32 @@ macro_rules! dispatch_const_n2 {
 /// library had the same `n₂ ≤ 20` restriction).
 pub fn mxm_f2(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f64]) {
     check_dims(a, n1, n2, b, n3, c);
-    dispatch_const_n2!(mxm_f2_const, n2, a, n1, b, n3, c, mxm_naive(a, n1, n2, b, n3, c));
+    dispatch_const_n2!(
+        mxm_f2_const,
+        n2,
+        a,
+        n1,
+        b,
+        n3,
+        c,
+        mxm_naive(a, n1, n2, b, n3, c)
+    );
 }
 
 /// Paper's `f3`: completely unrolls the `n₂` loop, `n₁` controls the outer
 /// loop. Falls back to the naive kernel for `n₂ > 20`.
 pub fn mxm_f3(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f64]) {
     check_dims(a, n1, n2, b, n3, c);
-    dispatch_const_n2!(mxm_f3_const, n2, a, n1, b, n3, c, mxm_naive(a, n1, n2, b, n3, c));
+    dispatch_const_n2!(
+        mxm_f3_const,
+        n2,
+        a,
+        n1,
+        b,
+        n3,
+        c,
+        mxm_naive(a, n1, n2, b, n3, c)
+    );
 }
 
 /// Flop count of one `(n1×n2)·(n2×n3)` product (multiply+add counted
@@ -320,7 +338,9 @@ mod tests {
         let mut x = seed.wrapping_mul(2654435761).wrapping_add(1);
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f64) / (u32::MAX as f64) - 0.5
             })
             .collect()

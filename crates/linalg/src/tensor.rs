@@ -29,13 +29,7 @@ use crate::mxm::{mxm_flops, mxm_with, MxmKernel};
 ///
 /// # Panics
 /// Panics on any dimension mismatch.
-pub fn kron2_apply(
-    ay: &Matrix,
-    axt: &Matrix,
-    u: &[f64],
-    out: &mut [f64],
-    work: &mut [f64],
-) {
+pub fn kron2_apply(ay: &Matrix, axt: &Matrix, u: &[f64], out: &mut [f64], work: &mut [f64]) {
     kron2_apply_with(MxmKernel::Auto, ay, axt, u, out, work)
 }
 
@@ -119,7 +113,15 @@ pub fn kron3_apply_with(
         mxm_with(kernel, ay.as_slice(), ny_out, ny_in, src, nx_out, dst);
     }
     // Stage 3 (z): one big product over the (j, i) plane.
-    mxm_with(kernel, az.as_slice(), nz_out, nz_in, w2, ny_out * nx_out, out);
+    mxm_with(
+        kernel,
+        az.as_slice(),
+        nz_out,
+        nz_in,
+        w2,
+        ny_out * nx_out,
+        out,
+    );
 }
 
 /// Flop count for one [`kron3_apply`].
@@ -223,7 +225,9 @@ mod tests {
         let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f64) / (u32::MAX as f64) - 0.5
             })
             .collect()

@@ -3,18 +3,19 @@
 //! factorizations invert what they factor, the eigensolvers reconstruct
 //! their input, and the tensor application equals the explicit Kronecker
 //! matrix.
+//!
+//! Properties run as explicit seeded loops over [`sem_linalg::rng`]'s
+//! SplitMix64 generator; a failure message prints the exact case seed.
 
-use proptest::prelude::*;
 use sem_linalg::chol::Cholesky;
 use sem_linalg::eig::{gen_sym_eig, sym_eig};
 use sem_linalg::lu::Lu;
 use sem_linalg::mxm::{mxm_with, MxmKernel};
+use sem_linalg::rng::{forall, SplitMix64};
 use sem_linalg::tensor::{kron, kron2_apply};
 use sem_linalg::Matrix;
 
-fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-10.0..10.0f64, len)
-}
+const CASES: usize = 100;
 
 fn reference_mxm(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize) -> Vec<f64> {
     let mut c = vec![0.0; n1 * n3];
@@ -30,35 +31,34 @@ fn reference_mxm(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize) -> Vec<f
     c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// All kernels = reference on random shapes up to 24 per dimension.
-    #[test]
-    fn mxm_kernels_agree((n1, n2, n3) in (1usize..24, 1usize..24, 1usize..24),
-                         seed in 0u64..1000) {
-        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
-        };
-        let a: Vec<f64> = (0..n1 * n2).map(|_| next()).collect();
-        let b: Vec<f64> = (0..n2 * n3).map(|_| next()).collect();
+/// All kernels = reference on random shapes up to 24 per dimension.
+#[test]
+fn mxm_kernels_agree() {
+    forall("mxm_kernels_agree", 0x11a6_0001, CASES, |rng| {
+        let (n1, n2, n3) = (rng.range(1, 24), rng.range(1, 24), rng.range(1, 24));
+        let a = rng.vec(n1 * n2, -0.5, 0.5);
+        let b = rng.vec(n2 * n3, -0.5, 0.5);
         let want = reference_mxm(&a, n1, n2, &b, n3);
         for k in MxmKernel::ALL.iter().copied().chain([MxmKernel::Auto]) {
             let mut c = vec![f64::NAN; n1 * n3];
             mxm_with(k, &a, n1, n2, &b, n3, &mut c);
             for (g, w) in c.iter().zip(want.iter()) {
-                prop_assert!((g - w).abs() <= 1e-10 * (1.0 + w.abs()),
-                    "kernel {:?} shape ({},{},{})", k, n1, n2, n3);
+                assert!(
+                    (g - w).abs() <= 1e-10 * (1.0 + w.abs()),
+                    "kernel {k:?} shape ({n1},{n2},{n3})"
+                );
             }
         }
-    }
+    });
+}
 
-    /// LU: P A = L U solves arbitrary nonsingular systems (A = R + n·I is
-    /// diagonally dominant enough to stay nonsingular).
-    #[test]
-    fn lu_solves_random_systems(n in 1usize..12, data in vec_strategy(144)) {
+/// LU: P A = L U solves arbitrary nonsingular systems (A = R + n·I is
+/// diagonally dominant enough to stay nonsingular).
+#[test]
+fn lu_solves_random_systems() {
+    forall("lu_solves_random_systems", 0x11a6_0002, CASES, |rng| {
+        let n = rng.range(1, 12);
+        let data = rng.vec(144, -10.0, 10.0);
         let a = Matrix::from_fn(n, n, |i, j| {
             data[i * 12 + j] / 10.0 + if i == j { n as f64 } else { 0.0 }
         });
@@ -67,13 +67,17 @@ proptest! {
         let lu = Lu::new(&a).unwrap();
         let x = lu.solve(&b);
         for (g, w) in x.iter().zip(x_true.iter()) {
-            prop_assert!((g - w).abs() < 1e-8);
+            assert!((g - w).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    /// Cholesky on A = RᵀR + εI (always SPD) inverts correctly.
-    #[test]
-    fn cholesky_inverts_spd(n in 1usize..10, data in vec_strategy(100)) {
+/// Cholesky on A = RᵀR + εI (always SPD) inverts correctly.
+#[test]
+fn cholesky_inverts_spd() {
+    forall("cholesky_inverts_spd", 0x11a6_0003, CASES, |rng| {
+        let n = rng.range(1, 10);
+        let data = rng.vec(100, -10.0, 10.0);
         let r = Matrix::from_fn(n, n, |i, j| data[i * 10 + j] / 10.0);
         let mut a = r.transpose().matmul(&r);
         for i in 0..n {
@@ -84,13 +88,17 @@ proptest! {
         let x = ch.solve(&b);
         let ax = a.matvec(&x);
         for (g, w) in ax.iter().zip(b.iter()) {
-            prop_assert!((g - w).abs() < 1e-8 * (1.0 + w.abs()));
+            assert!((g - w).abs() < 1e-8 * (1.0 + w.abs()));
         }
-    }
+    });
+}
 
-    /// Jacobi eigensolver reconstructs A = V Λ Vᵀ with orthonormal V.
-    #[test]
-    fn sym_eig_reconstructs(n in 2usize..9, data in vec_strategy(81)) {
+/// Jacobi eigensolver reconstructs A = V Λ Vᵀ with orthonormal V.
+#[test]
+fn sym_eig_reconstructs() {
+    forall("sym_eig_reconstructs", 0x11a6_0004, CASES, |rng| {
+        let n = rng.range(2, 9);
+        let data = rng.vec(81, -10.0, 10.0);
         let mut a = Matrix::from_fn(n, n, |i, j| data[i * 9 + j]);
         // Symmetrize.
         for i in 0..n {
@@ -106,20 +114,28 @@ proptest! {
         let rec = v.matmul(&lam).matmul(&v.transpose());
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-8,
-                    "({i},{j}): {} vs {}", rec[(i, j)], a[(i, j)]);
+                assert!(
+                    (rec[(i, j)] - a[(i, j)]).abs() < 1e-8,
+                    "({i},{j}): {} vs {}",
+                    rec[(i, j)],
+                    a[(i, j)]
+                );
             }
         }
         // Eigenvalues ascending.
         for w in eig.values.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-12);
+            assert!(w[0] <= w[1] + 1e-12);
         }
-    }
+    });
+}
 
-    /// Generalized eigenproblem: A z = λ B z residual vanishes for random
-    /// symmetric A and SPD B.
-    #[test]
-    fn gen_eig_pencil_residual(n in 2usize..7, data in vec_strategy(98)) {
+/// Generalized eigenproblem: A z = λ B z residual vanishes for random
+/// symmetric A and SPD B.
+#[test]
+fn gen_eig_pencil_residual() {
+    forall("gen_eig_pencil_residual", 0x11a6_0005, CASES, |rng| {
+        let n = rng.range(2, 7);
+        let data = rng.vec(98, -10.0, 10.0);
         let mut a = Matrix::from_fn(n, n, |i, j| data[i * 7 + j]);
         for i in 0..n {
             for j in 0..i {
@@ -139,23 +155,22 @@ proptest! {
             let az = a.matvec(&z);
             let bz = b.matvec(&z);
             for i in 0..n {
-                prop_assert!((az[i] - eig.values[j] * bz[i]).abs() < 1e-7);
+                assert!((az[i] - eig.values[j] * bz[i]).abs() < 1e-7);
             }
         }
-    }
+    });
+}
 
-    /// Tensor application equals the explicit Kronecker matrix-vector
-    /// product for arbitrary rectangular operators.
-    #[test]
-    fn kron2_apply_equals_explicit(
-        (ny_in, nx_in, ny_out, nx_out) in (1usize..6, 1usize..6, 1usize..6, 1usize..6),
-        data in vec_strategy(200),
-    ) {
-        let mut cursor = 0;
-        let mut take = |n: usize| -> Vec<f64> {
-            let v = data.iter().cycle().skip(cursor).take(n).copied().collect();
-            cursor += n;
-            v
+/// Tensor application equals the explicit Kronecker matrix-vector
+/// product for arbitrary rectangular operators.
+#[test]
+fn kron2_apply_equals_explicit() {
+    forall("kron2_apply_equals_explicit", 0x11a6_0006, CASES, |rng| {
+        let (ny_in, nx_in) = (rng.range(1, 6), rng.range(1, 6));
+        let (ny_out, nx_out) = (rng.range(1, 6), rng.range(1, 6));
+        let mut take = {
+            let mut r = SplitMix64::new(rng.next_u64());
+            move |n: usize| r.vec(n, -10.0, 10.0)
         };
         let ay = Matrix::from_vec(ny_out, ny_in, take(ny_out * ny_in));
         let ax = Matrix::from_vec(nx_out, nx_in, take(nx_out * nx_in));
@@ -167,21 +182,25 @@ proptest! {
         let mut work = vec![0.0; ny_in * nx_out];
         kron2_apply(&ay, &axt, &u, &mut out, &mut work);
         for (g, w) in out.iter().zip(want.iter()) {
-            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
+            assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
         }
-    }
+    });
+}
 
-    /// Matrix transpose is an involution and (AB)ᵀ = BᵀAᵀ.
-    #[test]
-    fn transpose_laws((m, k, n) in (1usize..8, 1usize..8, 1usize..8), data in vec_strategy(128)) {
+/// Matrix transpose is an involution and (AB)ᵀ = BᵀAᵀ.
+#[test]
+fn transpose_laws() {
+    forall("transpose_laws", 0x11a6_0007, CASES, |rng| {
+        let (m, k, n) = (rng.range(1, 8), rng.range(1, 8), rng.range(1, 8));
+        let data = rng.vec(128, -10.0, 10.0);
         let a = Matrix::from_fn(m, k, |i, j| data[(i * k + j) % data.len()]);
         let b = Matrix::from_fn(k, n, |i, j| data[(37 + i * n + j) % data.len()]);
         let ab_t = a.matmul(&b).transpose();
         let bt_at = b.transpose().matmul(&a.transpose());
         for i in 0..n {
             for j in 0..m {
-                prop_assert!((ab_t[(i, j)] - bt_at[(i, j)]).abs() < 1e-10);
+                assert!((ab_t[(i, j)] - bt_at[(i, j)]).abs() < 1e-10);
             }
         }
-    }
+    });
 }

@@ -25,7 +25,10 @@ pub fn box2d(
     periodic_x: bool,
     periodic_y: bool,
 ) -> Mesh {
-    assert!(kx >= 1 && ky >= 1, "box2d needs at least one element per axis");
+    assert!(
+        kx >= 1 && ky >= 1,
+        "box2d needs at least one element per axis"
+    );
     let nvx = kx + 1;
     let nvy = ky + 1;
     let mut verts = Vec::with_capacity(nvx * nvy);
@@ -44,16 +47,32 @@ pub fn box2d(
             elems.push(vec![v00, v00 + 1, v00 + nvx, v00 + nvx + 1]);
             let mut bc = [BcTag::Interior; 6];
             if i == 0 {
-                bc[0] = if periodic_x { BcTag::Periodic } else { BcTag::Dirichlet };
+                bc[0] = if periodic_x {
+                    BcTag::Periodic
+                } else {
+                    BcTag::Dirichlet
+                };
             }
             if i == kx - 1 {
-                bc[1] = if periodic_x { BcTag::Periodic } else { BcTag::Dirichlet };
+                bc[1] = if periodic_x {
+                    BcTag::Periodic
+                } else {
+                    BcTag::Dirichlet
+                };
             }
             if j == 0 {
-                bc[2] = if periodic_y { BcTag::Periodic } else { BcTag::Dirichlet };
+                bc[2] = if periodic_y {
+                    BcTag::Periodic
+                } else {
+                    BcTag::Dirichlet
+                };
             }
             if j == ky - 1 {
-                bc[3] = if periodic_y { BcTag::Periodic } else { BcTag::Dirichlet };
+                bc[3] = if periodic_y {
+                    BcTag::Periodic
+                } else {
+                    BcTag::Dirichlet
+                };
             }
             face_bc.push(bc);
         }
@@ -84,7 +103,10 @@ pub fn box3d(
     zr: [f64; 2],
     periodic: [bool; 3],
 ) -> Mesh {
-    assert!(kx >= 1 && ky >= 1 && kz >= 1, "box3d needs elements per axis");
+    assert!(
+        kx >= 1 && ky >= 1 && kz >= 1,
+        "box3d needs elements per axis"
+    );
     let (nvx, nvy, nvz) = (kx + 1, ky + 1, kz + 1);
     let mut verts = Vec::with_capacity(nvx * nvy * nvz);
     for k in 0..nvz {
@@ -116,7 +138,11 @@ pub fn box3d(
                     vid(i + 1, j + 1, k + 1),
                 ]);
                 let mut bc = [BcTag::Interior; 6];
-                let lohi = [[i == 0, i == kx - 1], [j == 0, j == ky - 1], [k == 0, k == kz - 1]];
+                let lohi = [
+                    [i == 0, i == kx - 1],
+                    [j == 0, j == ky - 1],
+                    [k == 0, k == kz - 1],
+                ];
                 for axis in 0..3 {
                     for side in 0..2 {
                         if lohi[axis][side] {
@@ -226,7 +252,12 @@ pub fn annulus(p: AnnulusParams, n: usize) -> (Mesh, Geometry) {
             // s ↔ ρ (outward); r traverses θ *clockwise* so the Jacobian
             // stays positive (θ counterclockwise with ρ outward would
             // invert orientation).
-            elems.push(vec![vid(i + 1, j), vid(i, j), vid(i + 1, j + 1), vid(i, j + 1)]);
+            elems.push(vec![
+                vid(i + 1, j),
+                vid(i, j),
+                vid(i + 1, j + 1),
+                vid(i, j + 1),
+            ]);
             let mut bc = [BcTag::Interior; 6];
             if j == 0 {
                 bc[2] = BcTag::Dirichlet; // cylinder wall
@@ -346,7 +377,15 @@ mod tests {
 
     #[test]
     fn box3d_periodic_tags() {
-        let m = box3d(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0], [false, false, true]);
+        let m = box3d(
+            2,
+            2,
+            2,
+            [0.0, 1.0],
+            [0.0, 1.0],
+            [0.0, 1.0],
+            [false, false, true],
+        );
         assert_eq!(m.periodic[2], Some(1.0));
         assert!(m.count_bc(BcTag::Periodic) > 0);
     }
@@ -449,7 +488,10 @@ mod tests {
         // All Jacobians positive (checked in construction); volume close
         // to the box volume plus bump contribution — just sanity bounds.
         let vol = geo.total_measure();
-        assert!(vol > 0.9 * 8.0 * 2.0 * 4.0 && vol < 1.1 * 8.0 * 2.0 * 4.0, "vol {vol}");
+        assert!(
+            vol > 0.9 * 8.0 * 2.0 * 4.0 && vol < 1.1 * 8.0 * 2.0 * 4.0,
+            "vol {vol}"
+        );
         // The bump actually deforms interior geometry: some node near the
         // bump center has y > graded baseline.
         let has_lifted = geo

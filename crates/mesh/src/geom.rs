@@ -88,11 +88,7 @@ impl Geometry {
     ///
     /// # Panics
     /// Panics if `n < 1` or any element has non-positive Jacobian.
-    pub fn with_mapping(
-        mesh: &Mesh,
-        n: usize,
-        f: impl Fn(usize, &[f64; 3]) -> [f64; 3],
-    ) -> Self {
+    pub fn with_mapping(mesh: &Mesh, n: usize, f: impl Fn(usize, &[f64; 3]) -> [f64; 3]) -> Self {
         assert!(n >= 1, "polynomial order must be at least 1");
         let dim = mesh.dim;
         let nx = n + 1;
@@ -263,7 +259,11 @@ impl Geometry {
             let hi = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             hi - lo
         };
-        [lo_hi(&self.x), lo_hi(&self.y), if self.dim == 3 { lo_hi(&self.z) } else { 0.0 }]
+        [
+            lo_hi(&self.x),
+            lo_hi(&self.y),
+            if self.dim == 3 { lo_hi(&self.z) } else { 0.0 },
+        ]
     }
 }
 
@@ -286,7 +286,11 @@ pub fn multilinear(dim: usize, verts: &[[f64; 3]], elem: &[usize], rst: &[f64; 3
         for axis in 0..dim {
             let side = (v >> axis) & 1;
             let t = rst[axis];
-            w *= if side == 0 { (1.0 - t) / 2.0 } else { (1.0 + t) / 2.0 };
+            w *= if side == 0 {
+                (1.0 - t) / 2.0
+            } else {
+                (1.0 + t) / 2.0
+            };
         }
         for d in 0..3 {
             p[d] += w * verts[vid][d];

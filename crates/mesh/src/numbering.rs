@@ -294,11 +294,7 @@ mod tests {
 
     #[test]
     fn cluster_merges_within_tol_only() {
-        let pts = vec![
-            [0.0, 0.0, 0.0],
-            [1e-12, 0.0, 0.0],
-            [0.5, 0.0, 0.0],
-        ];
+        let pts = vec![[0.0, 0.0, 0.0], [1e-12, 0.0, 0.0], [0.5, 0.0, 0.0]];
         let (ids, n) = cluster_points(&pts, 1e-9);
         assert_eq!(n, 2);
         assert_eq!(ids[0], ids[1]);

@@ -27,7 +27,13 @@ pub fn partition_rcb(mesh: &Mesh, p: usize) -> Vec<usize> {
     out
 }
 
-fn rcb_rec(centroids: &[[f64; 3]], mut elems: Vec<usize>, p: usize, base: usize, out: &mut [usize]) {
+fn rcb_rec(
+    centroids: &[[f64; 3]],
+    mut elems: Vec<usize>,
+    p: usize,
+    base: usize,
+    out: &mut [usize],
+) {
     if p == 1 {
         for e in elems {
             out[e] = base;
@@ -101,7 +107,12 @@ fn fiedler_vector(adj: &[Vec<usize>], elems: &[usize]) -> Vec<f64> {
     }
     let neighbors: Vec<Vec<usize>> = elems
         .iter()
-        .map(|&e| adj[e].iter().filter_map(|g| local.get(g).copied()).collect())
+        .map(|&e| {
+            adj[e]
+                .iter()
+                .filter_map(|g| local.get(g).copied())
+                .collect()
+        })
         .collect();
     let max_deg = neighbors.iter().map(|v| v.len()).max().unwrap_or(1) as f64;
     let sigma = 2.0 * max_deg.max(1.0);

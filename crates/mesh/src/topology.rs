@@ -100,9 +100,7 @@ impl Mesh {
         let axis = f / 2; // 0: r, 1: s, 2: t
         let side = f % 2; // 0: -1 side, 1: +1 side
         let nv = 1 << dim;
-        (0..nv)
-            .filter(|&v| (v >> axis) & 1 == side)
-            .collect()
+        (0..nv).filter(|&v| (v >> axis) & 1 == side).collect()
     }
 
     /// Element adjacency: two elements are neighbours when they share a

@@ -149,10 +149,7 @@ mod tests {
                 for (j, cj) in c.iter().enumerate() {
                     acc += cj * f(1.0 - (j as f64 + 1.0) * dt);
                 }
-                assert!(
-                    (acc - f(1.0)).abs() < 1e-12,
-                    "order {order} degree {deg}"
-                );
+                assert!((acc - f(1.0)).abs() < 1e-12, "order {order} degree {deg}");
             }
         }
     }

@@ -30,12 +30,7 @@ impl OifsScratch {
         let n = ops.n_velocity();
         let dim = ops.geo.dim;
         OifsScratch {
-            k: [
-                vec![0.0; n],
-                vec![0.0; n],
-                vec![0.0; n],
-                vec![0.0; n],
-            ],
+            k: [vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]],
             tmp: vec![0.0; n],
             wvel: vec![vec![0.0; n]; dim],
             grad: vec![vec![0.0; n]; dim],

@@ -56,10 +56,12 @@ pub fn cfl(ops: &SemOps, vel: &[Vec<f64>], dt: f64) -> f64 {
 
 /// Total kinetic energy `½ ∫ |u|²`.
 pub fn kinetic_energy(ops: &SemOps, vel: &[Vec<f64>]) -> f64 {
-    vel.iter().map(|c| {
-        let n = norm_l2(ops, c);
-        0.5 * n * n
-    }).sum()
+    vel.iter()
+        .map(|c| {
+            let n = norm_l2(ops, c);
+            0.5 * n * n
+        })
+        .sum()
 }
 
 /// L² norm of the pointwise divergence (a physical-space diagnostic; the

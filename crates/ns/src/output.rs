@@ -13,11 +13,7 @@ use std::io::{self, Write};
 ///
 /// # Panics
 /// Panics if a field's length differs from the velocity-space size.
-pub fn write_vtk(
-    ops: &SemOps,
-    fields: &[(&str, &[f64])],
-    mut w: impl Write,
-) -> io::Result<()> {
+pub fn write_vtk(ops: &SemOps, fields: &[(&str, &[f64])], mut w: impl Write) -> io::Result<()> {
     let dim = ops.geo.dim;
     let nx = ops.geo.nx;
     let npts = ops.geo.npts;
@@ -58,9 +54,7 @@ pub fn write_vtk(
             for kk in 0..nx - 1 {
                 for j in 0..nx - 1 {
                     for i in 0..nx - 1 {
-                        let v = |ii: usize, jj: usize, kz: usize| {
-                            base + (kz * nx + jj) * nx + ii
-                        };
+                        let v = |ii: usize, jj: usize, kz: usize| base + (kz * nx + jj) * nx + ii;
                         writeln!(
                             w,
                             "8 {} {} {} {} {} {} {} {}",
@@ -111,11 +105,7 @@ pub fn write_solution_vtk(s: &NsSolver, path: &str) -> io::Result<()> {
 }
 
 /// Write nodal fields as CSV (`x,y,z,<names...>`).
-pub fn write_csv(
-    ops: &SemOps,
-    fields: &[(&str, &[f64])],
-    mut w: impl Write,
-) -> io::Result<()> {
+pub fn write_csv(ops: &SemOps, fields: &[(&str, &[f64])], mut w: impl Write) -> io::Result<()> {
     write!(w, "x,y,z")?;
     for (name, _) in fields {
         write!(w, ",{name}")?;

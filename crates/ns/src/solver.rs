@@ -282,11 +282,8 @@ impl NsSolver {
                 if matches!(self.cfg.convection, ConvectionScheme::Ext) {
                     let mut cx = vec![0.0; n];
                     for c in 0..dim {
-                        let comp_hist: Vec<Vec<f64>> = self
-                            .conv_hist
-                            .iter()
-                            .map(|lvl| lvl[c].clone())
-                            .collect();
+                        let comp_hist: Vec<Vec<f64>> =
+                            self.conv_hist.iter().map(|lvl| lvl[c].clone()).collect();
                         ext_convection(k, &comp_hist, &mut cx);
                         for i in 0..n {
                             rhs[c][i] += bm[i] * cx[i];
@@ -298,7 +295,12 @@ impl NsSolver {
         // Forcing.
         if let Some(f) = &self.force {
             for i in 0..n {
-                let fv = f(self.ops.geo.x[i], self.ops.geo.y[i], self.ops.geo.z[i], t_new);
+                let fv = f(
+                    self.ops.geo.x[i],
+                    self.ops.geo.y[i],
+                    self.ops.geo.z[i],
+                    t_new,
+                );
                 for c in 0..dim {
                     rhs[c][i] += bm[i] * fv[c];
                 }
@@ -446,7 +448,12 @@ impl NsSolver {
         let n = self.ops.n_velocity();
         let bm = self.ops.geo.bm.clone();
         let mut rhs = vec![0.0; n];
-        for (j, coeff) in bdf_coeffs(k).1.iter().enumerate().take(self.temp_hist.len()) {
+        for (j, coeff) in bdf_coeffs(k)
+            .1
+            .iter()
+            .enumerate()
+            .take(self.temp_hist.len())
+        {
             for i in 0..n {
                 rhs[i] += (coeff / self.cfg.dt) * bm[i] * self.temp_hist[j][i];
             }
@@ -603,7 +610,12 @@ impl NsSolver {
                     HelmholtzSolver::new(&self.ops, sc.kappa, h2, self.cfg.helmholtz_cg),
                 ));
             }
-            let res = sc.solver.as_ref().unwrap().1.solve(&self.ops, &mut t0, &rhs);
+            let res = sc
+                .solver
+                .as_ref()
+                .unwrap()
+                .1
+                .solve(&self.ops, &mut t0, &rhs);
             total_iters += res.iterations;
             for i in 0..n {
                 sc.field[i] = t0[i] + tb[i];

@@ -7,7 +7,7 @@
 //! number is exactly the job of the §2 filter.
 
 use crate::space::SemOps;
-use rayon::prelude::*;
+use sem_comm::par;
 use sem_linalg::tensor::{apply_x, apply_y_2d, apply_y_3d, apply_z_3d};
 
 /// Per-element flop estimate of one full physical gradient.
@@ -42,9 +42,10 @@ pub fn gradient(ops: &SemOps, u: &[f64], out: &mut [Vec<f64>]) {
             per_elem[e].push(ch);
         }
     }
-    per_elem.into_par_iter().enumerate().for_each_init(
+    par::par_for_each_init(
+        &mut per_elem,
         || vec![0.0; 3 * npts],
-        |scratch, (e, mut comps)| {
+        |scratch, e, comps| {
             let (dr, rest) = scratch.split_at_mut(npts);
             let (ds, dt) = rest.split_at_mut(npts);
             let ue = &u[e * npts..(e + 1) * npts];
@@ -76,24 +77,18 @@ pub fn gradient(ops: &SemOps, u: &[f64], out: &mut [Vec<f64>]) {
 /// Convection `out = (c·∇)u` with advecting field `c = [cx, cy(, cz)]`.
 ///
 /// `work` must hold `dim` velocity-space vectors (gradient scratch).
-pub fn convect(
-    ops: &SemOps,
-    c: &[&[f64]],
-    u: &[f64],
-    out: &mut [f64],
-    work: &mut [Vec<f64>],
-) {
+pub fn convect(ops: &SemOps, c: &[&[f64]], u: &[f64], out: &mut [f64], work: &mut [Vec<f64>]) {
     let dim = ops.geo.dim;
     assert_eq!(c.len(), dim, "convect: one advecting component per dim");
     assert_eq!(out.len(), ops.n_velocity(), "convect: out length");
     gradient(ops, u, work);
     let n = out.len();
-    out.par_iter_mut().enumerate().for_each(|(i, o)| {
+    par::par_fill(out, |i| {
         let mut acc = c[0][i] * work[0][i] + c[1][i] * work[1][i];
         if dim == 3 {
             acc += c[2][i] * work[2][i];
         }
-        *o = acc;
+        acc
     });
     ops.charge_flops((2 * dim as u64 - 1) * n as u64);
 }
@@ -201,7 +196,12 @@ mod tests {
         // expect spectral (not exact) accuracy.
         for i in 0..ops.n_velocity() {
             let x = ops.geo.x[i];
-            assert!((g[0][i] - 2.0 * x).abs() < 1e-6, "i={i}: {} vs {}", g[0][i], 2.0 * x);
+            assert!(
+                (g[0][i] - 2.0 * x).abs() < 1e-6,
+                "i={i}: {} vs {}",
+                g[0][i],
+                2.0 * x
+            );
             assert!(g[1][i].abs() < 1e-6);
         }
     }

@@ -5,18 +5,15 @@
 //! so global dofs count once (`wt` in [`crate::space::SemOps`]).
 
 use crate::space::SemOps;
-use rayon::prelude::*;
+use sem_comm::par;
 
 /// Weighted (global) inner product `Σ wt·u·v` over velocity-space fields.
 pub fn dot_weighted(ops: &SemOps, u: &[f64], v: &[f64]) -> f64 {
     assert_eq!(u.len(), ops.n_velocity(), "dot: u length");
     assert_eq!(v.len(), ops.n_velocity(), "dot: v length");
     ops.charge_flops(2 * u.len() as u64);
-    u.par_iter()
-        .zip(v.par_iter())
-        .zip(ops.wt.par_iter())
-        .map(|((&a, &b), &w)| w * a * b)
-        .sum()
+    let wt = &ops.wt;
+    par::par_sum(u.len(), |i| wt[i] * u[i] * v[i])
 }
 
 /// Weighted L² norm of a velocity-space field under the assembled mass:
@@ -24,12 +21,8 @@ pub fn dot_weighted(ops: &SemOps, u: &[f64], v: &[f64]) -> f64 {
 pub fn norm_l2(ops: &SemOps, u: &[f64]) -> f64 {
     assert_eq!(u.len(), ops.n_velocity(), "norm: u length");
     ops.charge_flops(3 * u.len() as u64);
-    u.par_iter()
-        .zip(ops.bm_assembled.par_iter())
-        .zip(ops.wt.par_iter())
-        .map(|((&a, &b), &w)| w * b * a * a)
-        .sum::<f64>()
-        .sqrt()
+    let (bm, wt) = (&ops.bm_assembled, &ops.wt);
+    par::par_sum(u.len(), |i| wt[i] * bm[i] * u[i] * u[i]).sqrt()
 }
 
 /// Plain dot product over pressure-space fields (pressure dofs are
@@ -38,18 +31,15 @@ pub fn dot_pressure(ops: &SemOps, p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), ops.n_pressure(), "dot_pressure: p length");
     assert_eq!(q.len(), ops.n_pressure(), "dot_pressure: q length");
     ops.charge_flops(2 * p.len() as u64);
-    p.par_iter().zip(q.par_iter()).map(|(&a, &b)| a * b).sum()
+    par::par_sum(p.len(), |i| p[i] * q[i])
 }
 
 /// Mean of a pressure field under the pressure quadrature
 /// (`Σ jw·p / Σ jw`) — used to pin the hydrostatic pressure mode.
 pub fn pressure_mean(ops: &SemOps, p: &[f64]) -> f64 {
     assert_eq!(p.len(), ops.n_pressure(), "pressure_mean: p length");
-    let num: f64 = p
-        .par_iter()
-        .zip(ops.jw_gauss.par_iter())
-        .map(|(&a, &w)| a * w)
-        .sum();
+    let jw = &ops.jw_gauss;
+    let num: f64 = par::par_sum(p.len(), |i| p[i] * jw[i]);
     let den: f64 = ops.jw_gauss.iter().sum();
     num / den
 }
@@ -57,14 +47,14 @@ pub fn pressure_mean(ops: &SemOps, p: &[f64]) -> f64 {
 /// Remove the quadrature-weighted mean from a pressure field in place.
 pub fn remove_pressure_mean(ops: &SemOps, p: &mut [f64]) {
     let m = pressure_mean(ops, p);
-    p.par_iter_mut().for_each(|v| *v -= m);
+    par::par_map_inplace(p, |_, v| *v -= m);
 }
 
 /// Impose a Dirichlet boundary function on a velocity-space field:
 /// `u = mask·u + (1−mask)·g(x,y,z)`.
 pub fn set_dirichlet(ops: &SemOps, u: &mut [f64], g: impl Fn(f64, f64, f64) -> f64 + Sync) {
     assert_eq!(u.len(), ops.n_velocity(), "set_dirichlet: u length");
-    u.par_iter_mut().enumerate().for_each(|(i, v)| {
+    par::par_map_inplace(u, |i, v| {
         if ops.mask[i] == 0.0 {
             *v = g(ops.geo.x[i], ops.geo.y[i], ops.geo.z[i]);
         }
@@ -73,10 +63,9 @@ pub fn set_dirichlet(ops: &SemOps, u: &mut [f64], g: impl Fn(f64, f64, f64) -> f
 
 /// Evaluate a function at every velocity node.
 pub fn eval_on_nodes(ops: &SemOps, g: impl Fn(f64, f64, f64) -> f64 + Sync) -> Vec<f64> {
-    (0..ops.n_velocity())
-        .into_par_iter()
-        .map(|i| g(ops.geo.x[i], ops.geo.y[i], ops.geo.z[i]))
-        .collect()
+    let mut out = vec![0.0; ops.n_velocity()];
+    par::par_fill(&mut out, |i| g(ops.geo.x[i], ops.geo.y[i], ops.geo.z[i]));
+    out
 }
 
 #[cfg(test)]

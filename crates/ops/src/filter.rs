@@ -6,7 +6,7 @@
 //! "inexpensive local interpolation" in the paper's words.
 
 use crate::space::SemOps;
-use rayon::prelude::*;
+use sem_comm::par;
 use sem_linalg::tensor::{kron2_apply, kron2_flops, kron3_apply, kron3_flops};
 use sem_linalg::Matrix;
 
@@ -49,9 +49,11 @@ impl ElementFilter {
         } else {
             kron3_flops(&self.f, &self.f, &self.ft)
         };
-        u.par_chunks_mut(npts).for_each_init(
+        par::par_chunks_init(
+            u,
+            npts,
             || (vec![0.0; npts], vec![0.0; 2 * npts]),
-            |(out, work), ue| {
+            |(out, work), _e, ue| {
                 if dim == 2 {
                     kron2_apply(&self.f, &self.ft, ue, out, work);
                 } else {

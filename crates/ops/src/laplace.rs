@@ -5,11 +5,13 @@
 //! (tensor contractions), combine with the diagonal geometric factors
 //! `G_ij`, and apply the transposed derivatives. Work per 3D element is
 //! `12(N+1)⁴ + 15(N+1)³` flops with `7(N+1)³` memory references — the
-//! counts of §3. All element loops are rayon-parallel (the paper's
-//! dual-processor intranode mode generalized to many cores).
+//! counts of §3. All element loops run through the deterministic
+//! [`sem_comm::par`] parallel-for (the paper's dual-processor intranode
+//! mode generalized to many cores; `TERASEM_THREADS` controls the count,
+//! and results are bitwise identical at every thread count).
 
 use crate::space::SemOps;
-use rayon::prelude::*;
+use sem_comm::par;
 use sem_linalg::tensor::{apply_x, apply_y_2d, apply_y_3d, apply_z_3d};
 
 /// Apply the (diagonal) velocity mass matrix: `out = B u` (local,
@@ -17,10 +19,8 @@ use sem_linalg::tensor::{apply_x, apply_y_2d, apply_y_3d, apply_z_3d};
 pub fn mass_local(ops: &SemOps, u: &[f64], out: &mut [f64]) {
     assert_eq!(u.len(), ops.n_velocity(), "mass: u length");
     assert_eq!(out.len(), ops.n_velocity(), "mass: out length");
-    out.par_iter_mut()
-        .zip(u.par_iter())
-        .zip(ops.geo.bm.par_iter())
-        .for_each(|((o, &ui), &b)| *o = b * ui);
+    let bm = &ops.geo.bm;
+    par::par_fill(out, |i| bm[i] * u[i]);
     ops.charge_flops(u.len() as u64);
 }
 
@@ -44,55 +44,55 @@ pub fn stiffness_local(ops: &SemOps, u: &[f64], out: &mut [f64]) {
     let nx = ops.geo.nx;
     let dim = ops.geo.dim;
     let geo = &ops.geo;
-    out.par_chunks_mut(npts)
-        .zip(u.par_chunks(npts))
-        .enumerate()
-        .for_each_init(
-            || vec![0.0; 6 * npts],
-            |scratch, (e, (oe, ue))| {
-                let (ur, rest) = scratch.split_at_mut(npts);
-                let (us, rest) = rest.split_at_mut(npts);
-                let (ut, rest) = rest.split_at_mut(npts);
-                let (wr, rest) = rest.split_at_mut(npts);
-                let (ws, wt_) = rest.split_at_mut(npts);
-                let wt = &mut wt_[..npts];
-                if dim == 2 {
-                    apply_x(&geo.d1t, nx, ue, ur);
-                    apply_y_2d(&geo.d1, nx, ue, us);
-                    let g = &geo.g[e * npts * 3..(e + 1) * npts * 3];
-                    for i in 0..npts {
-                        let (grr, grs, gss) = (g[3 * i], g[3 * i + 1], g[3 * i + 2]);
-                        wr[i] = grr * ur[i] + grs * us[i];
-                        ws[i] = grs * ur[i] + gss * us[i];
-                    }
-                    // Dᵀ along x: pass the untransposed D as "axt".
-                    apply_x(&geo.d1, nx, wr, ur);
-                    apply_y_2d(&geo.d1t, nx, ws, us);
-                    for i in 0..npts {
-                        oe[i] = ur[i] + us[i];
-                    }
-                } else {
-                    apply_x(&geo.d1t, nx * nx, ue, ur);
-                    apply_y_3d(&geo.d1, nx, nx, ue, us);
-                    apply_z_3d(&geo.d1, nx * nx, ue, ut);
-                    let g = &geo.g[e * npts * 6..(e + 1) * npts * 6];
-                    for i in 0..npts {
-                        let (grr, grs, grt) = (g[6 * i], g[6 * i + 1], g[6 * i + 2]);
-                        let (gss, gst, gtt) = (g[6 * i + 3], g[6 * i + 4], g[6 * i + 5]);
-                        let (a, b, c) = (ur[i], us[i], ut[i]);
-                        wr[i] = grr * a + grs * b + grt * c;
-                        ws[i] = grs * a + gss * b + gst * c;
-                        wt[i] = grt * a + gst * b + gtt * c;
-                    }
-                    apply_x(&geo.d1, nx * nx, wr, ur);
-                    apply_y_3d(&geo.d1t, nx, nx, ws, us);
-                    apply_z_3d(&geo.d1t, nx * nx, wt, ut);
-                    for i in 0..npts {
-                        oe[i] = ur[i] + us[i] + ut[i];
-                    }
+    par::par_chunks_init(
+        out,
+        npts,
+        || vec![0.0; 6 * npts],
+        |scratch, e, oe| {
+            let ue = &u[e * npts..(e + 1) * npts];
+            let (ur, rest) = scratch.split_at_mut(npts);
+            let (us, rest) = rest.split_at_mut(npts);
+            let (ut, rest) = rest.split_at_mut(npts);
+            let (wr, rest) = rest.split_at_mut(npts);
+            let (ws, wt_) = rest.split_at_mut(npts);
+            let wt = &mut wt_[..npts];
+            if dim == 2 {
+                apply_x(&geo.d1t, nx, ue, ur);
+                apply_y_2d(&geo.d1, nx, ue, us);
+                let g = &geo.g[e * npts * 3..(e + 1) * npts * 3];
+                for i in 0..npts {
+                    let (grr, grs, gss) = (g[3 * i], g[3 * i + 1], g[3 * i + 2]);
+                    wr[i] = grr * ur[i] + grs * us[i];
+                    ws[i] = grs * ur[i] + gss * us[i];
                 }
-            },
-        );
+                // Dᵀ along x: pass the untransposed D as "axt".
+                apply_x(&geo.d1, nx, wr, ur);
+                apply_y_2d(&geo.d1t, nx, ws, us);
+                for i in 0..npts {
+                    oe[i] = ur[i] + us[i];
+                }
+            } else {
+                apply_x(&geo.d1t, nx * nx, ue, ur);
+                apply_y_3d(&geo.d1, nx, nx, ue, us);
+                apply_z_3d(&geo.d1, nx * nx, ue, ut);
+                let g = &geo.g[e * npts * 6..(e + 1) * npts * 6];
+                for i in 0..npts {
+                    let (grr, grs, grt) = (g[6 * i], g[6 * i + 1], g[6 * i + 2]);
+                    let (gss, gst, gtt) = (g[6 * i + 3], g[6 * i + 4], g[6 * i + 5]);
+                    let (a, b, c) = (ur[i], us[i], ut[i]);
+                    wr[i] = grr * a + grs * b + grt * c;
+                    ws[i] = grs * a + gss * b + gst * c;
+                    wt[i] = grt * a + gst * b + gtt * c;
+                }
+                apply_x(&geo.d1, nx * nx, wr, ur);
+                apply_y_3d(&geo.d1t, nx, nx, ws, us);
+                apply_z_3d(&geo.d1t, nx * nx, wt, ut);
+                for i in 0..npts {
+                    oe[i] = ur[i] + us[i] + ut[i];
+                }
+            }
+        },
+    );
     ops.charge_flops(ops.k() as u64 * stiffness_flops_per_elem(dim, ops.geo.n));
 }
 
@@ -103,10 +103,8 @@ pub fn stiffness_local(ops: &SemOps, u: &[f64], out: &mut [f64]) {
 pub fn helmholtz_local(ops: &SemOps, u: &[f64], out: &mut [f64], h1: f64, h2: f64) {
     stiffness_local(ops, u, out);
     let n = u.len();
-    out.par_iter_mut()
-        .zip(u.par_iter())
-        .zip(ops.geo.bm.par_iter())
-        .for_each(|((o, &ui), &b)| *o = h1 * *o + h2 * b * ui);
+    let bm = &ops.geo.bm;
+    par::par_map_inplace(out, |i, o| *o = h1 * *o + h2 * bm[i] * u[i]);
     ops.charge_flops(3 * n as u64);
 }
 
@@ -239,7 +237,10 @@ mod tests {
         stiffness(&ops, &v, &mut av);
         let lhs = dot_weighted(&ops, &au, &v);
         let rhs = dot_weighted(&ops, &u, &av);
-        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   nullspace on enclosed flows; the solvers pin it by mean removal.
 
 use crate::space::{interp_from_gauss, interp_to_gauss, SemOps};
-use rayon::prelude::*;
+use sem_comm::par;
 use sem_linalg::tensor::{apply_x, apply_y_2d, apply_y_3d, apply_z_3d};
 
 /// Per-element flop estimate for one divergence (or weak gradient)
@@ -43,9 +43,11 @@ pub fn divergence(ops: &SemOps, vel: &[&[f64]], out: &mut [f64]) {
     let nptsp = ops.npts_p;
     let nx = ops.geo.nx;
     let geo = &ops.geo;
-    out.par_chunks_mut(nptsp).enumerate().for_each_init(
+    par::par_chunks_init(
+        out,
+        nptsp,
         || vec![0.0; 7 * npts],
-        |scratch, (e, oe)| {
+        |scratch, e, oe| {
             let (dr, rest) = scratch.split_at_mut(npts);
             let (ds, rest) = rest.split_at_mut(npts);
             let (dt, rest) = rest.split_at_mut(npts);
@@ -106,9 +108,10 @@ pub fn gradient_weak(ops: &SemOps, p: &[f64], out: &mut [Vec<f64>]) {
             per_elem[e].push(ch);
         }
     }
-    per_elem.into_par_iter().enumerate().for_each_init(
+    par::par_for_each_init(
+        &mut per_elem,
         || vec![0.0; 8 * npts],
-        |scratch, (e, mut comps)| {
+        |scratch, e, comps| {
             let (q, rest) = scratch.split_at_mut(npts);
             let (tjw, rest) = rest.split_at_mut(nptsp);
             let (wr, rest) = rest.split_at_mut(npts);
@@ -174,11 +177,10 @@ impl EOperator {
     /// mask per component → `w /= B̄` → `out = D w`.
     pub fn apply(&mut self, ops: &SemOps, p: &[f64], out: &mut [f64]) {
         gradient_weak(ops, p, &mut self.work);
+        let bm = &ops.bm_assembled;
         for comp in self.work.iter_mut() {
             ops.dssum_mask(comp);
-            comp.par_iter_mut()
-                .zip(ops.bm_assembled.par_iter())
-                .for_each(|(v, &b)| *v /= b);
+            par::par_map_inplace(comp, |i, v| *v /= bm[i]);
         }
         ops.charge_flops(self.work.len() as u64 * ops.n_velocity() as u64);
         let refs: Vec<&[f64]> = self.work.iter().map(|c| c.as_slice()).collect();
@@ -228,7 +230,9 @@ mod tests {
         let nv = ops.n_velocity();
         let np = ops.n_pressure();
         let u: Vec<f64> = (0..nv).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
-        let v: Vec<f64> = (0..nv).map(|i| ((i * 11 % 17) as f64 - 8.0) / 8.0).collect();
+        let v: Vec<f64> = (0..nv)
+            .map(|i| ((i * 11 % 17) as f64 - 8.0) / 8.0)
+            .collect();
         let p: Vec<f64> = (0..np).map(|i| ((i * 3 % 19) as f64 - 9.0) / 9.0).collect();
         let mut du = vec![0.0; np];
         divergence(&ops, &[&u, &v], &mut du);
@@ -248,8 +252,12 @@ mod tests {
         let ops = ops2d(2, 4);
         let np = ops.n_pressure();
         let mut e = EOperator::new(&ops);
-        let p: Vec<f64> = (0..np).map(|i| ((i * 7 % 23) as f64 - 11.0) / 11.0).collect();
-        let q: Vec<f64> = (0..np).map(|i| ((i * 13 % 29) as f64 - 14.0) / 14.0).collect();
+        let p: Vec<f64> = (0..np)
+            .map(|i| ((i * 7 % 23) as f64 - 11.0) / 11.0)
+            .collect();
+        let q: Vec<f64> = (0..np)
+            .map(|i| ((i * 13 % 29) as f64 - 14.0) / 14.0)
+            .collect();
         let mut ep = vec![0.0; np];
         let mut eq = vec![0.0; np];
         e.apply(&ops, &p, &mut ep);

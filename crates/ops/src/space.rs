@@ -64,7 +64,10 @@ impl SemOps {
     /// (curved meshes) at geometry order `N ≥ 2` (pressure space needs
     /// `N−1 ≥ 1`).
     pub fn with_geometry(mesh: Mesh, geo: Geometry) -> Self {
-        assert!(geo.n >= 2, "SemOps requires N ≥ 2 for the P_{{N-2}} pressure space");
+        assert!(
+            geo.n >= 2,
+            "SemOps requires N ≥ 2 for the P_{{N-2}} pressure space"
+        );
         let num = GlobalNumbering::new(&mesh, &geo);
         let gs = GsHandle::new(&num.ids);
         // Unify the element-local Dirichlet mask across shared nodes.

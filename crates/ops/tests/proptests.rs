@@ -1,9 +1,12 @@
 //! Property-based tests of the matrix-free operators: symmetry,
 //! positivity, adjointness, and exactness properties over random meshes,
 //! orders, and fields.
+//!
+//! Properties run as explicit seeded loops over [`sem_linalg::rng`]'s
+//! SplitMix64 generator; a failure message prints the exact case seed.
 
-use proptest::prelude::*;
 use sem_gs::GsOp;
+use sem_linalg::rng::{forall, SplitMix64};
 use sem_mesh::generators::box2d;
 use sem_ops::convect::gradient;
 use sem_ops::fields::{dot_pressure, dot_weighted};
@@ -11,21 +14,15 @@ use sem_ops::laplace::{helmholtz, mass_local, stiffness_local};
 use sem_ops::pressure::{divergence, gradient_weak, EOperator};
 use sem_ops::SemOps;
 
-fn random_field(n: usize, seed: u64) -> Vec<f64> {
-    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
-    (0..n)
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
-        })
-        .collect()
+const CASES: usize = 100;
+
+fn random_field(n: usize, rng: &mut SplitMix64) -> Vec<f64> {
+    rng.vec(n, -0.5, 0.5)
 }
 
 /// A consistent (C⁰, masked) random field.
-fn consistent_field(ops: &SemOps, seed: u64) -> Vec<f64> {
-    let mut v = random_field(ops.n_velocity(), seed);
+fn consistent_field(ops: &SemOps, rng: &mut SplitMix64) -> Vec<f64> {
+    let mut v = random_field(ops.n_velocity(), rng);
     ops.gs.gs(&mut v, GsOp::Add);
     for (x, m) in v.iter_mut().zip(ops.mask.iter()) {
         *x *= m;
@@ -33,18 +30,19 @@ fn consistent_field(ops: &SemOps, seed: u64) -> Vec<f64> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The assembled Helmholtz operator is self-adjoint and positive
-    /// definite in the weighted inner product, on random meshes/orders/
-    /// coefficients.
-    #[test]
-    fn helmholtz_spd((kx, ky) in (1usize..4, 1usize..4), n in 2usize..7,
-                     h1 in 0.01..2.0f64, h2 in 0.1..50.0f64, seed in 0u64..500) {
+/// The assembled Helmholtz operator is self-adjoint and positive
+/// definite in the weighted inner product, on random meshes/orders/
+/// coefficients.
+#[test]
+fn helmholtz_spd() {
+    forall("helmholtz_spd", 0x0b50_0001, CASES, |rng| {
+        let (kx, ky) = (rng.range(1, 4), rng.range(1, 4));
+        let n = rng.range(2, 7);
+        let h1 = rng.uniform(0.01, 2.0);
+        let h2 = rng.uniform(0.1, 50.0);
         let ops = SemOps::new(box2d(kx, ky, [0.0, 1.0], [0.0, 1.0], false, false), n);
-        let u = consistent_field(&ops, seed);
-        let v = consistent_field(&ops, seed + 77);
+        let u = consistent_field(&ops, rng);
+        let v = consistent_field(&ops, rng);
         let nn = ops.n_velocity();
         let mut hu = vec![0.0; nn];
         let mut hv = vec![0.0; nn];
@@ -52,33 +50,42 @@ proptest! {
         helmholtz(&ops, &v, &mut hv, h1, h2);
         let lhs = dot_weighted(&ops, &hu, &v);
         let rhs = dot_weighted(&ops, &u, &hv);
-        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
         let quad = dot_weighted(&ops, &u, &hu);
         let unorm = dot_weighted(&ops, &u, &u);
-        prop_assert!(quad >= -1e-10 * (1.0 + unorm));
-    }
+        assert!(quad >= -1e-10 * (1.0 + unorm));
+    });
+}
 
-    /// Stiffness annihilates constants locally on any mesh.
-    #[test]
-    fn stiffness_kernel((kx, ky) in (1usize..4, 1usize..4), n in 2usize..8, c in -5.0..5.0f64) {
+/// Stiffness annihilates constants locally on any mesh.
+#[test]
+fn stiffness_kernel() {
+    forall("stiffness_kernel", 0x0b50_0002, CASES, |rng| {
+        let (kx, ky) = (rng.range(1, 4), rng.range(1, 4));
+        let n = rng.range(2, 8);
+        let c = rng.uniform(-5.0, 5.0);
         let ops = SemOps::new(box2d(kx, ky, [0.0, 2.0], [0.0, 1.0], false, false), n);
         let u = vec![c; ops.n_velocity()];
         let mut au = vec![0.0; ops.n_velocity()];
         stiffness_local(&ops, &u, &mut au);
         for v in au {
-            prop_assert!(v.abs() < 1e-8 * (1.0 + c.abs()));
+            assert!(v.abs() < 1e-8 * (1.0 + c.abs()));
         }
-    }
+    });
+}
 
-    /// D and Dᵀ are exact adjoints for arbitrary fields.
-    #[test]
-    fn div_grad_adjoint((kx, ky) in (1usize..4, 1usize..4), n in 2usize..7, seed in 0u64..500) {
+/// D and Dᵀ are exact adjoints for arbitrary fields.
+#[test]
+fn div_grad_adjoint() {
+    forall("div_grad_adjoint", 0x0b50_0003, CASES, |rng| {
+        let (kx, ky) = (rng.range(1, 4), rng.range(1, 4));
+        let n = rng.range(2, 7);
         let ops = SemOps::new(box2d(kx, ky, [0.0, 1.0], [0.0, 1.5], false, false), n);
         let nn = ops.n_velocity();
         let np = ops.n_pressure();
-        let u = random_field(nn, seed);
-        let v = random_field(nn, seed + 3);
-        let p = random_field(np, seed + 9);
+        let u = random_field(nn, rng);
+        let v = random_field(nn, rng);
+        let p = random_field(np, rng);
         let mut du = vec![0.0; np];
         divergence(&ops, &[&u, &v], &mut du);
         let mut dtp = vec![vec![0.0; nn]; 2];
@@ -86,38 +93,49 @@ proptest! {
         let lhs = dot_pressure(&ops, &du, &p);
         let rhs: f64 = u.iter().zip(dtp[0].iter()).map(|(a, b)| a * b).sum::<f64>()
             + v.iter().zip(dtp[1].iter()).map(|(a, b)| a * b).sum::<f64>();
-        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
-    }
+        assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    });
+}
 
-    /// E is symmetric PSD and annihilates constants on enclosed flows,
-    /// for random meshes and orders.
-    #[test]
-    fn e_operator_properties((kx, ky) in (1usize..4, 1usize..4), n in 3usize..6, seed in 0u64..500) {
+/// E is symmetric PSD and annihilates constants on enclosed flows,
+/// for random meshes and orders.
+#[test]
+fn e_operator_properties() {
+    forall("e_operator_properties", 0x0b50_0004, CASES, |rng| {
+        let (kx, ky) = (rng.range(1, 4), rng.range(1, 4));
+        let n = rng.range(3, 6);
         let ops = SemOps::new(box2d(kx, ky, [0.0, 1.0], [0.0, 1.0], false, false), n);
         let np = ops.n_pressure();
         let mut e = EOperator::new(&ops);
-        let p = random_field(np, seed);
-        let q = random_field(np, seed + 5);
+        let p = random_field(np, rng);
+        let q = random_field(np, rng);
         let mut ep = vec![0.0; np];
         let mut eq = vec![0.0; np];
         e.apply(&ops, &p, &mut ep);
         e.apply(&ops, &q, &mut eq);
         let lhs = dot_pressure(&ops, &ep, &q);
         let rhs = dot_pressure(&ops, &p, &eq);
-        prop_assert!((lhs - rhs).abs() < 1e-7 * (1.0 + lhs.abs()));
-        prop_assert!(dot_pressure(&ops, &p, &ep) > -1e-9);
+        assert!((lhs - rhs).abs() < 1e-7 * (1.0 + lhs.abs()));
+        assert!(dot_pressure(&ops, &p, &ep) > -1e-9);
         // Nullspace.
         let ones = vec![1.0; np];
         let mut e1 = vec![0.0; np];
         e.apply(&ops, &ones, &mut e1);
         let norm: f64 = e1.iter().map(|v| v * v).sum::<f64>().sqrt();
-        prop_assert!(norm < 1e-8, "E·1 = {norm}");
-    }
+        assert!(norm < 1e-8, "E·1 = {norm}");
+    });
+}
 
-    /// Gradient of a random linear field is exact everywhere.
-    #[test]
-    fn gradient_exact_on_linears((a, b, c) in (-3.0..3.0f64, -3.0..3.0f64, -3.0..3.0f64),
-                                 n in 2usize..8) {
+/// Gradient of a random linear field is exact everywhere.
+#[test]
+fn gradient_exact_on_linears() {
+    forall("gradient_exact_on_linears", 0x0b50_0005, CASES, |rng| {
+        let (a, b, c) = (
+            rng.uniform(-3.0, 3.0),
+            rng.uniform(-3.0, 3.0),
+            rng.uniform(-3.0, 3.0),
+        );
+        let n = rng.range(2, 8);
         let ops = SemOps::new(box2d(2, 2, [0.0, 1.0], [0.0, 1.0], false, false), n);
         let nn = ops.n_velocity();
         let u: Vec<f64> = (0..nn)
@@ -126,41 +144,43 @@ proptest! {
         let mut g = vec![vec![0.0; nn]; 2];
         gradient(&ops, &u, &mut g);
         for i in 0..nn {
-            prop_assert!((g[0][i] - a).abs() < 1e-8);
-            prop_assert!((g[1][i] - b).abs() < 1e-8);
+            assert!((g[0][i] - a).abs() < 1e-8);
+            assert!((g[1][i] - b).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    /// Mass conservation: total mass of any field equals its quadrature
-    /// integral, independent of element layout.
-    #[test]
-    fn mass_total_is_mesh_independent(n in 2usize..7, seed in 0u64..100) {
-        // Same smooth function integrated on two different meshes of the
-        // same domain.
-        let f = |x: f64, y: f64| (3.0 * x + seed as f64 * 0.01).sin() * (2.0 * y).cos();
-        let mut totals = Vec::new();
-        for (kx, ky) in [(1usize, 1usize), (3, 2)] {
-            let ops = SemOps::new(box2d(kx, ky, [0.0, 1.0], [0.0, 1.0], false, false), n + 4);
-            let u: Vec<f64> = (0..ops.n_velocity())
-                .map(|i| f(ops.geo.x[i], ops.geo.y[i]))
-                .collect();
-            let mut bu = vec![0.0; ops.n_velocity()];
-            mass_local(&ops, &u, &mut bu);
-            // Global integral: weighted sum counting shared nodes once.
-            let total: f64 = bu
-                .iter()
-                .zip(ops.wt.iter())
-                .map(|(a, w)| {
-                    // bu holds local (unassembled) B u: each local copy
-                    // carries its own quadrature share, so the plain sum
-                    // is the integral.
-                    let _ = w;
-                    a
-                })
-                .sum();
-            totals.push(total);
-        }
-        prop_assert!((totals[0] - totals[1]).abs() < 1e-6 * (1.0 + totals[0].abs()),
-            "{totals:?}");
-    }
+/// Mass conservation: total mass of any field equals its quadrature
+/// integral, independent of element layout.
+#[test]
+fn mass_total_is_mesh_independent() {
+    forall(
+        "mass_total_is_mesh_independent",
+        0x0b50_0006,
+        CASES,
+        |rng| {
+            let n = rng.range(2, 7);
+            let phase = rng.uniform(0.0, 1.0);
+            // Same smooth function integrated on two different meshes of the
+            // same domain.
+            let f = |x: f64, y: f64| (3.0 * x + phase).sin() * (2.0 * y).cos();
+            let mut totals = Vec::new();
+            for (kx, ky) in [(1usize, 1usize), (3, 2)] {
+                let ops = SemOps::new(box2d(kx, ky, [0.0, 1.0], [0.0, 1.0], false, false), n + 4);
+                let u: Vec<f64> = (0..ops.n_velocity())
+                    .map(|i| f(ops.geo.x[i], ops.geo.y[i]))
+                    .collect();
+                let mut bu = vec![0.0; ops.n_velocity()];
+                mass_local(&ops, &u, &mut bu);
+                // bu holds local (unassembled) B u: each local copy carries
+                // its own quadrature share, so the plain sum is the integral.
+                let total: f64 = bu.iter().sum();
+                totals.push(total);
+            }
+            assert!(
+                (totals[0] - totals[1]).abs() < 1e-6 * (1.0 + totals[0].abs()),
+                "{totals:?}"
+            );
+        },
+    );
 }

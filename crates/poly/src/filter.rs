@@ -57,7 +57,10 @@ pub fn filter_matrix_with(n_points: usize, sigma: impl Fn(usize) -> f64) -> Matr
 /// # Panics
 /// Panics unless `0 ≤ α ≤ 1`.
 pub fn filter_matrix(n_points: usize, alpha: f64) -> Matrix {
-    assert!((0.0..=1.0).contains(&alpha), "filter strength must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "filter strength must be in [0,1]"
+    );
     let top = n_points - 1;
     filter_matrix_with(n_points, |n| if n == top { 1.0 - alpha } else { 1.0 })
 }
@@ -72,7 +75,10 @@ pub fn filter_matrix(n_points: usize, alpha: f64) -> Matrix {
 /// stabilization mechanism.
 pub fn filter_matrix_interp(n_points: usize, alpha: f64) -> Matrix {
     assert!(n_points >= 3, "interpolation filter needs N ≥ 2");
-    assert!((0.0..=1.0).contains(&alpha), "filter strength must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "filter strength must be in [0,1]"
+    );
     let fine = gauss_lobatto(n_points).points;
     let coarse = gauss_lobatto(n_points - 1).points;
     let down = interp_matrix(&fine, &coarse);
@@ -157,8 +163,7 @@ mod tests {
                 }
                 // The N-th modal coefficient of F·P_N is exactly (1-α):
                 // the interpolated remainder lives entirely in P_{N-1}.
-                let top: Vec<f64> =
-                    rule.points.iter().map(|&x| legendre(np - 1, x)).collect();
+                let top: Vec<f64> = rule.points.iter().map(|&x| legendre(np - 1, x)).collect();
                 let ftop = fi.matvec(&top);
                 let coeffs = to_modal(&ftop);
                 assert!(

@@ -165,7 +165,11 @@ mod tests {
             let u: Vec<f64> = nodes.iter().map(|&x| x.powi(p)).collect();
             let du = d.matvec(&u);
             for (i, &x) in nodes.iter().enumerate() {
-                let want = if p == 0 { 0.0 } else { p as f64 * x.powi(p - 1) };
+                let want = if p == 0 {
+                    0.0
+                } else {
+                    p as f64 * x.powi(p - 1)
+                };
                 assert!((du[i] - want).abs() < 1e-10, "degree {p} node {i}");
             }
         }

@@ -130,7 +130,9 @@ mod tests {
         assert!(a.symmetry_defect() < 1e-13);
         // PSD: xᵀAx ≥ 0 for a few test vectors.
         for seed in 0..5 {
-            let x: Vec<f64> = (0..8).map(|i| ((i * 7 + seed * 3) as f64 * 0.61).sin()).collect();
+            let x: Vec<f64> = (0..8)
+                .map(|i| ((i * 7 + seed * 3) as f64 * 0.61).sin())
+                .collect();
             let ax = a.matvec(&x);
             let q: f64 = x.iter().zip(ax.iter()).map(|(a, b)| a * b).sum();
             assert!(q >= -1e-12);

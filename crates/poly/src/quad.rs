@@ -179,7 +179,11 @@ mod tests {
             let r = gauss_lobatto(np);
             for p in 0..=(2 * n - 1) {
                 let got = r.integrate(|x| x.powi(p as i32));
-                let want = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+                let want = if p % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (p as f64 + 1.0)
+                };
                 assert!((got - want).abs() < 1e-12, "GLL np={np} p={p}");
             }
         }
@@ -191,7 +195,11 @@ mod tests {
             let r = gauss(m);
             for p in 0..=(2 * m - 1) {
                 let got = r.integrate(|x| x.powi(p as i32));
-                let want = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+                let want = if p % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (p as f64 + 1.0)
+                };
                 assert!((got - want).abs() < 1e-12, "Gauss m={m} p={p}");
             }
         }

@@ -2,13 +2,18 @@
 //! exactness, interpolation/differentiation identities, modal transform
 //! roundtrips, and filter invariants — over random orders, polynomials,
 //! and filter strengths.
+//!
+//! Properties run as explicit seeded loops over [`sem_linalg::rng`]'s
+//! SplitMix64 generator; a failure message prints the exact case seed.
 
-use proptest::prelude::*;
+use sem_linalg::rng::forall;
 use sem_poly::filter::{filter_matrix, filter_matrix_interp};
 use sem_poly::lagrange::{deriv_matrix, interp_matrix};
 use sem_poly::legendre::legendre;
 use sem_poly::modal::{to_modal, to_nodal};
 use sem_poly::quad::{gauss, gauss_lobatto};
+
+const CASES: usize = 100;
 
 /// Evaluate a polynomial with the given coefficients (ascending powers).
 fn poly_eval(coeffs: &[f64], x: f64) -> f64 {
@@ -30,54 +35,74 @@ fn poly_integral(coeffs: &[f64]) -> f64 {
         .sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// GLL rule with N+1 points integrates random polynomials of degree
-    /// ≤ 2N−1 exactly.
-    #[test]
-    fn gll_quadrature_exactness(n in 2usize..12, coeffs in proptest::collection::vec(-3.0..3.0f64, 1..8)) {
-        let deg = coeffs.len() - 1;
-        prop_assume!(deg <= 2 * n - 1);
+/// GLL rule with N+1 points integrates random polynomials of degree
+/// ≤ 2N−1 exactly.
+#[test]
+fn gll_quadrature_exactness() {
+    forall("gll_quadrature_exactness", 0x0a17_0001, CASES, |rng| {
+        let n = rng.range(2, 12);
+        // Degree ≤ min(6, 2n−1): always within the exactness window.
+        let deg = rng.range(0, 7.min(2 * n - 1));
+        let coeffs = rng.vec(deg + 1, -3.0, 3.0);
         let rule = gauss_lobatto(n + 1);
         let got = rule.integrate(|x| poly_eval(&coeffs, x));
         let want = poly_integral(&coeffs);
-        prop_assert!((got - want).abs() < 1e-10 * (1.0 + want.abs()));
-    }
+        assert!((got - want).abs() < 1e-10 * (1.0 + want.abs()));
+    });
+}
 
-    /// Gauss rule with m points integrates degree ≤ 2m−1 exactly.
-    #[test]
-    fn gauss_quadrature_exactness(m in 1usize..12, coeffs in proptest::collection::vec(-3.0..3.0f64, 1..8)) {
-        let deg = coeffs.len() - 1;
-        prop_assume!(deg <= 2 * m - 1);
+/// Gauss rule with m points integrates degree ≤ 2m−1 exactly.
+#[test]
+fn gauss_quadrature_exactness() {
+    forall("gauss_quadrature_exactness", 0x0a17_0002, CASES, |rng| {
+        let m = rng.range(1, 12);
+        let deg = rng.range(0, 7.min(2 * m - 1).max(1));
+        let coeffs = rng.vec(deg + 1, -3.0, 3.0);
         let rule = gauss(m);
         let got = rule.integrate(|x| poly_eval(&coeffs, x));
         let want = poly_integral(&coeffs);
-        prop_assert!((got - want).abs() < 1e-10 * (1.0 + want.abs()));
-    }
+        assert!((got - want).abs() < 1e-10 * (1.0 + want.abs()));
+    });
+}
 
-    /// Differentiation matrix: exact derivative of random polynomials of
-    /// degree ≤ N on the GLL nodes.
-    #[test]
-    fn deriv_matrix_exact(n in 2usize..14, coeffs in proptest::collection::vec(-3.0..3.0f64, 1..10)) {
-        prop_assume!(coeffs.len() - 1 <= n);
+/// Differentiation matrix: exact derivative of random polynomials of
+/// degree ≤ N on the GLL nodes.
+#[test]
+fn deriv_matrix_exact() {
+    forall("deriv_matrix_exact", 0x0a17_0003, CASES, |rng| {
+        let n = rng.range(2, 14);
+        let deg = rng.range(0, 9.min(n) + 1);
+        let coeffs = rng.vec(deg + 1, -3.0, 3.0);
         let nodes = gauss_lobatto(n + 1).points;
         let d = deriv_matrix(&nodes);
         let u: Vec<f64> = nodes.iter().map(|&x| poly_eval(&coeffs, x)).collect();
         let du = d.matvec(&u);
-        let dcoeffs: Vec<f64> = coeffs.iter().enumerate().skip(1)
-            .map(|(p, &c)| p as f64 * c).collect();
+        let dcoeffs: Vec<f64> = coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(p, &c)| p as f64 * c)
+            .collect();
         for (i, &x) in nodes.iter().enumerate() {
-            let want = if dcoeffs.is_empty() { 0.0 } else { poly_eval(&dcoeffs, x) };
-            prop_assert!((du[i] - want).abs() < 1e-8 * (1.0 + want.abs()));
+            let want = if dcoeffs.is_empty() {
+                0.0
+            } else {
+                poly_eval(&dcoeffs, x)
+            };
+            assert!((du[i] - want).abs() < 1e-8 * (1.0 + want.abs()));
         }
-    }
+    });
+}
 
-    /// Interpolation between node sets is exact on shared polynomial space.
-    #[test]
-    fn interpolation_exact((nf, nt) in (3usize..12, 1usize..12),
-                           coeffs in proptest::collection::vec(-2.0..2.0f64, 1..8)) {
-        prop_assume!(coeffs.len() <= nf); // degree ≤ nf−1
+/// Interpolation between node sets is exact on shared polynomial space.
+#[test]
+fn interpolation_exact() {
+    forall("interpolation_exact", 0x0a17_0004, CASES, |rng| {
+        let nf = rng.range(3, 12);
+        let nt = rng.range(1, 12);
+        // coeffs.len() ≤ nf, i.e. degree ≤ nf−1.
+        let ncoeff = rng.range(1, 8.min(nf) + 1);
+        let coeffs = rng.vec(ncoeff, -2.0, 2.0);
         let from = gauss_lobatto(nf).points;
         let to = gauss(nt).points;
         let j = interp_matrix(&from, &to);
@@ -85,26 +110,33 @@ proptest! {
         let v = j.matvec(&u);
         for (i, &y) in to.iter().enumerate() {
             let want = poly_eval(&coeffs, y);
-            prop_assert!((v[i] - want).abs() < 1e-9 * (1.0 + want.abs()));
+            assert!((v[i] - want).abs() < 1e-9 * (1.0 + want.abs()));
         }
-    }
+    });
+}
 
-    /// Modal/nodal transforms are mutually inverse for arbitrary data.
-    #[test]
-    fn modal_roundtrip(n in 2usize..14, data in proptest::collection::vec(-5.0..5.0f64, 3..15)) {
-        prop_assume!(data.len() == n + 1);
+/// Modal/nodal transforms are mutually inverse for arbitrary data.
+#[test]
+fn modal_roundtrip() {
+    forall("modal_roundtrip", 0x0a17_0005, CASES, |rng| {
+        let n = rng.range(2, 14);
+        let data = rng.vec(n + 1, -5.0, 5.0);
         let uhat = to_modal(&data);
         let back = to_nodal(&uhat);
         for (g, w) in back.iter().zip(data.iter()) {
-            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
+            assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
         }
-    }
+    });
+}
 
-    /// Both filter constructions: fixed points on P_{N−1}, endpoint rows
-    /// of the interpolation form are unit vectors (the C⁰ property), and
-    /// the modal form attenuates the top coefficient by exactly 1−α.
-    #[test]
-    fn filter_invariants(n in 3usize..12, alpha in 0.0..=1.0f64) {
+/// Both filter constructions: fixed points on P_{N−1}, endpoint rows
+/// of the interpolation form are unit vectors (the C⁰ property), and
+/// the modal form attenuates the top coefficient by exactly 1−α.
+#[test]
+fn filter_invariants() {
+    forall("filter_invariants", 0x0a17_0006, CASES, |rng| {
+        let n = rng.range(3, 12);
+        let alpha = rng.uniform(0.0, 1.0);
         let np = n + 1;
         let fm = filter_matrix(np, alpha);
         let fi = filter_matrix_interp(np, alpha);
@@ -115,7 +147,7 @@ proptest! {
             for f in [&fm, &fi] {
                 let fu = f.matvec(&u);
                 for (g, w) in fu.iter().zip(u.iter()) {
-                    prop_assert!((g - w).abs() < 1e-8);
+                    assert!((g - w).abs() < 1e-8);
                 }
             }
         }
@@ -123,28 +155,34 @@ proptest! {
         for row in [0, n] {
             for j in 0..np {
                 let want = if j == row { 1.0 } else { 0.0 };
-                prop_assert!((fi[(row, j)] - want).abs() < 1e-9,
-                    "row {row} col {j}: {}", fi[(row, j)]);
+                assert!(
+                    (fi[(row, j)] - want).abs() < 1e-9,
+                    "row {row} col {j}: {}",
+                    fi[(row, j)]
+                );
             }
         }
         // Modal form: top mode scaled by exactly 1−α.
         let top: Vec<f64> = nodes.iter().map(|&x| legendre(n, x)).collect();
         let ftop = fm.matvec(&top);
         for (g, w) in ftop.iter().zip(top.iter()) {
-            prop_assert!((g - (1.0 - alpha) * w).abs() < 1e-8);
+            assert!((g - (1.0 - alpha) * w).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    /// Quadrature weights are positive and sum to 2 for every order.
-    #[test]
-    fn weights_positive_sum_two(n in 2usize..40) {
+/// Quadrature weights are positive and sum to 2 for every order.
+#[test]
+fn weights_positive_sum_two() {
+    forall("weights_positive_sum_two", 0x0a17_0007, CASES, |rng| {
+        let n = rng.range(2, 40);
         let rule = gauss_lobatto(n);
-        prop_assert!(rule.weights.iter().all(|&w| w > 0.0));
+        assert!(rule.weights.iter().all(|&w| w > 0.0));
         let s: f64 = rule.weights.iter().sum();
-        prop_assert!((s - 2.0).abs() < 1e-11);
+        assert!((s - 2.0).abs() < 1e-11);
         let gr = gauss(n);
-        prop_assert!(gr.weights.iter().all(|&w| w > 0.0));
+        assert!(gr.weights.iter().all(|&w| w > 0.0));
         let s: f64 = gr.weights.iter().sum();
-        prop_assert!((s - 2.0).abs() < 1e-11);
-    }
+        assert!((s - 2.0).abs() < 1e-11);
+    });
 }

@@ -118,8 +118,7 @@ impl CoarseSolver {
         triplets.retain(|&(i, j, _)| i != 0 && j != 0);
         triplets.push((0, 0, 1.0));
         let a0 = Csr::from_triplets(n0, &triplets);
-        let chol = Cholesky::new(&a0.to_dense())
-            .expect("pinned coarse operator must be SPD");
+        let chol = Cholesky::new(&a0.to_dense()).expect("pinned coarse operator must be SPD");
         let gr = gauss(ops.ngp);
         let e1 = Matrix::from_fn(ops.ngp, 2, |g, a| {
             let x = gr.points[g];
@@ -302,7 +301,10 @@ mod tests {
         cs.apply(&s, &mut zs);
         let lhs: f64 = zr.iter().zip(s.iter()).map(|(a, b)| a * b).sum();
         let rhs: f64 = r.iter().zip(zs.iter()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
         let quad: f64 = r.iter().zip(zr.iter()).map(|(a, b)| a * b).sum();
         assert!(quad >= -1e-10);
     }

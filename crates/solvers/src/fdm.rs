@@ -115,8 +115,7 @@ impl FdmElement {
                 for k in 0..sizes[2] {
                     for j in 0..sizes[1] {
                         for i in 0..sizes[0] {
-                            let denom =
-                                dirs[0].lambda[i] + dirs[1].lambda[j] + dirs[2].lambda[k];
+                            let denom = dirs[0].lambda[i] + dirs[1].lambda[j] + dirs[2].lambda[k];
                             inv[(k * sizes[1] + j) * sizes[0] + i] = 1.0 / denom;
                         }
                     }
@@ -206,11 +205,7 @@ mod tests {
         // Rebuild the pencil and verify A s = λ B s.
         let nodes = extended_nodes_1d(&g, 1);
         let a = dirichlet_interior(&fe_stiffness(&nodes), 1, 1);
-        let b = dirichlet_interior(
-            &Matrix::from_diag(&fe_mass_lumped(&nodes)),
-            1,
-            1,
-        );
+        let b = dirichlet_interior(&Matrix::from_diag(&fe_mass_lumped(&nodes)), 1, 1);
         for j in 0..f.dim() {
             let s = f.s.col(j);
             let asv = a.matvec(&s);
@@ -235,11 +230,7 @@ mod tests {
             let nodes = extended_nodes_1d(g, 1);
             let phys: Vec<f64> = nodes.iter().map(|&x| x * len / 2.0).collect();
             let a = dirichlet_interior(&fe_stiffness(&phys), 1, 1);
-            let b = dirichlet_interior(
-                &Matrix::from_diag(&fe_mass_lumped(&phys)),
-                1,
-                1,
-            );
+            let b = dirichlet_interior(&Matrix::from_diag(&fe_mass_lumped(&phys)), 1, 1);
             (a, b)
         };
         let (ax, bx) = build(&gx, 1.0);
@@ -270,11 +261,7 @@ mod tests {
             let nodes = extended_nodes_1d(&g, 0);
             let phys: Vec<f64> = nodes.iter().map(|&x| x * len / 2.0).collect();
             let a = dirichlet_interior(&fe_stiffness(&phys), 1, 1);
-            let b = dirichlet_interior(
-                &Matrix::from_diag(&fe_mass_lumped(&phys)),
-                1,
-                1,
-            );
+            let b = dirichlet_interior(&Matrix::from_diag(&fe_mass_lumped(&phys)), 1, 1);
             (a, b)
         };
         let (ax, bx) = build(1.0);

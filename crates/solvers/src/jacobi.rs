@@ -97,12 +97,7 @@ impl HelmholtzSolver {
                 *dv = 1.0;
             }
         }
-        HelmholtzSolver {
-            diag,
-            h1,
-            h2,
-            opts,
-        }
+        HelmholtzSolver { diag, h1, h2, opts }
     }
 
     /// Coefficients `(h1, h2)` this solver was built for.

@@ -45,12 +45,7 @@ impl PressureSolver {
     }
 
     /// Build with an explicit Schwarz configuration.
-    pub fn with_schwarz(
-        ops: &SemOps,
-        cfg: SchwarzConfig,
-        lmax: usize,
-        opts: CgOptions,
-    ) -> Self {
+    pub fn with_schwarz(ops: &SemOps, cfg: SchwarzConfig, lmax: usize, opts: CgOptions) -> Self {
         let precond = Some(SchwarzPrecond::new(ops, cfg));
         PressureSolver {
             e: EOperator::new(ops),
@@ -210,10 +205,7 @@ mod tests {
         }
         let last0 = *iters0.last().unwrap();
         let last1 = *iters1.last().unwrap();
-        assert!(
-            last1 < last0,
-            "projection {iters1:?} vs none {iters0:?}"
-        );
+        assert!(last1 < last0, "projection {iters1:?} vs none {iters0:?}");
     }
 
     #[test]

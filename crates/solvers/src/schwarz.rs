@@ -385,7 +385,9 @@ mod tests {
         // Same local operator, different solve path: identical results.
         let ops = ops2d(2, 6);
         let np = ops.n_pressure();
-        let r: Vec<f64> = (0..np).map(|i| ((i * 13 % 31) as f64 - 15.0) / 15.0).collect();
+        let r: Vec<f64> = (0..np)
+            .map(|i| ((i * 13 % 31) as f64 - 15.0) / 15.0)
+            .collect();
         for overlap in [0, 1, 3] {
             let mf = SchwarzPrecond::new(
                 &ops,
@@ -454,10 +456,7 @@ mod tests {
         let none = solve_e(&ops, None);
         let m1 = SchwarzPrecond::new(&ops, SchwarzConfig::default());
         let with_schwarz = solve_e(&ops, Some(&m1));
-        assert!(
-            with_schwarz < none,
-            "schwarz {with_schwarz} vs none {none}"
-        );
+        assert!(with_schwarz < none, "schwarz {with_schwarz} vs none {none}");
     }
 
     #[test]

@@ -71,8 +71,7 @@ fn nd_rec(adj: &[Vec<usize>], verts: Vec<usize>, order: &mut Vec<usize>) {
     let mut levels = bfs(far);
     // Disconnected remainder: append unreached vertices as their own group.
     if levels.len() < verts.len() {
-        let reached: std::collections::HashSet<usize> =
-            levels.iter().map(|&(v, _)| v).collect();
+        let reached: std::collections::HashSet<usize> = levels.iter().map(|&(v, _)| v).collect();
         let rest: Vec<usize> = verts
             .iter()
             .copied()
@@ -85,8 +84,7 @@ fn nd_rec(adj: &[Vec<usize>], verts: Vec<usize>, order: &mut Vec<usize>) {
     }
     levels.sort_by_key(|&(_, d)| d);
     let half = levels.len() / 2;
-    let a: std::collections::HashSet<usize> =
-        levels[..half].iter().map(|&(v, _)| v).collect();
+    let a: std::collections::HashSet<usize> = levels[..half].iter().map(|&(v, _)| v).collect();
     let mut sep = Vec::new();
     let mut part_a = Vec::new();
     let mut part_b = Vec::new();
@@ -278,8 +276,8 @@ impl XxtSolver {
         let mut bandwidth = 0.0;
         for s in 0..stages {
             let group = 1usize << (s + 1); // group size after this stage
-            // Boundaries merged at this stage: between rank g*group+group/2-1
-            // and +group/2. Critical path = max crossing count over pairs.
+                                           // Boundaries merged at this stage: between rank g*group+group/2-1
+                                           // and +group/2. Critical path = max crossing count over pairs.
             let mut max_cross = 0u64;
             let mut g = 0;
             while g * group < p {

@@ -2,15 +2,20 @@
 //! SPD systems, XXᵀ exactness under arbitrary elimination orders,
 //! banded-vs-dense factorization agreement, and projection-history
 //! algebra.
+//!
+//! Properties run as explicit seeded loops over [`sem_linalg::rng`]'s
+//! SplitMix64 generator; a failure message prints the exact case seed.
 
-use proptest::prelude::*;
 use sem_linalg::banded::BandedCholesky;
 use sem_linalg::chol::Cholesky;
+use sem_linalg::rng::forall;
 use sem_linalg::Matrix;
 use sem_solvers::cg::{pcg, CgOptions};
 use sem_solvers::projection::RhsProjection;
 use sem_solvers::sparse::Csr;
 use sem_solvers::xxt::{nested_dissection, XxtSolver};
+
+const CASES: usize = 100;
 
 fn spd_from(data: &[f64], n: usize) -> Matrix {
     let r = Matrix::from_fn(n, n, |i, j| data[(i * n + j) % data.len()] / 10.0);
@@ -21,14 +26,13 @@ fn spd_from(data: &[f64], n: usize) -> Matrix {
     a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// CG solves arbitrary SPD systems to tolerance within n iterations
-    /// (exact-arithmetic bound, with slack for roundoff).
-    #[test]
-    fn cg_converges_on_spd(n in 2usize..16,
-                           data in proptest::collection::vec(-5.0..5.0f64, 64)) {
+/// CG solves arbitrary SPD systems to tolerance within n iterations
+/// (exact-arithmetic bound, with slack for roundoff).
+#[test]
+fn cg_converges_on_spd() {
+    forall("cg_converges_on_spd", 0x501e_0001, CASES, |rng| {
+        let n = rng.range(2, 16);
+        let data = rng.vec(64, -5.0, 5.0);
         let a = spd_from(&data, n);
         let b: Vec<f64> = (0..n).map(|i| data[i % data.len()]).collect();
         let mut x = vec![0.0; n];
@@ -39,56 +43,70 @@ proptest! {
             |r, z| z.copy_from_slice(r),
             |u, v| u.iter().zip(v.iter()).map(|(a, b)| a * b).sum(),
             |_| {},
-            &CgOptions { tol: 1e-10, max_iter: 10 * n + 20, ..Default::default() },
+            &CgOptions {
+                tol: 1e-10,
+                max_iter: 10 * n + 20,
+                ..Default::default()
+            },
         );
-        prop_assert!(res.converged);
+        assert!(res.converged);
         let ax = a.matvec(&x);
         for (g, w) in ax.iter().zip(b.iter()) {
-            prop_assert!((g - w).abs() < 1e-7 * (1.0 + w.abs()));
+            assert!((g - w).abs() < 1e-7 * (1.0 + w.abs()));
         }
-    }
+    });
+}
 
-    /// XXᵀ is an exact factorization for *any* elimination order (the
-    /// order only affects sparsity, never correctness).
-    #[test]
-    fn xxt_exact_for_any_order(m in 3usize..8, perm_seed in 0u64..1000) {
+/// XXᵀ is an exact factorization for *any* elimination order (the
+/// order only affects sparsity, never correctness).
+#[test]
+fn xxt_exact_for_any_order() {
+    forall("xxt_exact_for_any_order", 0x501e_0002, CASES, |rng| {
+        let m = rng.range(3, 8);
         let a = Csr::laplacian_5pt(m);
         let n = m * m;
         // Seeded pseudo-random permutation.
         let mut order: Vec<usize> = (0..n).collect();
-        let mut state = perm_seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(13);
-        for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
-            order.swap(i, j);
-        }
+        rng.shuffle(&mut order);
         let xxt = XxtSolver::new(&a, &order);
         let chol = Cholesky::new(&a.to_dense()).unwrap();
         let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).sin()).collect();
         let x = xxt.solve(&b);
         let want = chol.solve(&b);
         for (g, w) in x.iter().zip(want.iter()) {
-            prop_assert!((g - w).abs() < 1e-7 * (1.0 + w.abs()));
+            assert!((g - w).abs() < 1e-7 * (1.0 + w.abs()));
         }
-    }
+    });
+}
 
-    /// Nested dissection never *increases* factor nonzeros vs natural
-    /// order on grid graphs (the sparsity rationale of ref [24]).
-    #[test]
-    fn nd_no_denser_than_natural(m in 4usize..12) {
+/// Nested dissection never *increases* factor nonzeros vs natural
+/// order on grid graphs (the sparsity rationale of ref [24]).
+#[test]
+fn nd_no_denser_than_natural() {
+    forall("nd_no_denser_than_natural", 0x501e_0003, CASES, |rng| {
+        let m = rng.range(4, 12);
         let a = Csr::laplacian_5pt(m);
         let nat = XxtSolver::new(&a, &(0..m * m).collect::<Vec<_>>());
         let order = nested_dissection(&a.adjacency());
         let nd = XxtSolver::new(&a, &order);
-        prop_assert!(nd.nnz() <= nat.nnz(),
-            "m={}: nd {} vs natural {}", m, nd.nnz(), nat.nnz());
-    }
+        assert!(
+            nd.nnz() <= nat.nnz(),
+            "m={}: nd {} vs natural {}",
+            m,
+            nd.nnz(),
+            nat.nnz()
+        );
+    });
+}
 
-    /// Banded and dense Cholesky agree on banded SPD systems.
-    #[test]
-    fn banded_matches_dense(n in 3usize..20, kd in 1usize..4,
-                            data in proptest::collection::vec(0.1..2.0f64, 40)) {
-        prop_assume!(kd < n);
+/// Banded and dense Cholesky agree on banded SPD systems.
+#[test]
+fn banded_matches_dense() {
+    forall("banded_matches_dense", 0x501e_0004, CASES, |rng| {
+        let n = rng.range(3, 20);
+        // kd < n always: the bandwidth is capped by the matrix size.
+        let kd = rng.range(1, 4.min(n));
+        let data = rng.vec(40, 0.1, 2.0);
         // Diagonally dominant banded SPD.
         let a = Matrix::from_fn(n, n, |i, j| {
             let d = i.abs_diff(j);
@@ -106,16 +124,20 @@ proptest! {
         let xb = banded.solve(&b);
         let xd = dense.solve(&b);
         for (g, w) in xb.iter().zip(xd.iter()) {
-            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
+            assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
         }
-    }
+    });
+}
 
-    /// Projection: after updating with (x, Ax), projecting the same RHS
-    /// recovers the solution with (numerically) zero residual; the stored
-    /// basis stays E-orthonormal under arbitrary update sequences.
-    #[test]
-    fn projection_algebra(n in 4usize..16, rounds in 1usize..6,
-                          data in proptest::collection::vec(-3.0..3.0f64, 96)) {
+/// Projection: after updating with (x, Ax), projecting the same RHS
+/// recovers the solution with (numerically) zero residual; the stored
+/// basis stays E-orthonormal under arbitrary update sequences.
+#[test]
+fn projection_algebra() {
+    forall("projection_algebra", 0x501e_0005, CASES, |rng| {
+        let n = rng.range(4, 16);
+        let rounds = rng.range(1, 6);
+        let data = rng.vec(96, -3.0, 3.0);
         let a = spd_from(&data, n);
         let mut proj = RhsProjection::new(n, 8);
         for r in 0..rounds {
@@ -141,12 +163,12 @@ proptest! {
         // The perturbation residual must be (near) zero: target ∈ span.
         let rnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         let scale: f64 = target.iter().map(|v| v * v).sum::<f64>().sqrt();
-        prop_assert!(rnorm < 1e-6 * (1.0 + scale), "residual {rnorm}");
+        assert!(rnorm < 1e-6 * (1.0 + scale), "residual {rnorm}");
         // And xbar solves the system.
         let ax = a.matvec(&xbar);
         let want = a.matvec(&target);
         for (g, w) in ax.iter().zip(want.iter()) {
-            prop_assert!((g - w).abs() < 1e-5 * (1.0 + w.abs()));
+            assert!((g - w).abs() < 1e-5 * (1.0 + w.abs()));
         }
-    }
+    });
 }

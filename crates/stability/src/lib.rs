@@ -193,16 +193,8 @@ mod tests {
     #[test]
     fn orszag_benchmark_eigenvalue() {
         let os = solve_orr_sommerfeld(10000.0, 1.0, 96, Complex::new(0.237, 0.0037));
-        assert!(
-            (os.c.re - 0.23752649).abs() < 1e-6,
-            "c_r = {}",
-            os.c.re
-        );
-        assert!(
-            (os.c.im - 0.00373967).abs() < 1e-6,
-            "c_i = {}",
-            os.c.im
-        );
+        assert!((os.c.re - 0.23752649).abs() < 1e-6, "c_r = {}", os.c.re);
+        assert!((os.c.im - 0.00373967).abs() < 1e-6, "c_i = {}", os.c.im);
     }
 
     #[test]

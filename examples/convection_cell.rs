@@ -45,7 +45,10 @@ fn main() {
         convection: ConvectionScheme::Ext,
         filter_alpha: 0.05,
         pressure_lmax: 26,
-        pressure_cg: CgOptions { tol: 1e-7, ..Default::default() },
+        pressure_cg: CgOptions {
+            tol: 1e-7,
+            ..Default::default()
+        },
         boussinesq: Some(Boussinesq {
             g_beta: [0.0, ra * pr, 0.0],
             kappa: 1.0,
@@ -84,5 +87,7 @@ fn main() {
     let nu_final = nusselt(&s);
     println!();
     println!("final Nusselt number: {nu_final:.3} (conduction = 1; convection at Ra = 1e5 gives Nu ≈ 3–5)");
-    println!("(watch the p-iters column fall as the projection history builds — the Fig. 4 effect)");
+    println!(
+        "(watch the p-iters column fall as the projection history builds — the Fig. 4 effect)"
+    );
 }

@@ -37,7 +37,10 @@ fn main() {
         convection: ConvectionScheme::Oifs { substeps: 4 },
         filter_alpha: 0.1,
         pressure_lmax: 20,
-        pressure_cg: CgOptions { tol: 1e-5, ..Default::default() },
+        pressure_cg: CgOptions {
+            tol: 1e-5,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut s = NsSolver::new(ops, cfg);

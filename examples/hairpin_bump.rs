@@ -37,8 +37,14 @@ fn main() {
         convection: ConvectionScheme::Oifs { substeps: 4 },
         filter_alpha: 0.1,
         pressure_lmax: 25,
-        pressure_cg: CgOptions { tol: 1e-6, ..Default::default() },
-        schwarz: SchwarzConfig { overlap: 0, ..Default::default() },
+        pressure_cg: CgOptions {
+            tol: 1e-6,
+            ..Default::default()
+        },
+        schwarz: SchwarzConfig {
+            overlap: 0,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let delta = 0.5;

@@ -34,11 +34,21 @@ fn main() {
 
     // --- 2. Poisson: −Δu = f, u = sin(πx)sin(πy) ------------------------
     let u_exact = eval_on_nodes(&ops, |x, y, _| (pi * x).sin() * (pi * y).sin());
-    let f = eval_on_nodes(&ops, |x, y, _| 2.0 * pi * pi * (pi * x).sin() * (pi * y).sin());
+    let f = eval_on_nodes(&ops, |x, y, _| {
+        2.0 * pi * pi * (pi * x).sin() * (pi * y).sin()
+    });
     let mut b = vec![0.0; ops.n_velocity()];
     mass_local(&ops, &f, &mut b);
     ops.dssum_mask(&mut b);
-    let solver = HelmholtzSolver::new(&ops, 1.0, 0.0, CgOptions { tol: 1e-12, ..Default::default() });
+    let solver = HelmholtzSolver::new(
+        &ops,
+        1.0,
+        0.0,
+        CgOptions {
+            tol: 1e-12,
+            ..Default::default()
+        },
+    );
     let mut u = vec![0.0; ops.n_velocity()];
     let res = solver.solve(&ops, &mut u, &b);
     let err = u
@@ -52,8 +62,17 @@ fn main() {
     );
 
     // --- 3. the pressure operator with the production preconditioner ----
-    let mut psolver = PressureSolver::new(&ops, 8, CgOptions { tol: 1e-9, ..Default::default() });
-    let mut g: Vec<f64> = (0..ops.n_pressure()).map(|i| (i as f64 * 0.13).sin()).collect();
+    let mut psolver = PressureSolver::new(
+        &ops,
+        8,
+        CgOptions {
+            tol: 1e-9,
+            ..Default::default()
+        },
+    );
+    let mut g: Vec<f64> = (0..ops.n_pressure())
+        .map(|i| (i as f64 * 0.13).sin())
+        .collect();
     let m = g.iter().sum::<f64>() / g.len() as f64;
     g.iter_mut().for_each(|v| *v -= m);
     let mut p = vec![0.0; ops.n_pressure()];

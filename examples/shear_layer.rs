@@ -37,7 +37,10 @@ fn main() {
         convection: ConvectionScheme::Oifs { substeps: 4 },
         filter_alpha: alpha,
         pressure_lmax: 20,
-        pressure_cg: CgOptions { tol: 1e-8, ..Default::default() },
+        pressure_cg: CgOptions {
+            tol: 1e-8,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut s = NsSolver::new(ops, cfg);
@@ -62,7 +65,10 @@ fn main() {
             );
         }
         if !ke.is_finite() || ke > 10.0 {
-            println!("*** BLOW-UP at t = {:.3} (run with --alpha 0.3 to stabilize) ***", s.time);
+            println!(
+                "*** BLOW-UP at t = {:.3} (run with --alpha 0.3 to stabilize) ***",
+                s.time
+            );
             return;
         }
     }
@@ -70,7 +76,9 @@ fn main() {
     let w = vorticity_2d(&s.ops, &s.vel[0], &s.vel[1]);
     let (wmin, wmax) = w
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     println!("final vorticity range: [{wmin:.2}, {wmax:.2}] (paper plots contours of ±70)");
 
     let path = "shear_layer_vorticity.csv";

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Canonical tier-1 verification: hermetic build + full test suite +
+# bench-target compilation, all offline (the workspace is
+# zero-dependency by policy — an empty cargo registry cache must work).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo bench --no-run --offline -p sem-bench
+
+echo "verify: OK"

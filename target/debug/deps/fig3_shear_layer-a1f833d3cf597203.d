@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_shear_layer-a1f833d3cf597203.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/debug/deps/fig3_shear_layer-a1f833d3cf597203: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

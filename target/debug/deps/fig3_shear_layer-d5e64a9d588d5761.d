@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_shear_layer-d5e64a9d588d5761.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/debug/deps/fig3_shear_layer-d5e64a9d588d5761: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_projection-913b3f76be8e3991.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/debug/deps/fig4_projection-913b3f76be8e3991: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_projection-e0b199c2e732682a.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/debug/deps/fig4_projection-e0b199c2e732682a: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coarse_grid-7894bf6a97a7db9f.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/debug/deps/fig6_coarse_grid-7894bf6a97a7db9f: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coarse_grid-f989891048f62581.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/debug/deps/fig6_coarse_grid-f989891048f62581: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

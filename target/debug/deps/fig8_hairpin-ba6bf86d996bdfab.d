@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_hairpin-ba6bf86d996bdfab.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/debug/deps/fig8_hairpin-ba6bf86d996bdfab: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_hairpin-faba68171b0c4fa8.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/debug/deps/fig8_hairpin-faba68171b0c4fa8: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

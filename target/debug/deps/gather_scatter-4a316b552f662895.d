@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gather_scatter-4a316b552f662895.d: crates/bench/benches/gather_scatter.rs
+
+/root/repo/target/debug/deps/gather_scatter-4a316b552f662895: crates/bench/benches/gather_scatter.rs
+
+crates/bench/benches/gather_scatter.rs:

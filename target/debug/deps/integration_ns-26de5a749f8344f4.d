@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_ns-26de5a749f8344f4.d: tests/integration_ns.rs
+
+/root/repo/target/debug/deps/integration_ns-26de5a749f8344f4: tests/integration_ns.rs
+
+tests/integration_ns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_parallel-688bbb7696d5963f.d: tests/integration_parallel.rs
+
+/root/repo/target/debug/deps/integration_parallel-688bbb7696d5963f: tests/integration_parallel.rs
+
+tests/integration_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_poisson-355741612c84c078.d: tests/integration_poisson.rs
+
+/root/repo/target/debug/deps/integration_poisson-355741612c84c078: tests/integration_poisson.rs
+
+tests/integration_poisson.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_solves-a743790201639ed3.d: crates/bench/benches/local_solves.rs
+
+/root/repo/target/debug/deps/local_solves-a743790201639ed3: crates/bench/benches/local_solves.rs
+
+crates/bench/benches/local_solves.rs:

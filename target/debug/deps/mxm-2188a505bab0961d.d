@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mxm-2188a505bab0961d.d: crates/bench/benches/mxm.rs
+
+/root/repo/target/debug/deps/mxm-2188a505bab0961d: crates/bench/benches/mxm.rs
+
+crates/bench/benches/mxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ns_step-7ee4596cca5fa04f.d: crates/bench/benches/ns_step.rs
+
+/root/repo/target/debug/deps/ns_step-7ee4596cca5fa04f: crates/bench/benches/ns_step.rs
+
+crates/bench/benches/ns_step.rs:

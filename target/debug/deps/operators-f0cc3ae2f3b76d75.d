@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operators-f0cc3ae2f3b76d75.d: crates/bench/benches/operators.rs
+
+/root/repo/target/debug/deps/operators-f0cc3ae2f3b76d75: crates/bench/benches/operators.rs
+
+crates/bench/benches/operators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-58b097ea8d1e33d6.d: crates/ops/tests/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-58b097ea8d1e33d6: crates/ops/tests/par_determinism.rs
+
+crates/ops/tests/par_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0b8dfe7f1dfcadf6.d: crates/linalg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0b8dfe7f1dfcadf6: crates/linalg/tests/proptests.rs
+
+crates/linalg/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1368f2ed0ce62506.d: crates/solvers/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1368f2ed0ce62506: crates/solvers/tests/proptests.rs
+
+crates/solvers/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1dd21c2dd158526d.d: crates/gs/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1dd21c2dd158526d: crates/gs/tests/proptests.rs
+
+crates/gs/tests/proptests.rs:

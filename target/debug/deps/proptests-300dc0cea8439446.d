@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-300dc0cea8439446.d: crates/mesh/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-300dc0cea8439446: crates/mesh/tests/proptests.rs
+
+crates/mesh/tests/proptests.rs:

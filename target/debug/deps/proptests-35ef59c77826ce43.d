@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-35ef59c77826ce43.d: crates/comm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-35ef59c77826ce43: crates/comm/tests/proptests.rs
+
+crates/comm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-72d51f6f05988fb2.d: crates/poly/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-72d51f6f05988fb2: crates/poly/tests/proptests.rs
+
+crates/poly/tests/proptests.rs:

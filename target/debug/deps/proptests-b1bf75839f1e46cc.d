@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b1bf75839f1e46cc.d: crates/ops/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b1bf75839f1e46cc: crates/ops/tests/proptests.rs
+
+crates/ops/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sem_bench-5186d207000011b4.d: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsem_bench-5186d207000011b4.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsem_bench-5186d207000011b4.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

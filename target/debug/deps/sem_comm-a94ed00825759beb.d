@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sem_comm-a94ed00825759beb.d: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+/root/repo/target/debug/deps/libsem_comm-a94ed00825759beb.rlib: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+/root/repo/target/debug/deps/libsem_comm-a94ed00825759beb.rmeta: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/model.rs:
+crates/comm/src/par.rs:
+crates/comm/src/sim.rs:

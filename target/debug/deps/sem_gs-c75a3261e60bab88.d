@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sem_gs-c75a3261e60bab88.d: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/debug/deps/sem_gs-c75a3261e60bab88: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+crates/gs/src/lib.rs:
+crates/gs/src/local.rs:
+crates/gs/src/parallel.rs:

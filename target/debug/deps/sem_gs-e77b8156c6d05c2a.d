@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sem_gs-e77b8156c6d05c2a.d: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/debug/deps/libsem_gs-e77b8156c6d05c2a.rlib: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/debug/deps/libsem_gs-e77b8156c6d05c2a.rmeta: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+crates/gs/src/lib.rs:
+crates/gs/src/local.rs:
+crates/gs/src/parallel.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sem_ops-87c0e2aca4968f2d.d: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+/root/repo/target/debug/deps/libsem_ops-87c0e2aca4968f2d.rlib: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+/root/repo/target/debug/deps/libsem_ops-87c0e2aca4968f2d.rmeta: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+crates/ops/src/lib.rs:
+crates/ops/src/convect.rs:
+crates/ops/src/fields.rs:
+crates/ops/src/filter.rs:
+crates/ops/src/laplace.rs:
+crates/ops/src/pressure.rs:
+crates/ops/src/space.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sem_poly-697c0d15e928ca0c.d: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/debug/deps/libsem_poly-697c0d15e928ca0c.rlib: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/debug/deps/libsem_poly-697c0d15e928ca0c.rmeta: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/filter.rs:
+crates/poly/src/lagrange.rs:
+crates/poly/src/legendre.rs:
+crates/poly/src/modal.rs:
+crates/poly/src/ops1d.rs:
+crates/poly/src/quad.rs:

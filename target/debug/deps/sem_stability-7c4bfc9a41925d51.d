@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sem_stability-7c4bfc9a41925d51.d: crates/stability/src/lib.rs
+
+/root/repo/target/debug/deps/libsem_stability-7c4bfc9a41925d51.rlib: crates/stability/src/lib.rs
+
+/root/repo/target/debug/deps/libsem_stability-7c4bfc9a41925d51.rmeta: crates/stability/src/lib.rs
+
+crates/stability/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sem_stability-8f29d4fc01957370.d: crates/stability/src/lib.rs
+
+/root/repo/target/debug/deps/sem_stability-8f29d4fc01957370: crates/stability/src/lib.rs
+
+crates/stability/src/lib.rs:

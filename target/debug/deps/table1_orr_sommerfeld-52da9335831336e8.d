@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_orr_sommerfeld-52da9335831336e8.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/debug/deps/table1_orr_sommerfeld-52da9335831336e8: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

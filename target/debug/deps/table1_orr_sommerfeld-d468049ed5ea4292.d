@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_orr_sommerfeld-d468049ed5ea4292.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/debug/deps/table1_orr_sommerfeld-d468049ed5ea4292: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

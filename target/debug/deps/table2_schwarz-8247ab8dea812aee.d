@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_schwarz-8247ab8dea812aee.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/debug/deps/table2_schwarz-8247ab8dea812aee: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

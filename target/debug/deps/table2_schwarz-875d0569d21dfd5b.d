@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_schwarz-875d0569d21dfd5b.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/debug/deps/table2_schwarz-875d0569d21dfd5b: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mxm-3986fbb1376e84b4.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/debug/deps/table3_mxm-3986fbb1376e84b4: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

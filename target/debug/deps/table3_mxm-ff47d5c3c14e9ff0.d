@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mxm-ff47d5c3c14e9ff0.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/debug/deps/table3_mxm-ff47d5c3c14e9ff0: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_gflops-1f1013f402610aad.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/debug/deps/table4_gflops-1f1013f402610aad: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

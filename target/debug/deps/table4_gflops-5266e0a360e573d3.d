@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_gflops-5266e0a360e573d3.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/debug/deps/table4_gflops-5266e0a360e573d3: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/terasem-cb3573003a18bd40.d: src/lib.rs
+
+/root/repo/target/debug/deps/libterasem-cb3573003a18bd40.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libterasem-cb3573003a18bd40.rmeta: src/lib.rs
+
+src/lib.rs:

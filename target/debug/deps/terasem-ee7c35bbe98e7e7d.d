@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/terasem-ee7c35bbe98e7e7d.d: src/lib.rs
+
+/root/repo/target/debug/deps/terasem-ee7c35bbe98e7e7d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xxt-b4e116adfbbb47ef.d: crates/bench/benches/xxt.rs
+
+/root/repo/target/debug/deps/xxt-b4e116adfbbb47ef: crates/bench/benches/xxt.rs
+
+crates/bench/benches/xxt.rs:

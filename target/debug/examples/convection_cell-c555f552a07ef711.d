@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convection_cell-c555f552a07ef711.d: examples/convection_cell.rs
+
+/root/repo/target/debug/examples/convection_cell-c555f552a07ef711: examples/convection_cell.rs
+
+examples/convection_cell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cylinder_startup-c49f2d681897761d.d: examples/cylinder_startup.rs
+
+/root/repo/target/debug/examples/cylinder_startup-c49f2d681897761d: examples/cylinder_startup.rs
+
+examples/cylinder_startup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hairpin_bump-67d44647792ac0ca.d: examples/hairpin_bump.rs
+
+/root/repo/target/debug/examples/hairpin_bump-67d44647792ac0ca: examples/hairpin_bump.rs
+
+examples/hairpin_bump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-66328edeb1a7313e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-66328edeb1a7313e: examples/quickstart.rs
+
+examples/quickstart.rs:

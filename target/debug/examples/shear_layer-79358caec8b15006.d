@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shear_layer-79358caec8b15006.d: examples/shear_layer.rs
+
+/root/repo/target/debug/examples/shear_layer-79358caec8b15006: examples/shear_layer.rs
+
+examples/shear_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_shear_layer-24f06e941c3ff016.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/release/deps/fig3_shear_layer-24f06e941c3ff016: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

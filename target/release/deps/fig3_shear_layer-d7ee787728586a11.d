@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_shear_layer-d7ee787728586a11.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/release/deps/fig3_shear_layer-d7ee787728586a11: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_projection-ab55a9c73009fb5b.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/release/deps/fig4_projection-ab55a9c73009fb5b: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

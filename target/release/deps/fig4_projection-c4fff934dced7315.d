@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_projection-c4fff934dced7315.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/release/deps/fig4_projection-c4fff934dced7315: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_coarse_grid-39eb978e2807472c.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/release/deps/fig6_coarse_grid-39eb978e2807472c: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_coarse_grid-6c352702a01a8afc.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/release/deps/fig6_coarse_grid-6c352702a01a8afc: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_hairpin-3080338255c78562.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/release/deps/fig8_hairpin-3080338255c78562: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

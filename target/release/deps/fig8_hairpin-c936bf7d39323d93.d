@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_hairpin-c936bf7d39323d93.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/release/deps/fig8_hairpin-c936bf7d39323d93: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

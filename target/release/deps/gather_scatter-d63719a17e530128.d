@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gather_scatter-d63719a17e530128.d: crates/bench/benches/gather_scatter.rs
+
+/root/repo/target/release/deps/gather_scatter-d63719a17e530128: crates/bench/benches/gather_scatter.rs
+
+crates/bench/benches/gather_scatter.rs:

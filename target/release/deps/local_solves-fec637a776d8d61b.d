@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/local_solves-fec637a776d8d61b.d: crates/bench/benches/local_solves.rs
+
+/root/repo/target/release/deps/local_solves-fec637a776d8d61b: crates/bench/benches/local_solves.rs
+
+crates/bench/benches/local_solves.rs:

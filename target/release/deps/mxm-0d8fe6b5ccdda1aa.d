@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mxm-0d8fe6b5ccdda1aa.d: crates/bench/benches/mxm.rs
+
+/root/repo/target/release/deps/mxm-0d8fe6b5ccdda1aa: crates/bench/benches/mxm.rs
+
+crates/bench/benches/mxm.rs:

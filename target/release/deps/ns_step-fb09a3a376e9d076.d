@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ns_step-fb09a3a376e9d076.d: crates/bench/benches/ns_step.rs
+
+/root/repo/target/release/deps/ns_step-fb09a3a376e9d076: crates/bench/benches/ns_step.rs
+
+crates/bench/benches/ns_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/operators-2df09c661471c3cb.d: crates/bench/benches/operators.rs
+
+/root/repo/target/release/deps/operators-2df09c661471c3cb: crates/bench/benches/operators.rs
+
+crates/bench/benches/operators.rs:

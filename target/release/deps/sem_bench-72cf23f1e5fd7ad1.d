@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sem_bench-72cf23f1e5fd7ad1.d: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libsem_bench-72cf23f1e5fd7ad1.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libsem_bench-72cf23f1e5fd7ad1.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

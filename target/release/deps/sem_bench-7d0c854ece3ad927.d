@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sem_bench-7d0c854ece3ad927.d: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/sem_bench-7d0c854ece3ad927: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sem_comm-768ffcdfd853ee46.d: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+/root/repo/target/release/deps/libsem_comm-768ffcdfd853ee46.rlib: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+/root/repo/target/release/deps/libsem_comm-768ffcdfd853ee46.rmeta: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/model.rs:
+crates/comm/src/par.rs:
+crates/comm/src/sim.rs:

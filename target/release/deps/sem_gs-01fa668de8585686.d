@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sem_gs-01fa668de8585686.d: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/release/deps/libsem_gs-01fa668de8585686.rlib: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/release/deps/libsem_gs-01fa668de8585686.rmeta: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+crates/gs/src/lib.rs:
+crates/gs/src/local.rs:
+crates/gs/src/parallel.rs:

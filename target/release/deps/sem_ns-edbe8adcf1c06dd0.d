@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sem_ns-edbe8adcf1c06dd0.d: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+/root/repo/target/release/deps/libsem_ns-edbe8adcf1c06dd0.rlib: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+/root/repo/target/release/deps/libsem_ns-edbe8adcf1c06dd0.rmeta: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+crates/ns/src/lib.rs:
+crates/ns/src/config.rs:
+crates/ns/src/convection.rs:
+crates/ns/src/diagnostics.rs:
+crates/ns/src/output.rs:
+crates/ns/src/solver.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sem_poly-116bcba378d00dcb.d: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/release/deps/libsem_poly-116bcba378d00dcb.rlib: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/release/deps/libsem_poly-116bcba378d00dcb.rmeta: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/filter.rs:
+crates/poly/src/lagrange.rs:
+crates/poly/src/legendre.rs:
+crates/poly/src/modal.rs:
+crates/poly/src/ops1d.rs:
+crates/poly/src/quad.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sem_stability-02c68f2a4f292b68.d: crates/stability/src/lib.rs
+
+/root/repo/target/release/deps/libsem_stability-02c68f2a4f292b68.rlib: crates/stability/src/lib.rs
+
+/root/repo/target/release/deps/libsem_stability-02c68f2a4f292b68.rmeta: crates/stability/src/lib.rs
+
+crates/stability/src/lib.rs:

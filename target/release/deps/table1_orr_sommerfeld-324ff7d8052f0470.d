@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_orr_sommerfeld-324ff7d8052f0470.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/release/deps/table1_orr_sommerfeld-324ff7d8052f0470: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_orr_sommerfeld-d56f1956f93c5006.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/release/deps/table1_orr_sommerfeld-d56f1956f93c5006: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_schwarz-424c9e96cbfb4160.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/release/deps/table2_schwarz-424c9e96cbfb4160: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_schwarz-d7e41819f6c577a3.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/release/deps/table2_schwarz-d7e41819f6c577a3: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

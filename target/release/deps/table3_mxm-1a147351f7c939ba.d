@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_mxm-1a147351f7c939ba.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/release/deps/table3_mxm-1a147351f7c939ba: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

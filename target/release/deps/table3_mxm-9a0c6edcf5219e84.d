@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_mxm-9a0c6edcf5219e84.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/release/deps/table3_mxm-9a0c6edcf5219e84: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

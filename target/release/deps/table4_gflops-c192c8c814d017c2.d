@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_gflops-c192c8c814d017c2.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/release/deps/table4_gflops-c192c8c814d017c2: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

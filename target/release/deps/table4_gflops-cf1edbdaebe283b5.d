@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_gflops-cf1edbdaebe283b5.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/release/deps/table4_gflops-cf1edbdaebe283b5: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

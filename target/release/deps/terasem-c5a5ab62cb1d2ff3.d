@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/terasem-c5a5ab62cb1d2ff3.d: src/lib.rs
+
+/root/repo/target/release/deps/libterasem-c5a5ab62cb1d2ff3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libterasem-c5a5ab62cb1d2ff3.rmeta: src/lib.rs
+
+src/lib.rs:

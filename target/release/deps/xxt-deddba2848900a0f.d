@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xxt-deddba2848900a0f.d: crates/bench/benches/xxt.rs
+
+/root/repo/target/release/deps/xxt-deddba2848900a0f: crates/bench/benches/xxt.rs
+
+crates/bench/benches/xxt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7506dbc1aefeaa89.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7506dbc1aefeaa89: examples/quickstart.rs
+
+examples/quickstart.rs:

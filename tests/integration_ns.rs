@@ -72,10 +72,12 @@ fn orr_sommerfeld_growth_rate_end_to_end() {
     }
     // Least-squares slope of ln(amplitude).
     let n = ts.len() as f64;
-    let (st, sl, stt, stl) = ts.iter().zip(es.iter()).fold(
-        (0.0, 0.0, 0.0, 0.0),
-        |(a, b, c, d), (&t, &l)| (a + t, b + l, c + t * t, d + t * l),
-    );
+    let (st, sl, stt, stl) = ts
+        .iter()
+        .zip(es.iter())
+        .fold((0.0, 0.0, 0.0, 0.0), |(a, b, c, d), (&t, &l)| {
+            (a + t, b + l, c + t * t, d + t * l)
+        });
     let sigma = (n * stl - st * sl) / (n * stt - st * st);
     let rel = ((sigma - sigma_ref) / sigma_ref).abs();
     assert!(

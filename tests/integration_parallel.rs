@@ -4,6 +4,7 @@
 
 use terasem::comm::SimComm;
 use terasem::gs::{GsHandle, GsOp, ParGs};
+use terasem::linalg::rng::SplitMix64;
 use terasem::mesh::generators::{box2d, box3d};
 use terasem::mesh::partition::{cut_edges, partition_linear, partition_rsb, shared_vertices};
 use terasem::mesh::{Geometry, GlobalNumbering, VertexNumbering};
@@ -31,8 +32,13 @@ fn distributed_gs_matches_serial_on_partitioned_mesh() {
         owner_of_slot.push((r, ids_per_rank[r].len()));
         ids_per_rank[r].extend_from_slice(&num.ids[e * npts..(e + 1) * npts]);
     }
-    // Field data.
-    let serial_field: Vec<f64> = (0..num.ids.len()).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
+    // Field data: seeded, but integer-valued so the sums below are exact
+    // in f64 no matter which order the distributed form adds them in —
+    // the test asserts bitwise equality with the serial reduction.
+    let mut rng = SplitMix64::new(0x1ea7_0001);
+    let serial_field: Vec<f64> = (0..num.ids.len())
+        .map(|_| rng.index(23) as f64 - 11.0)
+        .collect();
     let mut fields: Vec<Vec<f64>> = vec![Vec::new(); p];
     for e in 0..mesh.num_elems() {
         let (r, _) = owner_of_slot[e];
@@ -95,7 +101,7 @@ fn xxt_solves_real_coarse_operator() {
     let order = nested_dissection(&a0.adjacency());
     let xxt = XxtSolver::new(&a0, &order);
     let n = a0.dim();
-    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let b = SplitMix64::new(0x1ea7_0002).vec(n, -1.0, 1.0);
     let x = xxt.solve(&b);
     let ax = a0.matvec(&x);
     let resid: f64 = ax
@@ -104,9 +110,17 @@ fn xxt_solves_real_coarse_operator() {
         .map(|(g, w)| (g - w) * (g - w))
         .sum::<f64>()
         .sqrt();
-    assert!(resid < 1e-9, "XXT residual on real coarse operator: {resid}");
+    assert!(
+        resid < 1e-9,
+        "XXT residual on real coarse operator: {resid}"
+    );
     // Sparsity: far below dense.
-    assert!(xxt.nnz() < n * n / 2, "factor not sparse: {} of {}", xxt.nnz(), n * n);
+    assert!(
+        xxt.nnz() < n * n / 2,
+        "factor not sparse: {} of {}",
+        xxt.nnz(),
+        n * n
+    );
 }
 
 /// The gather-scatter message volume scales with the partition's shared

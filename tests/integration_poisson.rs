@@ -2,6 +2,7 @@
 //! on straight and curved meshes — poly + mesh + gs + ops + solvers
 //! working together.
 
+use terasem::linalg::rng::SplitMix64;
 use terasem::mesh::generators::{annulus, box2d, AnnulusParams};
 use terasem::ops::fields::{dot_pressure, eval_on_nodes};
 use terasem::ops::laplace::mass_local;
@@ -115,8 +116,11 @@ fn pressure_solver_on_annulus_with_all_components() {
     let (mesh, geo) = annulus(params, 6);
     let ops = SemOps::with_geometry(mesh, geo);
     let np = ops.n_pressure();
+    // Seeded random phases; the RHS varies slowly with t so the
+    // successive-RHS projection has history to exploit.
+    let phases = SplitMix64::new(0x1ea7_0003).vec(np, 0.0, std::f64::consts::TAU);
     let mk_rhs = |t: f64| -> Vec<f64> {
-        let mut g: Vec<f64> = (0..np).map(|i| ((i as f64) * 0.11 + t).sin()).collect();
+        let mut g: Vec<f64> = phases.iter().map(|&ph| (ph + t).sin()).collect();
         let m = g.iter().sum::<f64>() / np as f64;
         g.iter_mut().for_each(|v| *v -= m);
         g
@@ -141,15 +145,26 @@ fn pressure_solver_on_annulus_with_all_components() {
         let mut e = EOperator::new(&ops);
         let mut ep = vec![0.0; np];
         e.apply(&ops, &p, &mut ep);
-        let resid = dot_pressure(&ops, &{
-            let d: Vec<f64> = ep.iter().zip(g_orig.iter()).map(|(a, b)| a - b).collect();
-            d
-        }, &{
-            let d: Vec<f64> = ep.iter().zip(g_orig.iter()).map(|(a, b)| a - b).collect();
-            d
-        })
+        let resid = dot_pressure(
+            &ops,
+            &{
+                let d: Vec<f64> = ep.iter().zip(g_orig.iter()).map(|(a, b)| a - b).collect();
+                d
+            },
+            &{
+                let d: Vec<f64> = ep.iter().zip(g_orig.iter()).map(|(a, b)| a - b).collect();
+                d
+            },
+        )
         .sqrt();
-        assert!(resid < 1e-6, "step {step}: residual {resid}");
+        // The solver's CG tolerance (1e-8) is relative, so judge the
+        // assembled residual relative to the RHS norm too, with slack
+        // for roundoff through the Schwarz/coarse/projection stack.
+        let gnorm = dot_pressure(&ops, &g_orig, &g_orig).sqrt();
+        assert!(
+            resid < 1e-6 * gnorm,
+            "step {step}: residual {resid} (|g| = {gnorm})"
+        );
     }
     // Projection benefit on the slowly varying sequence.
     assert!(
@@ -165,7 +180,7 @@ fn schwarz_variants_agree_on_solution() {
     let mesh = box2d(4, 4, [0.0, 1.0], [0.0, 1.0], false, false);
     let ops = SemOps::new(mesh, 5);
     let np = ops.n_pressure();
-    let mut g: Vec<f64> = (0..np).map(|i| (i as f64 * 0.31).cos()).collect();
+    let mut g = SplitMix64::new(0x1ea7_0004).vec(np, -1.0, 1.0);
     let m = g.iter().sum::<f64>() / np as f64;
     g.iter_mut().for_each(|v| *v -= m);
     let mut solutions = Vec::new();
