@@ -84,4 +84,23 @@ fn main() {
     group.bench("schwarz_coarse_no_projection", || {
         std::hint::black_box(s_noproj.step());
     });
+
+    // Observability overhead: the same step with the sem_obs registries
+    // disabled (each probe is one relaxed atomic load — the default) vs
+    // enabled (counters increment, spans read the clock). JSON emission
+    // is left off in both so the comparison isolates the probe cost;
+    // "off" must stay within noise of the ablation baselines above.
+    let mut group = BenchGroup::new("ablation_metrics");
+    group.sample_size(10);
+    let mut s_off = taylor_green(ConvectionScheme::Ext, 2e-3);
+    sem_obs::set_enabled(false);
+    group.bench("metrics_off", || {
+        std::hint::black_box(s_off.step());
+    });
+    let mut s_on = taylor_green(ConvectionScheme::Ext, 2e-3);
+    sem_obs::set_enabled(true);
+    group.bench("metrics_on", || {
+        std::hint::black_box(s_on.step());
+    });
+    sem_obs::set_enabled(false);
 }

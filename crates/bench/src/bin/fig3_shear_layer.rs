@@ -108,7 +108,32 @@ fn run_case(s: &mut NsSolver, t_final: f64) -> Outcome {
     }
 }
 
+/// `--smoke`: a seconds-long metrics exercise for `scripts/metrics_smoke.sh`
+/// — a tiny shear-layer solve with `sem_obs` enabled, emitting one
+/// `JSON `-prefixed per-timestep record per step to stdout.
+fn run_smoke() {
+    let steps = 20;
+    let mut s = shear_layer(4, 6, 30.0, 1e5, 0.3, 0.002);
+    s.cfg.metrics = true;
+    sem_obs::set_enabled(true);
+    eprintln!("smoke: shear layer 4x4 elements, N = 6, {steps} steps, metrics on");
+    for _ in 0..steps {
+        s.step();
+    }
+    let counters = sem_obs::counters::snapshot();
+    eprintln!(
+        "smoke: {} mxm calls, {} gather-scatter words, {} operator applications",
+        counters.get(sem_obs::Counter::MxmCalls),
+        counters.get(sem_obs::Counter::GsWords),
+        counters.get(sem_obs::Counter::OperatorApplications),
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
     let scale = parse_scale();
     let dt = 0.002;
     let t_final = 1.2;

@@ -25,9 +25,15 @@ fn main() {
     header(&format!(
         "Fig. 4: pressure projection study — Rayleigh–Bénard {kx}x{ky} elements, N = {n}, Ra = {ra:.0e}, {steps} steps"
     ));
+    // Per-run work and time come from the sem_obs registries: counter
+    // deltas give operator applications and dropped projection updates,
+    // span deltas give where the pressure wall-time went.
+    sem_obs::set_enabled(true);
     let mut runs = Vec::new();
     for lmax in [26usize, 0] {
         let mut s = rayleigh_benard(kx, ky, n, ra, pr, lmax, dt, tol);
+        let c0 = sem_obs::counters::snapshot();
+        let sp0 = sem_obs::spans::span_snapshot();
         let (series, secs) = timed(|| {
             let mut out = Vec::with_capacity(steps);
             for _ in 0..steps {
@@ -36,10 +42,20 @@ fn main() {
             }
             out
         });
+        let dc = sem_obs::counters::snapshot().delta(&c0);
+        let dsp = sem_obs::spans::span_snapshot().delta(&sp0);
         println!(
             "L = {lmax:>2}: total pressure iterations {}, wall {}",
             series.iter().map(|&(i, _)| i).sum::<usize>(),
             fmt_secs(secs)
+        );
+        println!(
+            "        {} operator applications, {} near-dependent updates dropped, \
+             pressure CG {} / projection {}",
+            dc.get(sem_obs::Counter::OperatorApplications),
+            dc.get(sem_obs::Counter::ProjectionDropped),
+            fmt_secs(dsp.seconds(sem_obs::Phase::PressureCg)),
+            fmt_secs(dsp.seconds(sem_obs::Phase::PressureProjection)),
         );
         runs.push((lmax, series));
     }

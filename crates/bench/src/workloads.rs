@@ -57,6 +57,7 @@ pub fn orr_sommerfeld_channel(
         helmholtz_cg,
         schwarz: SchwarzConfig::default(),
         boussinesq: None,
+        metrics: false,
     };
     let mut s = NsSolver::new(ops, cfg);
     // Base flow plus scaled TS eigenfunction, sampled per node through the
@@ -111,6 +112,7 @@ pub fn shear_layer(
         helmholtz_cg,
         schwarz: SchwarzConfig::default(),
         boussinesq: None,
+        metrics: false,
     };
     let mut s = NsSolver::new(ops, cfg);
     s.set_velocity(|x, y, _| {
@@ -159,6 +161,7 @@ pub fn rayleigh_benard(
             g_beta: [0.0, ra * pr, 0.0],
             kappa: 1.0,
         }),
+        metrics: false,
     };
     let mut s = NsSolver::new(ops, cfg);
     // Conduction profile + small perturbation to trigger convection.
@@ -199,6 +202,7 @@ pub fn cylinder_startup(
         helmholtz_cg,
         schwarz,
         boussinesq: None,
+        metrics: false,
     };
     let mut s = NsSolver::new(ops, cfg);
     let ri = params.r_inner;
@@ -250,6 +254,7 @@ pub fn hairpin_channel(k: [usize; 3], n: usize, dt: f64, lmax: usize) -> NsSolve
             ..Default::default()
         },
         boussinesq: None,
+        metrics: false,
     };
     let delta = 0.5;
     let profile = move |y: f64| (1.0 - (-y / delta).exp()).clamp(0.0, 1.0);

@@ -17,6 +17,16 @@
 //! 3. **Runtime thread-count control.** `TERASEM_THREADS` overrides the
 //!    default (`std::thread::available_parallelism`), and
 //!    [`with_threads`] scopes an override for benchmarks and tests.
+//!
+//! ## `TERASEM_THREADS` caching
+//!
+//! The environment variable is read **once per process** (cached in a
+//! `OnceLock` on the first parallel loop or [`current_threads`] call);
+//! changing it afterwards — including via `std::env::set_var` in tests —
+//! has no effect. Use [`with_threads`] for runtime control. Invalid
+//! values (`0`, negative, non-numeric) are rejected with a warning on
+//! stderr naming the variable, and the machine's available parallelism
+//! is used instead.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -32,16 +42,37 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// Parse a `TERASEM_THREADS` value: `Some(n)` for a positive integer
+/// (surrounding whitespace tolerated), `None` for everything else
+/// (`0`, negative, non-numeric, empty).
+fn parse_thread_count(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
 fn env_threads() -> usize {
     static ENV: OnceLock<usize> = OnceLock::new();
-    *ENV.get_or_init(|| match std::env::var("TERASEM_THREADS") {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => 1,
-        },
-        Err(_) => std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1),
+    *ENV.get_or_init(|| {
+        let available = || {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        };
+        match std::env::var("TERASEM_THREADS") {
+            Ok(s) => parse_thread_count(&s).unwrap_or_else(|| {
+                // Don't silently serialize a production run over a typo:
+                // warn, naming the variable, and use the machine default.
+                let n = available();
+                eprintln!(
+                    "warning: TERASEM_THREADS={s:?} is not a positive integer; \
+                     using available parallelism ({n} thread(s)) instead"
+                );
+                n
+            }),
+            Err(_) => available(),
+        }
     })
 }
 
@@ -286,6 +317,22 @@ mod tests {
         });
         assert_eq!(counted.load(Ordering::Relaxed), 100);
         assert!(items.iter().enumerate().all(|(i, &v)| v == i as f64));
+    }
+
+    #[test]
+    fn thread_count_parsing_rejects_zero_and_garbage() {
+        // Valid positive integers, with whitespace tolerated.
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 8 "), Some(8));
+        assert_eq!(parse_thread_count("1"), Some(1));
+        // Zero threads is meaningless; never silently serialize to it.
+        assert_eq!(parse_thread_count("0"), None);
+        // Garbage of the kinds a shell typo produces.
+        assert_eq!(parse_thread_count(""), None);
+        assert_eq!(parse_thread_count("-2"), None);
+        assert_eq!(parse_thread_count("four"), None);
+        assert_eq!(parse_thread_count("4.0"), None);
+        assert_eq!(parse_thread_count("0x4"), None);
     }
 
     #[test]

@@ -124,6 +124,7 @@ impl GsHandle {
     /// Panics if `u.len()` differs from the init length.
     pub fn gs(&self, u: &mut [f64], op: GsOp) {
         assert_eq!(u.len(), self.n_local, "gs_op: vector length mismatch");
+        self.charge_exchange(1);
         for g in 0..self.num_groups() {
             let lo = self.offsets[g] as usize;
             let hi = self.offsets[g + 1] as usize;
@@ -145,6 +146,7 @@ impl GsHandle {
     /// Panics if `u.len() != n_local * stride`.
     pub fn gs_vec(&self, u: &mut [f64], stride: usize, op: GsOp) {
         assert_eq!(u.len(), self.n_local * stride, "gs_vec: length mismatch");
+        self.charge_exchange(stride);
         let mut acc = vec![0.0; stride];
         for g in 0..self.num_groups() {
             let lo = self.offsets[g] as usize;
@@ -163,11 +165,24 @@ impl GsHandle {
         }
     }
 
+    /// Charge one exchange to the sem-obs counters: every shared-node
+    /// copy touched is one word read+combined per dof component — the
+    /// communication volume the paper's RSB partitioning minimizes.
+    #[inline]
+    fn charge_exchange(&self, stride: usize) {
+        sem_obs::counters::add(
+            sem_obs::Counter::GsWords,
+            (self.idx.len() * stride) as u64,
+        );
+        sem_obs::counters::add(sem_obs::Counter::GsCalls, 1);
+    }
+
     /// Assemble-and-average: `gs(Add)` then divide each shared copy by its
     /// multiplicity — turns a redundant nodal field into a consistent one
     /// (used for diagnostics/output, not for residual assembly).
     pub fn gs_avg(&self, u: &mut [f64]) {
         assert_eq!(u.len(), self.n_local, "gs_avg: vector length mismatch");
+        self.charge_exchange(1);
         for g in 0..self.num_groups() {
             let lo = self.offsets[g] as usize;
             let hi = self.offsets[g + 1] as usize;

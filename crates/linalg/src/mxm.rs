@@ -91,6 +91,12 @@ pub fn mxm_with(
     c: &mut [f64],
 ) {
     check_dims(a, n1, n2, b, n3, c);
+    // All mxm entry points funnel through here (mxm() and the tensor
+    // contractions both call mxm_with), so this is the one metering
+    // point for the paper's flop accounting — the concrete kernels
+    // below are deliberately not instrumented to avoid double counting.
+    sem_obs::counters::add(sem_obs::Counter::MxmFlops, mxm_flops(n1, n2, n3));
+    sem_obs::counters::add(sem_obs::Counter::MxmCalls, 1);
     match kernel {
         MxmKernel::Naive => mxm_naive(a, n1, n2, b, n3, c),
         MxmKernel::F2 => mxm_f2(a, n1, n2, b, n3, c),

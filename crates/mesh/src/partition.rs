@@ -34,13 +34,17 @@ fn rcb_rec(
     base: usize,
     out: &mut [usize],
 ) {
-    if p == 1 {
+    if p == 1 || elems.is_empty() {
+        // p > 1 with no elements happens when more parts than elements
+        // were requested: the remaining parts simply stay empty.
         for e in elems {
             out[e] = base;
         }
         return;
     }
-    // Widest axis of this subset.
+    // Widest axis of this subset. total_cmp gives a total order even if
+    // a degenerate geometry produced NaN extents (NaN sorts last), so a
+    // bad coordinate degrades the split instead of panicking mid-run.
     let mut lo = [f64::INFINITY; 3];
     let mut hi = [f64::NEG_INFINITY; 3];
     for &e in &elems {
@@ -50,9 +54,9 @@ fn rcb_rec(
         }
     }
     let axis = (0..3)
-        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
         .unwrap();
-    elems.sort_by(|&a, &b| centroids[a][axis].partial_cmp(&centroids[b][axis]).unwrap());
+    elems.sort_by(|&a, &b| centroids[a][axis].total_cmp(&centroids[b][axis]));
     let p1 = p / 2;
     let p2 = p - p1;
     let n1 = elems.len() * p1 / p;
@@ -74,7 +78,9 @@ pub fn partition_rsb(mesh: &Mesh, p: usize) -> Vec<usize> {
 }
 
 fn rsb_rec(adj: &[Vec<usize>], elems: Vec<usize>, p: usize, base: usize, out: &mut [usize]) {
-    if p == 1 {
+    if p == 1 || elems.is_empty() {
+        // p > 1 with no elements: more parts than elements — the extra
+        // parts stay empty.
         for e in elems {
             out[e] = base;
         }
@@ -82,7 +88,9 @@ fn rsb_rec(adj: &[Vec<usize>], elems: Vec<usize>, p: usize, base: usize, out: &m
     }
     let fied = fiedler_vector(adj, &elems);
     let mut order: Vec<usize> = (0..elems.len()).collect();
-    order.sort_by(|&a, &b| fied[a].partial_cmp(&fied[b]).unwrap());
+    // total_cmp: the power iteration cannot produce NaN from finite
+    // input, but a total order keeps the sort panic-free regardless.
+    order.sort_by(|&a, &b| fied[a].total_cmp(&fied[b]));
     let p1 = p / 2;
     let p2 = p - p1;
     let n1 = elems.len() * p1 / p;
@@ -258,6 +266,38 @@ mod tests {
         let sizes = part_sizes(&part, 3);
         assert_eq!(sizes.iter().sum::<usize>(), 36);
         assert!(sizes.iter().all(|&s| s == 12), "{sizes:?}");
+    }
+
+    /// Regression: a NaN vertex coordinate used to panic both
+    /// partitioners inside `sort_by(partial_cmp().unwrap())`; with
+    /// `total_cmp` the bad element sorts last and every element still
+    /// receives a part assignment.
+    #[test]
+    fn nan_coordinate_does_not_panic_and_partition_is_complete() {
+        let mut m = box2d(4, 4, [0.0, 1.0], [0.0, 1.0], false, false);
+        m.verts[5][0] = f64::NAN;
+        for p in [2, 3, 4] {
+            let rcb = partition_rcb(&m, p);
+            let rsb = partition_rsb(&m, p);
+            for part in [&rcb, &rsb] {
+                assert_eq!(part.len(), m.num_elems());
+                assert!(part.iter().all(|&r| r < p), "p={p}: {part:?}");
+            }
+        }
+    }
+
+    /// Regression: more parts than elements used to recurse into empty
+    /// subsets whose extents were `[+inf, −inf]` (NaN widths). Now the
+    /// surplus parts simply stay empty.
+    #[test]
+    fn more_parts_than_elements_leaves_surplus_parts_empty() {
+        let m = box2d(2, 1, [0.0, 2.0], [0.0, 1.0], false, false);
+        for part in [partition_rcb(&m, 5), partition_rsb(&m, 5)] {
+            assert_eq!(part.len(), 2);
+            assert!(part.iter().all(|&r| r < 5));
+            // Every element is assigned exactly once in total.
+            assert_eq!(part_sizes(&part, 5).iter().sum::<usize>(), 2);
+        }
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub struct NsConfig {
     pub schwarz: SchwarzConfig,
     /// Optional Boussinesq temperature coupling.
     pub boussinesq: Option<Boussinesq>,
+    /// Enable solver observability: turns on the process-global `sem_obs`
+    /// counters/spans and emits one `JSON `-prefixed per-timestep record
+    /// (CG iterations, residuals, projection depth, CFL, per-phase
+    /// times) to stdout from every `step()`. Off by default; the
+    /// disabled path costs one relaxed atomic load per probe and does
+    /// not change solver results bitwise.
+    pub metrics: bool,
 }
 
 impl Default for NsConfig {
@@ -81,6 +88,7 @@ impl Default for NsConfig {
             },
             schwarz: SchwarzConfig::default(),
             boussinesq: None,
+            metrics: false,
         }
     }
 }

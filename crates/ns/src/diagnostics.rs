@@ -17,6 +17,12 @@ pub struct StepStats {
     pub pressure_iters: usize,
     /// Pressure residual before iterating (shows the projection gain).
     pub pressure_initial_residual: f64,
+    /// Pressure residual at CG exit.
+    pub pressure_final_residual: f64,
+    /// Projection history depth `l` used for this solve.
+    pub pressure_history_len: usize,
+    /// Did the pressure CG meet its tolerance?
+    pub pressure_converged: bool,
     /// Helmholtz iterations per velocity component.
     pub helmholtz_iters: Vec<usize>,
     /// Temperature solve iterations (0 when no scalar is active).
@@ -27,6 +33,31 @@ pub struct StepStats {
     pub flops: u64,
     /// Wall-clock seconds for the step.
     pub seconds: f64,
+}
+
+impl StepStats {
+    /// Bridge to a `sem_obs` per-timestep record. `dt` is the step size
+    /// and `scalar_active` says whether a temperature/species solve ran
+    /// this step (so `temp_iters = 0` can be told apart from "no scalar
+    /// equation"). Registry snapshots are *not* filled here — call
+    /// `StepRecord::capture_registries` with step-entry snapshots.
+    pub fn to_record(&self, dt: f64, scalar_active: bool) -> sem_obs::StepRecord {
+        sem_obs::StepRecord {
+            step: self.step as u64,
+            time: self.time,
+            dt,
+            cfl: self.cfl,
+            pressure_iterations: self.pressure_iters as u64,
+            pressure_initial_residual: self.pressure_initial_residual,
+            pressure_final_residual: self.pressure_final_residual,
+            projection_depth: self.pressure_history_len as u64,
+            pressure_converged: self.pressure_converged,
+            helmholtz_iterations: self.helmholtz_iters.iter().map(|&i| i as u64).collect(),
+            scalar_iterations: scalar_active.then_some(self.temp_iters as u64),
+            seconds: self.seconds,
+            ..sem_obs::StepRecord::default()
+        }
+    }
 }
 
 /// Convective CFL: `max |u_i| Δt / Δx_i` over all nodes, with the local

@@ -92,6 +92,9 @@ pub struct NsSolver {
 impl NsSolver {
     /// Create a solver at rest on `ops`.
     pub fn new(ops: SemOps, cfg: NsConfig) -> Self {
+        if cfg.metrics {
+            sem_obs::set_enabled(true);
+        }
         let n = ops.n_velocity();
         let np = ops.n_pressure();
         let dim = ops.geo.dim;
@@ -197,8 +200,15 @@ impl NsSolver {
     }
 
     /// Advance one timestep; returns the step's statistics.
+    ///
+    /// With `cfg.metrics` on, additionally prints one `JSON `-prefixed
+    /// [`sem_obs::StepRecord`] line to stdout (schema in
+    /// `crates/obs/src/record.rs`).
     pub fn step(&mut self) -> StepStats {
         let wall = Instant::now();
+        let counters0 = sem_obs::counters::snapshot();
+        let spans0 = sem_obs::spans::span_snapshot();
+        let step_span = sem_obs::span(sem_obs::Phase::Step);
         let flops0 = self.ops.flops_so_far();
         let dim = self.ops.geo.dim;
         let n = self.ops.n_velocity();
@@ -211,6 +221,7 @@ impl NsSolver {
         let order_next = self.cfg.torder;
         // Convection of the current field (one evaluation per step).
         if matches!(self.cfg.convection, ConvectionScheme::Ext) {
+            let _conv_span = sem_obs::span(sem_obs::Phase::Convection);
             let mut conv = vec![vec![0.0; n]; dim];
             let refs: Vec<&[f64]> = self.vel.iter().map(|c| c.as_slice()).collect();
             let mut grad = vec![vec![0.0; n]; dim];
@@ -246,6 +257,7 @@ impl NsSolver {
         match self.cfg.convection {
             ConvectionScheme::Oifs { substeps } => {
                 // Advect each history level to t_new along characteristics.
+                let _conv_span = sem_obs::span(sem_obs::Phase::Convection);
                 let times: Vec<f64> = self.time_hist.iter().copied().collect();
                 let fields: Vec<Vec<Vec<f64>>> = self.vel_hist.iter().cloned().collect();
                 for (j, coeff) in bj.iter().enumerate().take(self.vel_hist.len()) {
@@ -342,6 +354,7 @@ impl NsSolver {
         }
 
         // --- Helmholtz solves with Dirichlet lifting ---------------------
+        let helm_span = sem_obs::span(sem_obs::Phase::Helmholtz);
         let mut helm_iters = Vec::with_capacity(dim);
         let mut u_star: Vec<Vec<f64>> = Vec::with_capacity(dim);
         for c in 0..dim {
@@ -381,6 +394,7 @@ impl NsSolver {
             }
             u_star.push(u_new);
         }
+        drop(helm_span);
 
         // --- pressure correction ----------------------------------------
         let np = self.ops.n_pressure();
@@ -431,17 +445,28 @@ impl NsSolver {
         }
 
         self.time = t_new;
-        StepStats {
+        drop(step_span);
+        let stats = StepStats {
             step: self.step_index,
             time: self.time,
             pressure_iters: pstats.iterations,
             pressure_initial_residual: pstats.initial_residual,
+            pressure_final_residual: pstats.residual,
+            pressure_history_len: pstats.history_len,
+            pressure_converged: pstats.converged,
             helmholtz_iters: helm_iters,
             temp_iters,
             cfl: cfl_now,
             flops: self.ops.flops_so_far() - flops0,
             seconds: wall.elapsed().as_secs_f64(),
+        };
+        if self.cfg.metrics {
+            let scalar_active = self.cfg.boussinesq.is_some() || !self.scalars.is_empty();
+            let mut rec = stats.to_record(dt, scalar_active);
+            rec.capture_registries((&counters0, &spans0));
+            println!("{}", rec.to_json_line());
         }
+        stats
     }
 
     fn step_temperature(&mut self, b: Boussinesq, k: usize, h2: f64, t_new: f64) -> usize {
@@ -490,6 +515,7 @@ impl NsSolver {
             .collect();
         self.ensure_helmholtz_t(b.kappa, h2);
         let solver = &self.helmholtz_t.as_ref().unwrap().1;
+        let _helm_span = sem_obs::span(sem_obs::Phase::Helmholtz);
         let res = solver.solve(&self.ops, &mut t0, &rhs);
         let tfield = self.temp.as_mut().unwrap();
         for i in 0..n {
@@ -610,12 +636,10 @@ impl NsSolver {
                     HelmholtzSolver::new(&self.ops, sc.kappa, h2, self.cfg.helmholtz_cg),
                 ));
             }
-            let res = sc
-                .solver
-                .as_ref()
-                .unwrap()
-                .1
-                .solve(&self.ops, &mut t0, &rhs);
+            let res = {
+                let _helm_span = sem_obs::span(sem_obs::Phase::Helmholtz);
+                sc.solver.as_ref().unwrap().1.solve(&self.ops, &mut t0, &rhs)
+            };
             total_iters += res.iterations;
             for i in 0..n {
                 sc.field[i] = t0[i] + tb[i];

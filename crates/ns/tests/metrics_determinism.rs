@@ -1,0 +1,73 @@
+//! Observability must be *observation only*: enabling `sem_obs`
+//! counters, spans, and per-step JSON emission must not perturb a single
+//! bit of the solver state. This runs the same small Taylor–Green decay
+//! twice — metrics off, then metrics on — and compares every field
+//! bitwise.
+//!
+//! Lives in its own integration-test binary because the metrics switch
+//! is process-global state.
+
+use sem_mesh::generators::box2d;
+use sem_ns::{ConvectionScheme, NsConfig, NsSolver};
+use sem_ops::SemOps;
+
+fn taylor_green(metrics: bool) -> NsSolver {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mesh = box2d(3, 3, [0.0, two_pi], [0.0, two_pi], true, true);
+    let ops = SemOps::new(mesh, 6);
+    let cfg = NsConfig {
+        dt: 2e-3,
+        nu: 0.01,
+        convection: ConvectionScheme::Ext,
+        pressure_lmax: 8,
+        metrics,
+        ..Default::default()
+    };
+    let mut s = NsSolver::new(ops, cfg);
+    s.set_velocity(|x, y, _| [x.sin() * y.cos(), -x.cos() * y.sin(), 0.0]);
+    s
+}
+
+fn run(metrics: bool, steps: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut s = taylor_green(metrics);
+    for _ in 0..steps {
+        s.step();
+    }
+    (s.vel.clone(), s.pressure.clone())
+}
+
+#[test]
+fn metrics_do_not_change_solver_results_bitwise() {
+    sem_obs::set_enabled(false);
+    sem_obs::reset();
+    let (vel_off, p_off) = run(false, 6);
+
+    // The metrics run prints one JSON line per step to stdout (captured
+    // by the test harness) and leaves the registries enabled.
+    let (vel_on, p_on) = run(true, 6);
+    assert!(
+        sem_obs::enabled(),
+        "cfg.metrics should have enabled the registries"
+    );
+    assert!(
+        sem_obs::counters::get(sem_obs::Counter::MxmCalls) > 0,
+        "instrumented run should have counted mxm calls"
+    );
+
+    for (c, (a, b)) in vel_off.iter().zip(vel_on.iter()).enumerate() {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "velocity component {c} node {i}: {x:e} vs {y:e}"
+            );
+        }
+    }
+    for (i, (x, y)) in p_off.iter().zip(p_on.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "pressure node {i}: {x:e} vs {y:e}");
+    }
+
+    sem_obs::set_enabled(false);
+    sem_obs::reset();
+}

@@ -1,0 +1,159 @@
+//! Monotonically aggregated global counters.
+//!
+//! A fixed menu of named `u64` counters backed by relaxed atomics: every
+//! probe site does `add(Counter::X, v)`, which is a no-op (one relaxed
+//! bool load) while metrics are disabled. Because the cells are plain
+//! atomics, the element-loop workers of `sem_comm::par` aggregate into
+//! the same totals with no extra synchronization, and totals are
+//! monotone: they only ever grow, so deltas between two [`snapshot`]s
+//! are always well-defined.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The instrumented quantities (the paper's perfmon-style menu).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Floating-point operations executed by the `mxm` kernel family
+    /// (2·n₁·n₂·n₃ per product — the paper's Table 3/4 accounting; mxm
+    /// is > 90% of all flops in a spectral element solve).
+    MxmFlops,
+    /// Number of `mxm` products dispatched.
+    MxmCalls,
+    /// Words (f64 values) read+combined by gather-scatter exchanges —
+    /// the shared-node traffic RSB partitioning minimizes (§6).
+    GsWords,
+    /// Number of `gs_op` calls.
+    GsCalls,
+    /// Operator applications (`A p` matvecs) inside CG iterations.
+    OperatorApplications,
+    /// Projection-history updates dropped as numerically linearly
+    /// dependent on the stored basis.
+    ProjectionDropped,
+    /// PCG terminations due to an indefinite operator or preconditioner
+    /// (breakdown guards in `sem_solvers::cg`).
+    CgBreakdowns,
+}
+
+/// Number of counters.
+pub const NUM_COUNTERS: usize = 7;
+
+impl Counter {
+    /// All counters, in declaration order.
+    pub const ALL: [Counter; NUM_COUNTERS] = [
+        Counter::MxmFlops,
+        Counter::MxmCalls,
+        Counter::GsWords,
+        Counter::GsCalls,
+        Counter::OperatorApplications,
+        Counter::ProjectionDropped,
+        Counter::CgBreakdowns,
+    ];
+
+    /// Stable snake_case name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MxmFlops => "mxm_flops",
+            Counter::MxmCalls => "mxm_calls",
+            Counter::GsWords => "gs_words",
+            Counter::GsCalls => "gs_calls",
+            Counter::OperatorApplications => "operator_applications",
+            Counter::ProjectionDropped => "projection_dropped",
+            Counter::CgBreakdowns => "cg_breakdowns",
+        }
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static CELLS: [AtomicU64; NUM_COUNTERS] = [ZERO; NUM_COUNTERS];
+
+/// Add `v` to counter `c` (no-op while metrics are disabled).
+#[inline]
+pub fn add(c: Counter, v: u64) {
+    if crate::enabled() {
+        CELLS[c as usize].fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// Current value of counter `c`.
+pub fn get(c: Counter) -> u64 {
+    CELLS[c as usize].load(Ordering::Relaxed)
+}
+
+/// Zero every counter.
+pub fn reset_counters() {
+    for cell in &CELLS {
+        cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: [u64; NUM_COUNTERS],
+}
+
+impl CounterSnapshot {
+    /// Value of `c` in this snapshot.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values[c as usize]
+    }
+
+    /// Per-counter difference `self − earlier` (saturating, though the
+    /// counters are monotone unless reset in between).
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+}
+
+/// Snapshot every counter.
+pub fn snapshot() -> CounterSnapshot {
+    let mut values = [0u64; NUM_COUNTERS];
+    for (v, cell) in values.iter_mut().zip(CELLS.iter()) {
+        *v = cell.load(Ordering::Relaxed);
+    }
+    CounterSnapshot { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_adds_are_noops_and_enabled_adds_accumulate() {
+        let _g = crate::test_guard();
+        let prev = crate::enabled();
+        crate::set_enabled(false);
+        reset_counters();
+        add(Counter::MxmFlops, 100);
+        assert_eq!(get(Counter::MxmFlops), 0);
+        crate::set_enabled(true);
+        add(Counter::MxmFlops, 100);
+        add(Counter::MxmFlops, 23);
+        assert_eq!(get(Counter::MxmFlops), 123);
+        let snap = snapshot();
+        assert_eq!(snap.get(Counter::MxmFlops), 123);
+        add(Counter::MxmFlops, 7);
+        assert_eq!(snapshot().delta(&snap).get(Counter::MxmFlops), 7);
+        reset_counters();
+        assert_eq!(get(Counter::MxmFlops), 0);
+        crate::set_enabled(prev);
+    }
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Counter::ALL {
+            let n = c.name();
+            assert!(seen.insert(n), "duplicate counter name {n}");
+            assert!(n
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch == '_' || ch.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Minimal JSON-line support (zero-dependency policy: no serde).
+//!
+//! [`JsonObj`] builds one flat-or-nested JSON object as a `String`;
+//! [`is_valid`] is a small recursive-descent syntax checker used by the
+//! schema tests and the `metrics_smoke.sh` validator fallback. Neither
+//! aims to be a general JSON library — just enough to emit and sanity-
+//! check the structured records of [`crate::record`].
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON value. Rust's shortest-roundtrip `Debug`
+/// output is valid JSON for finite values; non-finite values (which JSON
+/// cannot represent) become `null` — exactly what a NaN-flooded solve
+/// should look like downstream, rather than an unparsable line.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object builder.
+///
+/// # Examples
+///
+/// ```
+/// use sem_obs::json::JsonObj;
+/// let mut o = JsonObj::new();
+/// o.str("type", "demo").u64("n", 3).f64("t", 0.5);
+/// let line = o.finish();
+/// assert_eq!(line, r#"{"type":"demo","n":3,"t":0.5}"#);
+/// assert!(sem_obs::json::is_valid(&line));
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        let esc = format!("\"{}\"", escape(v));
+        self.key(k).push_str(&esc);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        let s = v.to_string();
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Add a float field (`null` for non-finite values).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        let s = fmt_f64(v);
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        let s = if v { "true" } else { "false" };
+        self.key(k).push_str(s);
+        self
+    }
+
+    /// Add an array of unsigned integers.
+    pub fn arr_u64(&mut self, k: &str, vs: &[u64]) -> &mut Self {
+        let body = vs
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let s = format!("[{body}]");
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Add a field whose value is pre-rendered JSON (e.g. `"null"`).
+    /// The caller is responsible for `v` being valid JSON.
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).push_str(v);
+        self
+    }
+
+    /// Add a nested object (consumes the child builder).
+    pub fn obj(&mut self, k: &str, child: JsonObj) -> &mut Self {
+        let s = child.finish();
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Minimal JSON syntax validator (objects, arrays, strings, numbers,
+/// `true`/`false`/`null`). Returns `true` iff `s` is one complete JSON
+/// value with nothing but whitespace around it.
+pub fn is_valid(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    if !value(b, &mut i) {
+        return false;
+    }
+    skip_ws(b, &mut i);
+    i == b.len()
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> bool {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        _ => false,
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> bool {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> bool {
+    *i += 1; // consume '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, i);
+        if !string(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return false;
+        }
+        *i += 1;
+        if !value(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> bool {
+    *i += 1; // consume '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return true;
+    }
+    loop {
+        if !value(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> bool {
+    if b.get(*i) != Some(&b'"') {
+        return false;
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return true;
+            }
+            b'\\' => {
+                // Escape: accept any single escaped char (\uXXXX handled
+                // by consuming the 'u' here and the hex as plain chars).
+                *i += 2;
+            }
+            _ => *i += 1,
+        }
+    }
+    false
+}
+
+fn number(b: &[u8], i: &mut usize) -> bool {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let mut digits = 0;
+    while *i < b.len() && b[*i].is_ascii_digit() {
+        *i += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return false;
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        let mut frac = 0;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return false;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e') | Some(b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+') | Some(b'-')) {
+            *i += 1;
+        }
+        let mut exp = 0;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return false;
+        }
+    }
+    *i > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_json() {
+        let mut inner = JsonObj::new();
+        inner.u64("iterations", 12).f64("residual", 1.5e-9);
+        let mut o = JsonObj::new();
+        o.str("type", "terasem.step")
+            .u64("step", 1)
+            .f64("time", 0.002)
+            .bool("converged", true)
+            .arr_u64("helmholtz_iters", &[5, 6])
+            .obj("pressure", inner)
+            .f64("nan_field", f64::NAN);
+        let line = o.finish();
+        assert!(is_valid(&line), "invalid: {line}");
+        assert!(line.contains("\"nan_field\":null"));
+        assert!(line.contains("\"helmholtz_iters\":[5,6]"));
+        assert!(line.contains("\"pressure\":{\"iterations\":12"));
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut o = JsonObj::new();
+        o.str("k", "a\"b\\c\nd\te");
+        let line = o.finish();
+        assert!(is_valid(&line), "invalid: {line}");
+        assert_eq!(line, "{\"k\":\"a\\\"b\\\\c\\nd\\te\"}");
+    }
+
+    #[test]
+    fn float_formats_roundtrip_as_json_numbers() {
+        for x in [0.0, -1.5, 1e-30, 2.5e200, 0.002, 123456.75, f64::MIN] {
+            let s = fmt_f64(x);
+            assert!(is_valid(&s), "{x} -> {s}");
+            assert_eq!(s.parse::<f64>().unwrap(), x, "{s}");
+        }
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            r#"{"a":[1,2,{"b":"c"}],"d":null}"#,
+            "  {\"x\": 1}  ",
+            r#""just a string""#,
+        ] {
+            assert!(is_valid(good), "should accept: {good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,2",
+            "01x",
+            "{\"a\" 1}",
+            "1.2.3",
+            "1e",
+            "\"unterminated",
+            "{} trailing",
+            "NaN",
+        ] {
+            assert!(!is_valid(bad), "should reject: {bad}");
+        }
+    }
+}

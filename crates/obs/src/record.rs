@@ -1,0 +1,213 @@
+//! Per-timestep structured records.
+//!
+//! A [`StepRecord`] captures the solver-trajectory quantities the paper
+//! reports per step (pressure CG iterations and residuals — Fig. 4,
+//! projection history depth `l`, CFL) together with snapshots of the
+//! global [`crate::counters`] and [`crate::spans`] registries, and
+//! serializes to a single JSON line via [`StepRecord::to_json_line`].
+//!
+//! Lines carry the same `JSON ` prefix as `sem_bench::timing` output, so
+//! one `grep '^JSON '` over a run's stdout harvests both bench summaries
+//! and per-step solver trajectories; the two are distinguished by the
+//! `"type"` field (`"terasem.step"` here, bench lines have `"group"`).
+
+use crate::counters::{self, Counter, CounterSnapshot};
+use crate::json::JsonObj;
+use crate::spans::{self, Phase, SpanSnapshot};
+
+/// Schema version stamped into every record as `"schema"`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The `"type"` tag of a per-timestep record.
+pub const STEP_RECORD_TYPE: &str = "terasem.step";
+
+/// One timestep's worth of solver observability data.
+#[derive(Clone, Debug, Default)]
+pub struct StepRecord {
+    /// Timestep index (1-based, matching `StepStats::step`).
+    pub step: u64,
+    /// Simulation time after the step.
+    pub time: f64,
+    /// Timestep size.
+    pub dt: f64,
+    /// Convective CFL number of the step.
+    pub cfl: f64,
+    /// Pressure CG iterations this step.
+    pub pressure_iterations: u64,
+    /// Pressure residual before CG (after projection, if enabled).
+    pub pressure_initial_residual: f64,
+    /// Pressure residual at CG exit.
+    pub pressure_final_residual: f64,
+    /// Successive-RHS projection basis depth `l` after the step.
+    pub projection_depth: u64,
+    /// Did the pressure solve reach its tolerance?
+    pub pressure_converged: bool,
+    /// Helmholtz CG iterations per velocity component.
+    pub helmholtz_iterations: Vec<u64>,
+    /// Scalar (temperature) Helmholtz iterations, if a scalar is active.
+    pub scalar_iterations: Option<u64>,
+    /// Wall time of the step, in seconds.
+    pub seconds: f64,
+    /// Counter totals at the end of the step (cumulative since process
+    /// start or the last [`crate::reset`]).
+    pub counters: CounterSnapshot,
+    /// Counter increments attributable to this step alone.
+    pub counters_delta: CounterSnapshot,
+    /// Span totals at the end of the step (cumulative).
+    pub spans: SpanSnapshot,
+    /// Span increments attributable to this step alone.
+    pub spans_delta: SpanSnapshot,
+}
+
+impl StepRecord {
+    /// Fill the cumulative-registry fields from the live global state and
+    /// derive the per-step deltas against `since` (a snapshot pair taken
+    /// at step entry).
+    pub fn capture_registries(&mut self, since: (&CounterSnapshot, &SpanSnapshot)) {
+        self.counters = counters::snapshot();
+        self.spans = spans::span_snapshot();
+        self.counters_delta = self.counters.delta(since.0);
+        self.spans_delta = self.spans.delta(since.1);
+    }
+
+    /// Serialize as one `JSON `-prefixed line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("type", STEP_RECORD_TYPE)
+            .u64("schema", SCHEMA_VERSION)
+            .u64("step", self.step)
+            .f64("time", self.time)
+            .f64("dt", self.dt)
+            .f64("cfl", self.cfl)
+            .u64("pressure_iterations", self.pressure_iterations)
+            .f64("pressure_initial_residual", self.pressure_initial_residual)
+            .f64("pressure_final_residual", self.pressure_final_residual)
+            .u64("projection_depth", self.projection_depth)
+            .bool("pressure_converged", self.pressure_converged)
+            .arr_u64("helmholtz_iterations", &self.helmholtz_iterations);
+        match self.scalar_iterations {
+            Some(n) => o.u64("scalar_iterations", n),
+            None => o.raw("scalar_iterations", "null"),
+        };
+        o.f64("seconds", self.seconds)
+            .obj("counters", counters_obj(&self.counters))
+            .obj("counters_delta", counters_obj(&self.counters_delta))
+            .obj("spans", spans_obj(&self.spans))
+            .obj("spans_delta", spans_obj(&self.spans_delta));
+        format!("JSON {}", o.finish())
+    }
+}
+
+fn counters_obj(snap: &CounterSnapshot) -> JsonObj {
+    let mut o = JsonObj::new();
+    for c in Counter::ALL {
+        o.u64(c.name(), snap.get(c));
+    }
+    o
+}
+
+fn spans_obj(snap: &SpanSnapshot) -> JsonObj {
+    let mut o = JsonObj::new();
+    for p in Phase::ALL {
+        let mut entry = JsonObj::new();
+        entry
+            .f64("seconds", snap.seconds(p))
+            .u64("calls", snap.calls(p));
+        o.obj(p.name(), entry);
+    }
+    o
+}
+
+/// Field names every `terasem.step` record must carry (schema v1). Used
+/// by the schema tests and mirrored by `scripts/metrics_smoke.sh`.
+pub const REQUIRED_FIELDS: &[&str] = &[
+    "type",
+    "schema",
+    "step",
+    "time",
+    "dt",
+    "cfl",
+    "pressure_iterations",
+    "pressure_initial_residual",
+    "pressure_final_residual",
+    "projection_depth",
+    "pressure_converged",
+    "helmholtz_iterations",
+    "scalar_iterations",
+    "seconds",
+    "counters",
+    "counters_delta",
+    "spans",
+    "spans_delta",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid;
+
+    fn sample() -> StepRecord {
+        StepRecord {
+            step: 3,
+            time: 0.006,
+            dt: 0.002,
+            cfl: 0.41,
+            pressure_iterations: 17,
+            pressure_initial_residual: 3.2e-3,
+            pressure_final_residual: 8.9e-9,
+            projection_depth: 2,
+            pressure_converged: true,
+            helmholtz_iterations: vec![6, 7],
+            scalar_iterations: None,
+            seconds: 0.0123,
+            ..StepRecord::default()
+        }
+    }
+
+    #[test]
+    fn json_line_is_valid_and_prefixed() {
+        let line = sample().to_json_line();
+        assert!(line.starts_with("JSON {"), "{line}");
+        assert!(is_valid(&line["JSON ".len()..]), "{line}");
+    }
+
+    #[test]
+    fn json_line_has_all_required_fields() {
+        let line = sample().to_json_line();
+        for field in REQUIRED_FIELDS {
+            assert!(
+                line.contains(&format!("\"{field}\":")),
+                "missing {field} in {line}"
+            );
+        }
+        assert!(line.contains("\"scalar_iterations\":null"));
+        let mut with_scalar = sample();
+        with_scalar.scalar_iterations = Some(4);
+        assert!(with_scalar
+            .to_json_line()
+            .contains("\"scalar_iterations\":4"));
+    }
+
+    #[test]
+    fn capture_registries_fills_deltas() {
+        let _g = crate::test_guard();
+        let prev = crate::enabled();
+        crate::set_enabled(true);
+        crate::reset();
+        let c0 = counters::snapshot();
+        let s0 = spans::span_snapshot();
+        counters::add(Counter::MxmFlops, 1000);
+        {
+            let _sp = spans::span(Phase::PressureCg);
+        }
+        let mut rec = sample();
+        rec.capture_registries((&c0, &s0));
+        assert_eq!(rec.counters_delta.get(Counter::MxmFlops), 1000);
+        assert_eq!(rec.spans_delta.calls(Phase::PressureCg), 1);
+        let line = rec.to_json_line();
+        assert!(line.contains("\"mxm_flops\":1000"));
+        assert!(is_valid(&line["JSON ".len()..]));
+        crate::set_enabled(prev);
+        crate::reset();
+    }
+}

@@ -33,6 +33,24 @@ impl Default for CgOptions {
     }
 }
 
+/// Cause of a PCG breakdown termination, with the offending quantity.
+///
+/// PCG's convergence theory requires `A` SPD (w.r.t. the chosen inner
+/// product) and `M⁻¹` SPD. A non-positive curvature `pᵀAp` or a negative
+/// preconditioned product `rᵀz` means one of those assumptions failed —
+/// typically a NaN-contaminated field, a sign error in an assembled
+/// operator, or an indefinite preconditioner — and continuing would
+/// divide by (near-)zero and flood the iterate with garbage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CgBreakdown {
+    /// `pᵀAp ≤ 0`: operator not positive definite on the search
+    /// direction. Carries the offending `pᵀAp` value.
+    IndefiniteOperator(f64),
+    /// `rᵀz < 0`: preconditioner not positive definite. Carries the
+    /// offending `rᵀz` value.
+    IndefinitePreconditioner(f64),
+}
+
 /// CG outcome.
 #[derive(Clone, Debug)]
 pub struct CgResult {
@@ -42,8 +60,11 @@ pub struct CgResult {
     pub residual: f64,
     /// Initial residual norm.
     pub initial_residual: f64,
-    /// True if a tolerance was met (false = iteration cap).
+    /// True if a tolerance was met (false = iteration cap or breakdown).
     pub converged: bool,
+    /// Set when the iteration terminated on a breakdown guard
+    /// (`converged` is always false in that case).
+    pub breakdown: Option<CgBreakdown>,
     /// Per-iteration residual norms (empty unless requested).
     pub history: Vec<f64>,
 }
@@ -106,6 +127,7 @@ pub fn pcg(
 
     // r = b − A x.
     apply_a(x, &mut ap);
+    sem_obs::counters::add(sem_obs::Counter::OperatorApplications, 1);
     for i in 0..n {
         r[i] = b[i] - ap[i];
     }
@@ -125,20 +147,40 @@ pub fn pcg(
             residual: initial_residual,
             initial_residual,
             converged: true,
+            breakdown: None,
+            history,
+        };
+    }
+    if rz < 0.0 || rz.is_nan() {
+        // z = M⁻¹r with M⁻¹ SPD must give rᵀz ≥ 0; a negative (or NaN)
+        // value on entry means the preconditioner or the residual is
+        // already broken — iterating would only amplify it.
+        sem_obs::counters::add(sem_obs::Counter::CgBreakdowns, 1);
+        return CgResult {
+            iterations: 0,
+            residual: initial_residual,
+            initial_residual,
+            converged: false,
+            breakdown: Some(CgBreakdown::IndefinitePreconditioner(rz)),
             history,
         };
     }
     p.copy_from_slice(&z);
     let mut iterations = 0;
     let mut converged = false;
+    let mut breakdown = None;
     let mut residual = initial_residual;
     for it in 1..=opts.max_iter {
         apply_a(&p, &mut ap);
+        sem_obs::counters::add(sem_obs::Counter::OperatorApplications, 1);
         let pap = dot(&p, &ap);
-        if pap <= 0.0 {
-            // Operator not positive on this direction (e.g. roundoff at the
-            // nullspace boundary) — stop with what we have.
+        if pap <= 0.0 || pap.is_nan() {
+            // Operator not positive on this direction (indefinite
+            // operator, NaN contamination, or roundoff at the nullspace
+            // boundary) — stop with what we have, recording the value.
             iterations = it - 1;
+            breakdown = Some(CgBreakdown::IndefiniteOperator(pap));
+            sem_obs::counters::add(sem_obs::Counter::CgBreakdowns, 1);
             break;
         }
         let alpha = rz / pap;
@@ -153,8 +195,16 @@ pub fn pcg(
             history.push(residual);
         }
         iterations = it;
+        // Convergence is checked before the indefiniteness guard so a
+        // tiny negative rᵀz from roundoff at the tolerance floor still
+        // counts as convergence, not breakdown.
         if residual <= target {
             converged = true;
+            break;
+        }
+        if rz_new < 0.0 || rz_new.is_nan() {
+            breakdown = Some(CgBreakdown::IndefinitePreconditioner(rz_new));
+            sem_obs::counters::add(sem_obs::Counter::CgBreakdowns, 1);
             break;
         }
         let beta = rz_new / rz;
@@ -166,6 +216,7 @@ pub fn pcg(
         residual,
         initial_residual,
         converged,
+        breakdown,
         history,
     }
 }
@@ -367,6 +418,122 @@ mod tests {
         );
         assert_eq!(res.history.len(), res.iterations + 1);
         assert!(res.history.last().unwrap() < &res.history[0]);
+    }
+
+    #[test]
+    fn indefinite_operator_breaks_down_with_recorded_pap() {
+        // A = −Laplacian is negative definite: pᵀAp < 0 on the first
+        // search direction. The guard must stop the iteration, leave
+        // converged = false and record the offending pᵀAp.
+        let n = 10;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(
+            &mut x,
+            &b,
+            |p, ap| {
+                a.matvec_into(p, ap);
+                ap.iter_mut().for_each(|v| *v = -*v);
+            },
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            |_| {},
+            &CgOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
+        );
+        assert!(!res.converged);
+        match res.breakdown {
+            Some(CgBreakdown::IndefiniteOperator(pap)) => {
+                assert!(pap < 0.0, "recorded pap {pap}");
+            }
+            other => panic!("expected IndefiniteOperator, got {other:?}"),
+        }
+        // The iterate must not have been polluted by a step against
+        // negative curvature.
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn indefinite_preconditioner_breaks_down_with_recorded_rz() {
+        // M⁻¹ = −I gives rᵀz = −rᵀr < 0 at entry: terminate immediately
+        // with the value recorded rather than iterating on garbage.
+        let n = 10;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(
+            &mut x,
+            &b,
+            |p, ap| a.matvec_into(p, ap),
+            |r, z| {
+                for (zi, ri) in z.iter_mut().zip(r) {
+                    *zi = -ri;
+                }
+            },
+            plain_dot,
+            |_| {},
+            &CgOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
+        );
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 0);
+        match res.breakdown {
+            Some(CgBreakdown::IndefinitePreconditioner(rz)) => {
+                assert!(rz < 0.0, "recorded rz {rz}");
+            }
+            other => panic!("expected IndefinitePreconditioner, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_rhs_terminates_as_breakdown_not_iteration_cap() {
+        // A NaN anywhere in the RHS floods r and z: the guards must stop
+        // at once instead of spinning max_iter times on NaN arithmetic.
+        let n = 8;
+        let a = laplacian(n);
+        let mut b = vec![1.0; n];
+        b[3] = f64::NAN;
+        let mut x = vec![0.0; n];
+        let res = pcg(
+            &mut x,
+            &b,
+            |p, ap| a.matvec_into(p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            |_| {},
+            &CgOptions {
+                tol: 1e-12,
+                max_iter: 500,
+                ..Default::default()
+            },
+        );
+        assert!(!res.converged);
+        assert!(res.breakdown.is_some(), "NaN must trip a breakdown guard");
+        assert!(res.iterations <= 1, "stopped at iteration {}", res.iterations);
+    }
+
+    #[test]
+    fn successful_solves_report_no_breakdown() {
+        let n = 12;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(
+            &mut x,
+            &b,
+            |p, ap| a.matvec_into(p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            |_| {},
+            &CgOptions::default(),
+        );
+        assert!(res.converged);
+        assert_eq!(res.breakdown, None);
     }
 
     #[test]

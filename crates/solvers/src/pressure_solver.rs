@@ -6,7 +6,7 @@
 //! constant nullspace removed by (plain) mean projection inside the
 //! iteration.
 
-use crate::cg::{pcg, CgOptions, CgResult};
+use crate::cg::{pcg, CgBreakdown, CgOptions, CgResult};
 use crate::projection::RhsProjection;
 use crate::schwarz::{SchwarzConfig, SchwarzPrecond};
 use sem_ops::fields::dot_pressure;
@@ -24,6 +24,11 @@ pub struct PressureSolveStats {
     pub residual: f64,
     /// Projection history depth used.
     pub history_len: usize,
+    /// Did CG meet its tolerance?
+    pub converged: bool,
+    /// Breakdown cause if CG terminated on a guard (see
+    /// [`crate::cg::CgBreakdown`]).
+    pub breakdown: Option<CgBreakdown>,
 }
 
 /// The pressure solver: `E`, Schwarz preconditioner, projection history.
@@ -88,8 +93,12 @@ impl PressureSolver {
         project_mean(g);
         let history_len = self.projection.len();
         // Stage 1: best guess from history; g becomes the perturbation RHS.
-        let xbar = self.projection.project(g);
+        let xbar = {
+            let _span = sem_obs::span(sem_obs::Phase::PressureProjection);
+            self.projection.project(g)
+        };
         // Stage 2: PCG for the perturbation.
+        let cg_span = sem_obs::span(sem_obs::Phase::PressureCg);
         let mut dp = vec![0.0; p.len()];
         let e = &mut self.e;
         let precond = &self.precond;
@@ -105,6 +114,7 @@ impl PressureSolver {
             project_mean,
             &self.opts,
         );
+        drop(cg_span);
         for i in 0..p.len() {
             p[i] = xbar[i] + dp[i];
         }
@@ -112,6 +122,7 @@ impl PressureSolver {
         // Update history with the combined solution (one extra E apply —
         // together with the projection's residual this is the paper's
         // "two matrix-vector products in E per timestep" overhead).
+        let _span = sem_obs::span(sem_obs::Phase::PressureProjection);
         self.e.apply(ops, p, &mut self.ex_scratch);
         let ex = std::mem::take(&mut self.ex_scratch);
         self.projection.update(p, &ex);
@@ -121,6 +132,8 @@ impl PressureSolver {
             initial_residual: res.initial_residual,
             residual: res.residual,
             history_len,
+            converged: res.converged,
+            breakdown: res.breakdown,
         }
     }
 }

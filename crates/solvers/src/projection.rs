@@ -14,6 +14,18 @@
 //! costs two operator applications per timestep (one to form the
 //! perturbation residual, one to orthonormalize the update).
 
+/// Relative dependence tolerance for [`RhsProjection::update`]: a
+/// candidate direction that retains less than this fraction of its
+/// E-norm-squared after Gram–Schmidt (E-norm ratio `1e-6`) is treated as
+/// numerically linearly dependent on the stored basis and dropped.
+///
+/// The previous implicit threshold (`1e-16` on the squared norm) only
+/// rejected directions that had lost *all* significant digits; a
+/// near-duplicate solution that kept `1e-14` of its E-energy slipped
+/// through, got normalized by a factor of `~1e7`, and filled the history
+/// with amplified roundoff — visibly degrading subsequent projections.
+pub const DEPENDENCE_RTOL: f64 = 1e-12;
+
 /// E-orthonormal history of previous solutions.
 pub struct RhsProjection {
     lmax: usize,
@@ -77,8 +89,10 @@ impl RhsProjection {
             self.basis.clear();
         }
         let norm0: f64 = x.iter().zip(ex.iter()).map(|(a, c)| a * c).sum();
-        if norm0 <= 0.0 {
-            return; // zero (or numerically indefinite) update
+        if !(norm0 > 0.0) {
+            // Zero, numerically indefinite, or NaN update.
+            sem_obs::counters::add(sem_obs::Counter::ProjectionDropped, 1);
+            return;
         }
         let mut xn = x.to_vec();
         let mut exn = ex.to_vec();
@@ -96,7 +110,8 @@ impl RhsProjection {
         // its E-energy to the existing basis is numerically dependent;
         // storing it (normalized by a huge factor) would fill the history
         // with roundoff noise.
-        if norm2 <= 1e-16 * norm0 {
+        if !(norm2 > DEPENDENCE_RTOL * norm0) {
+            sem_obs::counters::add(sem_obs::Counter::ProjectionDropped, 1);
             return;
         }
         let inv = 1.0 / norm2.sqrt();
@@ -261,6 +276,59 @@ mod tests {
         let xbar = proj.project(&mut b);
         assert!(xbar.iter().all(|&v| v == 0.0));
         assert!(b.iter().all(|&v| v == 1.0));
+    }
+
+    /// Regression for the dependence tolerance: feeding near-duplicate
+    /// solutions (randomly scaled copies plus perturbations far below
+    /// [`DEPENDENCE_RTOL`]'s E-norm threshold) must not grow the basis
+    /// beyond the first entry, and the basis must stay E-orthonormal —
+    /// under the old `1e-16` squared-norm test these slipped through,
+    /// were renormalized by huge factors, and wrecked orthonormality.
+    #[test]
+    fn near_duplicate_updates_are_dropped() {
+        sem_linalg::rng::forall("near_duplicate_updates", 0x5eed_9e3d, 25, |rng| {
+            let n = 24;
+            let a = spd(n);
+            let mut proj = RhsProjection::new(n, 8);
+            let x: Vec<f64> = rng.vec(n, -1.0, 1.0);
+            proj.update(&x, &a.matvec(&x));
+            assert_eq!(proj.len(), 1);
+            for _ in 0..6 {
+                // Scaled copy with a relative perturbation of ~1e-8: its
+                // post-orthogonalization E-energy fraction is ~1e-16,
+                // far below DEPENDENCE_RTOL = 1e-12.
+                let scale = rng.uniform(0.5, 2.0);
+                let x2: Vec<f64> = x
+                    .iter()
+                    .map(|&v| scale * (v + 1e-8 * rng.uniform(-1.0, 1.0)))
+                    .collect();
+                proj.update(&x2, &a.matvec(&x2));
+            }
+            assert_eq!(proj.len(), 1, "near-duplicates must be dropped");
+            // A genuinely new direction must still be accepted, and the
+            // basis must remain E-orthonormal to working precision.
+            let y: Vec<f64> = rng.vec(n, -1.0, 1.0);
+            proj.update(&y, &a.matvec(&y));
+            assert_eq!(proj.len(), 2);
+            for (i, (xi, _)) in proj.basis.iter().enumerate() {
+                for (j, (_, exj)) in proj.basis.iter().enumerate() {
+                    let d = dot(xi, exj);
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!((d - want).abs() < 1e-8, "({i},{j}): {d}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn nan_update_is_dropped() {
+        let n = 8;
+        let a = spd(n);
+        let mut proj = RhsProjection::new(n, 4);
+        let mut x = vec![1.0; n];
+        x[2] = f64::NAN;
+        proj.update(&x, &a.matvec(&x));
+        assert!(proj.is_empty(), "NaN update must not enter the basis");
     }
 
     #[test]

@@ -169,11 +169,13 @@ impl SchwarzPrecond {
 
     /// Apply `z = M⁻¹ r` on pressure-space vectors.
     pub fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let _span = sem_obs::span(sem_obs::Phase::Schwarz);
         let k = self.locals.len();
         assert_eq!(r.len(), k * self.npts_p, "schwarz: r length");
         assert_eq!(z.len(), k * self.npts_p, "schwarz: z length");
         z.fill(0.0);
         if let Some(coarse) = &self.coarse {
+            let _coarse_span = sem_obs::span(sem_obs::Phase::CoarseSolve);
             coarse.apply(r, z);
         }
         let extd = self.ext.pow(self.dim as u32);

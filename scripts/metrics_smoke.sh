@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Observability smoke test: run a short shear-layer solve with metrics
+# enabled (fig3_shear_layer --smoke) and validate the emitted per-timestep
+# JSON records — one `JSON {...}` line per step, each carrying the
+# required schema fields (see crates/obs/src/record.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STEPS=20
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+cargo run -q --release --offline -p sem-bench --bin fig3_shear_layer -- --smoke \
+    2>/dev/null | grep '^JSON ' | sed 's/^JSON //' > "$OUT"
+
+LINES=$(wc -l < "$OUT")
+if [ "$LINES" -ne "$STEPS" ]; then
+    echo "metrics_smoke: FAIL — expected $STEPS JSON records, got $LINES" >&2
+    exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT" <<'EOF'
+import json, sys
+
+REQUIRED = [
+    "type", "schema", "step", "time", "dt", "cfl",
+    "pressure_iterations", "pressure_initial_residual",
+    "pressure_final_residual", "projection_depth", "pressure_converged",
+    "helmholtz_iterations", "scalar_iterations", "seconds",
+    "counters", "counters_delta", "spans", "spans_delta",
+]
+
+with open(sys.argv[1]) as f:
+    records = [json.loads(line) for line in f]
+
+for i, r in enumerate(records):
+    missing = [k for k in REQUIRED if k not in r]
+    assert not missing, f"record {i}: missing fields {missing}"
+    assert r["type"] == "terasem.step", f"record {i}: type {r['type']!r}"
+    assert r["schema"] == 1, f"record {i}: schema {r['schema']}"
+    assert r["step"] == i + 1, f"record {i}: step {r['step']}"
+    assert r["pressure_iterations"] >= 0
+    assert isinstance(r["helmholtz_iterations"], list)
+    for reg in ("counters", "counters_delta"):
+        assert r[reg]["mxm_flops"] >= 0, f"record {i}: {reg} missing mxm_flops"
+    assert r["spans"]["step"]["calls"] == i + 1, f"record {i}: step span calls"
+    assert r["spans_delta"]["step"]["calls"] == 1, f"record {i}: step span delta"
+
+# Cumulative counters must be monotone; per-step deltas must add up.
+for a, b in zip(records, records[1:]):
+    for key in a["counters"]:
+        assert b["counters"][key] >= a["counters"][key], f"{key} not monotone"
+        assert b["counters"][key] - a["counters"][key] == b["counters_delta"][key], \
+            f"{key} delta mismatch at step {b['step']}"
+
+print(f"metrics_smoke: {len(records)} records validated")
+EOF
+elif command -v jq >/dev/null 2>&1; then
+    jq -e 'select(.type != "terasem.step" or .schema != 1
+                  or (.counters.mxm_flops < 0) or (has("cfl") | not))' \
+        "$OUT" >/dev/null && { echo "metrics_smoke: FAIL — bad record" >&2; exit 1; }
+    echo "metrics_smoke: $LINES records validated (jq)"
+else
+    # Last-ditch structural check without a JSON tool.
+    grep -c '"type":"terasem.step"' "$OUT" >/dev/null
+    echo "metrics_smoke: $LINES records present (no JSON validator found)"
+fi
+
+echo "metrics_smoke: OK"

@@ -7,6 +7,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+cargo test -q --offline -p sem-obs
 cargo bench --no-run --offline -p sem-bench
+scripts/metrics_smoke.sh
 
 echo "verify: OK"

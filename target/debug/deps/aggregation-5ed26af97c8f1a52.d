@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aggregation-5ed26af97c8f1a52.d: crates/obs/tests/aggregation.rs
+
+/root/repo/target/debug/deps/aggregation-5ed26af97c8f1a52: crates/obs/tests/aggregation.rs
+
+crates/obs/tests/aggregation.rs:

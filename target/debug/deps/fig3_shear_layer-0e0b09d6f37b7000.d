@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_shear_layer-0e0b09d6f37b7000.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/debug/deps/fig3_shear_layer-0e0b09d6f37b7000: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

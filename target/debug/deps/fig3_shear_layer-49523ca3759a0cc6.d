@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_shear_layer-49523ca3759a0cc6.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/debug/deps/fig3_shear_layer-49523ca3759a0cc6: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_shear_layer-df6f584563902ace.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/debug/deps/fig3_shear_layer-df6f584563902ace: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_projection-205cac95d4983786.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/debug/deps/fig4_projection-205cac95d4983786: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_projection-65c760c320785976.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/debug/deps/fig4_projection-65c760c320785976: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

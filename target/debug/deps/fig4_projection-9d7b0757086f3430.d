@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_projection-9d7b0757086f3430.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/debug/deps/fig4_projection-9d7b0757086f3430: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coarse_grid-145382959e594e9e.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/debug/deps/fig6_coarse_grid-145382959e594e9e: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coarse_grid-8add40db95d1848d.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/debug/deps/fig6_coarse_grid-8add40db95d1848d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

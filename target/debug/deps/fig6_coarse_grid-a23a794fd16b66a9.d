@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coarse_grid-a23a794fd16b66a9.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/debug/deps/fig6_coarse_grid-a23a794fd16b66a9: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

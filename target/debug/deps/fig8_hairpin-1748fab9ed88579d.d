@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_hairpin-1748fab9ed88579d.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/debug/deps/fig8_hairpin-1748fab9ed88579d: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_hairpin-2560e2810a7b99b6.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/debug/deps/fig8_hairpin-2560e2810a7b99b6: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_hairpin-ae05a2c292b7ccaa.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/debug/deps/fig8_hairpin-ae05a2c292b7ccaa: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gather_scatter-ba9a6bc58919a37b.d: crates/bench/benches/gather_scatter.rs
+
+/root/repo/target/debug/deps/gather_scatter-ba9a6bc58919a37b: crates/bench/benches/gather_scatter.rs
+
+crates/bench/benches/gather_scatter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_ns-2f8514fc810f9d8f.d: tests/integration_ns.rs
+
+/root/repo/target/debug/deps/integration_ns-2f8514fc810f9d8f: tests/integration_ns.rs
+
+tests/integration_ns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_parallel-7793f4f3e8ab45d6.d: tests/integration_parallel.rs
+
+/root/repo/target/debug/deps/integration_parallel-7793f4f3e8ab45d6: tests/integration_parallel.rs
+
+tests/integration_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_poisson-b403c3b48e40178f.d: tests/integration_poisson.rs
+
+/root/repo/target/debug/deps/integration_poisson-b403c3b48e40178f: tests/integration_poisson.rs
+
+tests/integration_poisson.rs:

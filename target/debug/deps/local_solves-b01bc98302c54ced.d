@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_solves-b01bc98302c54ced.d: crates/bench/benches/local_solves.rs
+
+/root/repo/target/debug/deps/local_solves-b01bc98302c54ced: crates/bench/benches/local_solves.rs
+
+crates/bench/benches/local_solves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_determinism-80b84c1f6058930d.d: crates/ns/tests/metrics_determinism.rs
+
+/root/repo/target/debug/deps/metrics_determinism-80b84c1f6058930d: crates/ns/tests/metrics_determinism.rs
+
+crates/ns/tests/metrics_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mxm-ee6cd7bbf2545f38.d: crates/bench/benches/mxm.rs
+
+/root/repo/target/debug/deps/mxm-ee6cd7bbf2545f38: crates/bench/benches/mxm.rs
+
+crates/bench/benches/mxm.rs:

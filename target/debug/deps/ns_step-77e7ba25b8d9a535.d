@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ns_step-77e7ba25b8d9a535.d: crates/bench/benches/ns_step.rs
+
+/root/repo/target/debug/deps/ns_step-77e7ba25b8d9a535: crates/bench/benches/ns_step.rs
+
+crates/bench/benches/ns_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operators-f960cf77a5926fc8.d: crates/bench/benches/operators.rs
+
+/root/repo/target/debug/deps/operators-f960cf77a5926fc8: crates/bench/benches/operators.rs
+
+crates/bench/benches/operators.rs:

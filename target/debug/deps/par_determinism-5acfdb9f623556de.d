@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-5acfdb9f623556de.d: crates/ops/tests/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-5acfdb9f623556de: crates/ops/tests/par_determinism.rs
+
+crates/ops/tests/par_determinism.rs:

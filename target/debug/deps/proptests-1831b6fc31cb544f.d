@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1831b6fc31cb544f.d: crates/linalg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1831b6fc31cb544f: crates/linalg/tests/proptests.rs
+
+crates/linalg/tests/proptests.rs:

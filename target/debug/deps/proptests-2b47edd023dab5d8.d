@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2b47edd023dab5d8.d: crates/comm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2b47edd023dab5d8: crates/comm/tests/proptests.rs
+
+crates/comm/tests/proptests.rs:

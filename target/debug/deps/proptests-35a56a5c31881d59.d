@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-35a56a5c31881d59.d: crates/ops/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-35a56a5c31881d59: crates/ops/tests/proptests.rs
+
+crates/ops/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-46c891bfaeac57c8.d: crates/poly/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-46c891bfaeac57c8: crates/poly/tests/proptests.rs
+
+crates/poly/tests/proptests.rs:

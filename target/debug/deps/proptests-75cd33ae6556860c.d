@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-75cd33ae6556860c.d: crates/gs/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-75cd33ae6556860c: crates/gs/tests/proptests.rs
+
+crates/gs/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7fc6737e1ba6715b.d: crates/solvers/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7fc6737e1ba6715b: crates/solvers/tests/proptests.rs
+
+crates/solvers/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d729ca7d1e1566b5.d: crates/mesh/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d729ca7d1e1566b5: crates/mesh/tests/proptests.rs
+
+crates/mesh/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sem_bench-09e95ec9691ba0ab.d: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsem_bench-09e95ec9691ba0ab.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsem_bench-09e95ec9691ba0ab.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sem_bench-c656f896e8b0c7a6.d: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/sem_bench-c656f896e8b0c7a6: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sem_comm-ef4d217a442745bd.d: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+/root/repo/target/debug/deps/sem_comm-ef4d217a442745bd: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/model.rs:
+crates/comm/src/par.rs:
+crates/comm/src/sim.rs:

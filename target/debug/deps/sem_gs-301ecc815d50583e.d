@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sem_gs-301ecc815d50583e.d: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/debug/deps/sem_gs-301ecc815d50583e: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+crates/gs/src/lib.rs:
+crates/gs/src/local.rs:
+crates/gs/src/parallel.rs:

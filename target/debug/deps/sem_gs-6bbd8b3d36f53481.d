@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sem_gs-6bbd8b3d36f53481.d: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/debug/deps/libsem_gs-6bbd8b3d36f53481.rlib: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/debug/deps/libsem_gs-6bbd8b3d36f53481.rmeta: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+crates/gs/src/lib.rs:
+crates/gs/src/local.rs:
+crates/gs/src/parallel.rs:

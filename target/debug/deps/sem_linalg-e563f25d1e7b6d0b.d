@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sem_linalg-e563f25d1e7b6d0b.d: crates/linalg/src/lib.rs crates/linalg/src/banded.rs crates/linalg/src/chol.rs crates/linalg/src/complex.rs crates/linalg/src/eig.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/mxm.rs crates/linalg/src/rng.rs crates/linalg/src/tensor.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/sem_linalg-e563f25d1e7b6d0b: crates/linalg/src/lib.rs crates/linalg/src/banded.rs crates/linalg/src/chol.rs crates/linalg/src/complex.rs crates/linalg/src/eig.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/mxm.rs crates/linalg/src/rng.rs crates/linalg/src/tensor.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/banded.rs:
+crates/linalg/src/chol.rs:
+crates/linalg/src/complex.rs:
+crates/linalg/src/eig.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/mxm.rs:
+crates/linalg/src/rng.rs:
+crates/linalg/src/tensor.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sem_mesh-a756e348bdcc3b76.d: crates/mesh/src/lib.rs crates/mesh/src/generators.rs crates/mesh/src/geom.rs crates/mesh/src/numbering.rs crates/mesh/src/partition.rs crates/mesh/src/refine.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libsem_mesh-a756e348bdcc3b76.rlib: crates/mesh/src/lib.rs crates/mesh/src/generators.rs crates/mesh/src/geom.rs crates/mesh/src/numbering.rs crates/mesh/src/partition.rs crates/mesh/src/refine.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libsem_mesh-a756e348bdcc3b76.rmeta: crates/mesh/src/lib.rs crates/mesh/src/generators.rs crates/mesh/src/geom.rs crates/mesh/src/numbering.rs crates/mesh/src/partition.rs crates/mesh/src/refine.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/generators.rs:
+crates/mesh/src/geom.rs:
+crates/mesh/src/numbering.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/refine.rs:
+crates/mesh/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sem_ns-99ec27c3171c7a72.d: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+/root/repo/target/debug/deps/sem_ns-99ec27c3171c7a72: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+crates/ns/src/lib.rs:
+crates/ns/src/config.rs:
+crates/ns/src/convection.rs:
+crates/ns/src/diagnostics.rs:
+crates/ns/src/output.rs:
+crates/ns/src/solver.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sem_ns-e5a9868cf2e9242c.d: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+/root/repo/target/debug/deps/libsem_ns-e5a9868cf2e9242c.rlib: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+/root/repo/target/debug/deps/libsem_ns-e5a9868cf2e9242c.rmeta: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+crates/ns/src/lib.rs:
+crates/ns/src/config.rs:
+crates/ns/src/convection.rs:
+crates/ns/src/diagnostics.rs:
+crates/ns/src/output.rs:
+crates/ns/src/solver.rs:

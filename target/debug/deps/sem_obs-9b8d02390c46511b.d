@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sem_obs-9b8d02390c46511b.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+/root/repo/target/debug/deps/sem_obs-9b8d02390c46511b: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/spans.rs:

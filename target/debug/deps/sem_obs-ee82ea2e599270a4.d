@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sem_obs-ee82ea2e599270a4.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+/root/repo/target/debug/deps/libsem_obs-ee82ea2e599270a4.rlib: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+/root/repo/target/debug/deps/libsem_obs-ee82ea2e599270a4.rmeta: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/spans.rs:

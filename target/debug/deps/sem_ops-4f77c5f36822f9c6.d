@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sem_ops-4f77c5f36822f9c6.d: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+/root/repo/target/debug/deps/libsem_ops-4f77c5f36822f9c6.rlib: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+/root/repo/target/debug/deps/libsem_ops-4f77c5f36822f9c6.rmeta: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+crates/ops/src/lib.rs:
+crates/ops/src/convect.rs:
+crates/ops/src/fields.rs:
+crates/ops/src/filter.rs:
+crates/ops/src/laplace.rs:
+crates/ops/src/pressure.rs:
+crates/ops/src/space.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sem_poly-ea0d08b63d691ba6.d: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/debug/deps/libsem_poly-ea0d08b63d691ba6.rlib: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/debug/deps/libsem_poly-ea0d08b63d691ba6.rmeta: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/filter.rs:
+crates/poly/src/lagrange.rs:
+crates/poly/src/legendre.rs:
+crates/poly/src/modal.rs:
+crates/poly/src/ops1d.rs:
+crates/poly/src/quad.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sem_stability-50ee39fe02298d35.d: crates/stability/src/lib.rs
+
+/root/repo/target/debug/deps/libsem_stability-50ee39fe02298d35.rlib: crates/stability/src/lib.rs
+
+/root/repo/target/debug/deps/libsem_stability-50ee39fe02298d35.rmeta: crates/stability/src/lib.rs
+
+crates/stability/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sem_stability-ec7ddc08dd0eff35.d: crates/stability/src/lib.rs
+
+/root/repo/target/debug/deps/sem_stability-ec7ddc08dd0eff35: crates/stability/src/lib.rs
+
+crates/stability/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_orr_sommerfeld-4bcaf9b44748cefe.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/debug/deps/table1_orr_sommerfeld-4bcaf9b44748cefe: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

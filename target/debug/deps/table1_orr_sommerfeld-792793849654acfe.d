@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_orr_sommerfeld-792793849654acfe.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/debug/deps/table1_orr_sommerfeld-792793849654acfe: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_schwarz-827c44165d56347a.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/debug/deps/table2_schwarz-827c44165d56347a: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_schwarz-c51ff37a939bebc3.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/debug/deps/table2_schwarz-c51ff37a939bebc3: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

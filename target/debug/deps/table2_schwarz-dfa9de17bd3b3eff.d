@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_schwarz-dfa9de17bd3b3eff.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/debug/deps/table2_schwarz-dfa9de17bd3b3eff: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mxm-2c6f7d50de62bc46.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/debug/deps/table3_mxm-2c6f7d50de62bc46: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

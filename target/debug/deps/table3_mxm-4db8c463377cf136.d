@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mxm-4db8c463377cf136.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/debug/deps/table3_mxm-4db8c463377cf136: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

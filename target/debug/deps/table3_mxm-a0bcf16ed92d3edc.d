@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mxm-a0bcf16ed92d3edc.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/debug/deps/table3_mxm-a0bcf16ed92d3edc: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

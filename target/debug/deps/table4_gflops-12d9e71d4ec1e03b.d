@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_gflops-12d9e71d4ec1e03b.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/debug/deps/table4_gflops-12d9e71d4ec1e03b: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

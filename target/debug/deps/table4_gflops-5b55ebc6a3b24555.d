@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_gflops-5b55ebc6a3b24555.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/debug/deps/table4_gflops-5b55ebc6a3b24555: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

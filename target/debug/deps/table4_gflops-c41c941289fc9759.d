@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_gflops-c41c941289fc9759.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/debug/deps/table4_gflops-c41c941289fc9759: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

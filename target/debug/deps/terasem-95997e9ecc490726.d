@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/terasem-95997e9ecc490726.d: src/lib.rs
+
+/root/repo/target/debug/deps/terasem-95997e9ecc490726: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/terasem-96983a0995c732f1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libterasem-96983a0995c732f1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libterasem-96983a0995c732f1.rmeta: src/lib.rs
+
+src/lib.rs:

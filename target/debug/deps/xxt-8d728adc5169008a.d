@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xxt-8d728adc5169008a.d: crates/bench/benches/xxt.rs
+
+/root/repo/target/debug/deps/xxt-8d728adc5169008a: crates/bench/benches/xxt.rs
+
+crates/bench/benches/xxt.rs:

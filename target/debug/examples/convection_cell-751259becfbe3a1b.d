@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convection_cell-751259becfbe3a1b.d: examples/convection_cell.rs
+
+/root/repo/target/debug/examples/convection_cell-751259becfbe3a1b: examples/convection_cell.rs
+
+examples/convection_cell.rs:

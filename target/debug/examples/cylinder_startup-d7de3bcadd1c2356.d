@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cylinder_startup-d7de3bcadd1c2356.d: examples/cylinder_startup.rs
+
+/root/repo/target/debug/examples/cylinder_startup-d7de3bcadd1c2356: examples/cylinder_startup.rs
+
+examples/cylinder_startup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hairpin_bump-c3ef32e7c43b9640.d: examples/hairpin_bump.rs
+
+/root/repo/target/debug/examples/hairpin_bump-c3ef32e7c43b9640: examples/hairpin_bump.rs
+
+examples/hairpin_bump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-56c2ca0055a9cbab.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-56c2ca0055a9cbab: examples/quickstart.rs
+
+examples/quickstart.rs:

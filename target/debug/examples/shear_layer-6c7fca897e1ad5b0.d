@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shear_layer-6c7fca897e1ad5b0.d: examples/shear_layer.rs
+
+/root/repo/target/debug/examples/shear_layer-6c7fca897e1ad5b0: examples/shear_layer.rs
+
+examples/shear_layer.rs:

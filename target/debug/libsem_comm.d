@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsem_comm.rlib: /root/repo/crates/comm/src/lib.rs /root/repo/crates/comm/src/model.rs /root/repo/crates/comm/src/par.rs /root/repo/crates/comm/src/sim.rs

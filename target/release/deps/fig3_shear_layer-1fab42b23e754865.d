@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_shear_layer-1fab42b23e754865.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/release/deps/fig3_shear_layer-1fab42b23e754865: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

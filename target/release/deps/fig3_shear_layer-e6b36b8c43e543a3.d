@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_shear_layer-e6b36b8c43e543a3.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/release/deps/fig3_shear_layer-e6b36b8c43e543a3: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

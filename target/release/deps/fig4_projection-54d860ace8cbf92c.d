@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_projection-54d860ace8cbf92c.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/release/deps/fig4_projection-54d860ace8cbf92c: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

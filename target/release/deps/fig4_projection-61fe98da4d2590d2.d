@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_projection-61fe98da4d2590d2.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/release/deps/fig4_projection-61fe98da4d2590d2: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_coarse_grid-4072b7d1ca929518.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/release/deps/fig6_coarse_grid-4072b7d1ca929518: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_coarse_grid-5365cf74ab7beef2.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/release/deps/fig6_coarse_grid-5365cf74ab7beef2: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_hairpin-bd53bb0c76f1afbc.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/release/deps/fig8_hairpin-bd53bb0c76f1afbc: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

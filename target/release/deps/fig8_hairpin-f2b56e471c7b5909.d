@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_hairpin-f2b56e471c7b5909.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/release/deps/fig8_hairpin-f2b56e471c7b5909: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gather_scatter-0272e0960c4b2d74.d: crates/bench/benches/gather_scatter.rs
+
+/root/repo/target/release/deps/gather_scatter-0272e0960c4b2d74: crates/bench/benches/gather_scatter.rs
+
+crates/bench/benches/gather_scatter.rs:

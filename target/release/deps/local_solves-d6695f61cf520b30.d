@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/local_solves-d6695f61cf520b30.d: crates/bench/benches/local_solves.rs
+
+/root/repo/target/release/deps/local_solves-d6695f61cf520b30: crates/bench/benches/local_solves.rs
+
+crates/bench/benches/local_solves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mxm-336d7e0397510804.d: crates/bench/benches/mxm.rs
+
+/root/repo/target/release/deps/mxm-336d7e0397510804: crates/bench/benches/mxm.rs
+
+crates/bench/benches/mxm.rs:

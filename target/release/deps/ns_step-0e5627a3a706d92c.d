@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ns_step-0e5627a3a706d92c.d: crates/bench/benches/ns_step.rs
+
+/root/repo/target/release/deps/ns_step-0e5627a3a706d92c: crates/bench/benches/ns_step.rs
+
+crates/bench/benches/ns_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/operators-767713941248a3a6.d: crates/bench/benches/operators.rs
+
+/root/repo/target/release/deps/operators-767713941248a3a6: crates/bench/benches/operators.rs
+
+crates/bench/benches/operators.rs:

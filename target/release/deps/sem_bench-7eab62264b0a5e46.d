@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sem_bench-7eab62264b0a5e46.d: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libsem_bench-7eab62264b0a5e46.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libsem_bench-7eab62264b0a5e46.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

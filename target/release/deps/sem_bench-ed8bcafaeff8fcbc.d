@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sem_bench-ed8bcafaeff8fcbc.d: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/sem_bench-ed8bcafaeff8fcbc: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sem_gs-c1dc79f5828ffcd5.d: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/release/deps/libsem_gs-c1dc79f5828ffcd5.rlib: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/release/deps/libsem_gs-c1dc79f5828ffcd5.rmeta: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+crates/gs/src/lib.rs:
+crates/gs/src/local.rs:
+crates/gs/src/parallel.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sem_linalg-1d22c32d4000bf98.d: crates/linalg/src/lib.rs crates/linalg/src/banded.rs crates/linalg/src/chol.rs crates/linalg/src/complex.rs crates/linalg/src/eig.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/mxm.rs crates/linalg/src/rng.rs crates/linalg/src/tensor.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libsem_linalg-1d22c32d4000bf98.rlib: crates/linalg/src/lib.rs crates/linalg/src/banded.rs crates/linalg/src/chol.rs crates/linalg/src/complex.rs crates/linalg/src/eig.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/mxm.rs crates/linalg/src/rng.rs crates/linalg/src/tensor.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libsem_linalg-1d22c32d4000bf98.rmeta: crates/linalg/src/lib.rs crates/linalg/src/banded.rs crates/linalg/src/chol.rs crates/linalg/src/complex.rs crates/linalg/src/eig.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/mxm.rs crates/linalg/src/rng.rs crates/linalg/src/tensor.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/banded.rs:
+crates/linalg/src/chol.rs:
+crates/linalg/src/complex.rs:
+crates/linalg/src/eig.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/mxm.rs:
+crates/linalg/src/rng.rs:
+crates/linalg/src/tensor.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sem_mesh-a96a03e39973471d.d: crates/mesh/src/lib.rs crates/mesh/src/generators.rs crates/mesh/src/geom.rs crates/mesh/src/numbering.rs crates/mesh/src/partition.rs crates/mesh/src/refine.rs crates/mesh/src/topology.rs
+
+/root/repo/target/release/deps/libsem_mesh-a96a03e39973471d.rlib: crates/mesh/src/lib.rs crates/mesh/src/generators.rs crates/mesh/src/geom.rs crates/mesh/src/numbering.rs crates/mesh/src/partition.rs crates/mesh/src/refine.rs crates/mesh/src/topology.rs
+
+/root/repo/target/release/deps/libsem_mesh-a96a03e39973471d.rmeta: crates/mesh/src/lib.rs crates/mesh/src/generators.rs crates/mesh/src/geom.rs crates/mesh/src/numbering.rs crates/mesh/src/partition.rs crates/mesh/src/refine.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/generators.rs:
+crates/mesh/src/geom.rs:
+crates/mesh/src/numbering.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/refine.rs:
+crates/mesh/src/topology.rs:

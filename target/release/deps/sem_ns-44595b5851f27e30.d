@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sem_ns-44595b5851f27e30.d: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+/root/repo/target/release/deps/libsem_ns-44595b5851f27e30.rlib: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+/root/repo/target/release/deps/libsem_ns-44595b5851f27e30.rmeta: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+crates/ns/src/lib.rs:
+crates/ns/src/config.rs:
+crates/ns/src/convection.rs:
+crates/ns/src/diagnostics.rs:
+crates/ns/src/output.rs:
+crates/ns/src/solver.rs:

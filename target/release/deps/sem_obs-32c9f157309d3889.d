@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sem_obs-32c9f157309d3889.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+/root/repo/target/release/deps/libsem_obs-32c9f157309d3889.rlib: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+/root/repo/target/release/deps/libsem_obs-32c9f157309d3889.rmeta: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/spans.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sem_ops-05c4da3847cc46bd.d: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+/root/repo/target/release/deps/libsem_ops-05c4da3847cc46bd.rlib: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+/root/repo/target/release/deps/libsem_ops-05c4da3847cc46bd.rmeta: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+crates/ops/src/lib.rs:
+crates/ops/src/convect.rs:
+crates/ops/src/fields.rs:
+crates/ops/src/filter.rs:
+crates/ops/src/laplace.rs:
+crates/ops/src/pressure.rs:
+crates/ops/src/space.rs:

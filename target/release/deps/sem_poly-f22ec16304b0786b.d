@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sem_poly-f22ec16304b0786b.d: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/release/deps/libsem_poly-f22ec16304b0786b.rlib: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/release/deps/libsem_poly-f22ec16304b0786b.rmeta: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/filter.rs:
+crates/poly/src/lagrange.rs:
+crates/poly/src/legendre.rs:
+crates/poly/src/modal.rs:
+crates/poly/src/ops1d.rs:
+crates/poly/src/quad.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sem_solvers-6bd0ae69ad844a0e.d: crates/solvers/src/lib.rs crates/solvers/src/cg.rs crates/solvers/src/coarse.rs crates/solvers/src/fdm.rs crates/solvers/src/jacobi.rs crates/solvers/src/pressure_solver.rs crates/solvers/src/projection.rs crates/solvers/src/schwarz.rs crates/solvers/src/sparse.rs crates/solvers/src/xxt.rs
+
+/root/repo/target/release/deps/libsem_solvers-6bd0ae69ad844a0e.rlib: crates/solvers/src/lib.rs crates/solvers/src/cg.rs crates/solvers/src/coarse.rs crates/solvers/src/fdm.rs crates/solvers/src/jacobi.rs crates/solvers/src/pressure_solver.rs crates/solvers/src/projection.rs crates/solvers/src/schwarz.rs crates/solvers/src/sparse.rs crates/solvers/src/xxt.rs
+
+/root/repo/target/release/deps/libsem_solvers-6bd0ae69ad844a0e.rmeta: crates/solvers/src/lib.rs crates/solvers/src/cg.rs crates/solvers/src/coarse.rs crates/solvers/src/fdm.rs crates/solvers/src/jacobi.rs crates/solvers/src/pressure_solver.rs crates/solvers/src/projection.rs crates/solvers/src/schwarz.rs crates/solvers/src/sparse.rs crates/solvers/src/xxt.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/coarse.rs:
+crates/solvers/src/fdm.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/pressure_solver.rs:
+crates/solvers/src/projection.rs:
+crates/solvers/src/schwarz.rs:
+crates/solvers/src/sparse.rs:
+crates/solvers/src/xxt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sem_stability-c304ee5868331879.d: crates/stability/src/lib.rs
+
+/root/repo/target/release/deps/libsem_stability-c304ee5868331879.rlib: crates/stability/src/lib.rs
+
+/root/repo/target/release/deps/libsem_stability-c304ee5868331879.rmeta: crates/stability/src/lib.rs
+
+crates/stability/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_orr_sommerfeld-6f6e1d27d9a4153f.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/release/deps/table1_orr_sommerfeld-6f6e1d27d9a4153f: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

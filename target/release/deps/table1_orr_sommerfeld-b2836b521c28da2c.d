@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_orr_sommerfeld-b2836b521c28da2c.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/release/deps/table1_orr_sommerfeld-b2836b521c28da2c: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_schwarz-45c01e89f8e6d82d.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/release/deps/table2_schwarz-45c01e89f8e6d82d: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

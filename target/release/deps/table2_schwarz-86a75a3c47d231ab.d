@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_schwarz-86a75a3c47d231ab.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/release/deps/table2_schwarz-86a75a3c47d231ab: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_mxm-1f256920943ee4f2.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/release/deps/table3_mxm-1f256920943ee4f2: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

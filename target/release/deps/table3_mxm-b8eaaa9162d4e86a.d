@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_mxm-b8eaaa9162d4e86a.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/release/deps/table3_mxm-b8eaaa9162d4e86a: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_gflops-4e2a8c46c644d9ea.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/release/deps/table4_gflops-4e2a8c46c644d9ea: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_gflops-e6da2a121dc89e2f.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/release/deps/table4_gflops-e6da2a121dc89e2f: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/terasem-2d7d5734a526507b.d: src/lib.rs
+
+/root/repo/target/release/deps/libterasem-2d7d5734a526507b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libterasem-2d7d5734a526507b.rmeta: src/lib.rs
+
+src/lib.rs:

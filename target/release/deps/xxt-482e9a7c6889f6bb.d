@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xxt-482e9a7c6889f6bb.d: crates/bench/benches/xxt.rs
+
+/root/repo/target/release/deps/xxt-482e9a7c6889f6bb: crates/bench/benches/xxt.rs
+
+crates/bench/benches/xxt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4adce997a7500bdb.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4adce997a7500bdb: examples/quickstart.rs
+
+examples/quickstart.rs:
