@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_shear_layer-fe533e5d830d202c.d: crates/bench/src/bin/fig3_shear_layer.rs
+
+/root/repo/target/debug/deps/libfig3_shear_layer-fe533e5d830d202c.rmeta: crates/bench/src/bin/fig3_shear_layer.rs
+
+crates/bench/src/bin/fig3_shear_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_projection-fe4e547e7a158d94.d: crates/bench/src/bin/fig4_projection.rs
+
+/root/repo/target/debug/deps/libfig4_projection-fe4e547e7a158d94.rmeta: crates/bench/src/bin/fig4_projection.rs
+
+crates/bench/src/bin/fig4_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coarse_grid-1bc1aa407a71dde6.d: crates/bench/src/bin/fig6_coarse_grid.rs
+
+/root/repo/target/debug/deps/libfig6_coarse_grid-1bc1aa407a71dde6.rmeta: crates/bench/src/bin/fig6_coarse_grid.rs
+
+crates/bench/src/bin/fig6_coarse_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_hairpin-3d724130d235eaaa.d: crates/bench/src/bin/fig8_hairpin.rs
+
+/root/repo/target/debug/deps/libfig8_hairpin-3d724130d235eaaa.rmeta: crates/bench/src/bin/fig8_hairpin.rs
+
+crates/bench/src/bin/fig8_hairpin.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sem_bench-dc6f9c8223ce4509.d: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsem_bench-dc6f9c8223ce4509.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sem_comm-26439caf5a732637.d: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+/root/repo/target/debug/deps/libsem_comm-26439caf5a732637.rmeta: crates/comm/src/lib.rs crates/comm/src/model.rs crates/comm/src/par.rs crates/comm/src/sim.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/model.rs:
+crates/comm/src/par.rs:
+crates/comm/src/sim.rs:

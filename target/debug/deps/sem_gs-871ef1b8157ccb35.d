@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sem_gs-871ef1b8157ccb35.d: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+/root/repo/target/debug/deps/libsem_gs-871ef1b8157ccb35.rmeta: crates/gs/src/lib.rs crates/gs/src/local.rs crates/gs/src/parallel.rs
+
+crates/gs/src/lib.rs:
+crates/gs/src/local.rs:
+crates/gs/src/parallel.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sem_linalg-ca12e49d393f480f.d: crates/linalg/src/lib.rs crates/linalg/src/banded.rs crates/linalg/src/chol.rs crates/linalg/src/complex.rs crates/linalg/src/eig.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/mxm.rs crates/linalg/src/rng.rs crates/linalg/src/tensor.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libsem_linalg-ca12e49d393f480f.rmeta: crates/linalg/src/lib.rs crates/linalg/src/banded.rs crates/linalg/src/chol.rs crates/linalg/src/complex.rs crates/linalg/src/eig.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/mxm.rs crates/linalg/src/rng.rs crates/linalg/src/tensor.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/banded.rs:
+crates/linalg/src/chol.rs:
+crates/linalg/src/complex.rs:
+crates/linalg/src/eig.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/mxm.rs:
+crates/linalg/src/rng.rs:
+crates/linalg/src/tensor.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sem_mesh-baa209eee8f2b22f.d: crates/mesh/src/lib.rs crates/mesh/src/generators.rs crates/mesh/src/geom.rs crates/mesh/src/numbering.rs crates/mesh/src/partition.rs crates/mesh/src/refine.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libsem_mesh-baa209eee8f2b22f.rmeta: crates/mesh/src/lib.rs crates/mesh/src/generators.rs crates/mesh/src/geom.rs crates/mesh/src/numbering.rs crates/mesh/src/partition.rs crates/mesh/src/refine.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/generators.rs:
+crates/mesh/src/geom.rs:
+crates/mesh/src/numbering.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/refine.rs:
+crates/mesh/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sem_ns-6f2b98a592334e92.d: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+/root/repo/target/debug/deps/libsem_ns-6f2b98a592334e92.rmeta: crates/ns/src/lib.rs crates/ns/src/config.rs crates/ns/src/convection.rs crates/ns/src/diagnostics.rs crates/ns/src/output.rs crates/ns/src/solver.rs
+
+crates/ns/src/lib.rs:
+crates/ns/src/config.rs:
+crates/ns/src/convection.rs:
+crates/ns/src/diagnostics.rs:
+crates/ns/src/output.rs:
+crates/ns/src/solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sem_obs-d9c31a0ca4c4f19e.d: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+/root/repo/target/debug/deps/libsem_obs-d9c31a0ca4c4f19e.rmeta: crates/obs/src/lib.rs crates/obs/src/counters.rs crates/obs/src/json.rs crates/obs/src/record.rs crates/obs/src/spans.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counters.rs:
+crates/obs/src/json.rs:
+crates/obs/src/record.rs:
+crates/obs/src/spans.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sem_ops-f719bef3be697524.d: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+/root/repo/target/debug/deps/libsem_ops-f719bef3be697524.rmeta: crates/ops/src/lib.rs crates/ops/src/convect.rs crates/ops/src/fields.rs crates/ops/src/filter.rs crates/ops/src/laplace.rs crates/ops/src/pressure.rs crates/ops/src/space.rs
+
+crates/ops/src/lib.rs:
+crates/ops/src/convect.rs:
+crates/ops/src/fields.rs:
+crates/ops/src/filter.rs:
+crates/ops/src/laplace.rs:
+crates/ops/src/pressure.rs:
+crates/ops/src/space.rs:

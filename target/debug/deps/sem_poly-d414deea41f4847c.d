@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sem_poly-d414deea41f4847c.d: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+/root/repo/target/debug/deps/libsem_poly-d414deea41f4847c.rmeta: crates/poly/src/lib.rs crates/poly/src/filter.rs crates/poly/src/lagrange.rs crates/poly/src/legendre.rs crates/poly/src/modal.rs crates/poly/src/ops1d.rs crates/poly/src/quad.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/filter.rs:
+crates/poly/src/lagrange.rs:
+crates/poly/src/legendre.rs:
+crates/poly/src/modal.rs:
+crates/poly/src/ops1d.rs:
+crates/poly/src/quad.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sem_solvers-65c7c533cef7339f.d: crates/solvers/src/lib.rs crates/solvers/src/cg.rs crates/solvers/src/coarse.rs crates/solvers/src/fdm.rs crates/solvers/src/jacobi.rs crates/solvers/src/pressure_solver.rs crates/solvers/src/projection.rs crates/solvers/src/schwarz.rs crates/solvers/src/sparse.rs crates/solvers/src/xxt.rs
+
+/root/repo/target/debug/deps/libsem_solvers-65c7c533cef7339f.rmeta: crates/solvers/src/lib.rs crates/solvers/src/cg.rs crates/solvers/src/coarse.rs crates/solvers/src/fdm.rs crates/solvers/src/jacobi.rs crates/solvers/src/pressure_solver.rs crates/solvers/src/projection.rs crates/solvers/src/schwarz.rs crates/solvers/src/sparse.rs crates/solvers/src/xxt.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/coarse.rs:
+crates/solvers/src/fdm.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/pressure_solver.rs:
+crates/solvers/src/projection.rs:
+crates/solvers/src/schwarz.rs:
+crates/solvers/src/sparse.rs:
+crates/solvers/src/xxt.rs:

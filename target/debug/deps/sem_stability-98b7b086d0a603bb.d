@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sem_stability-98b7b086d0a603bb.d: crates/stability/src/lib.rs
+
+/root/repo/target/debug/deps/libsem_stability-98b7b086d0a603bb.rmeta: crates/stability/src/lib.rs
+
+crates/stability/src/lib.rs:

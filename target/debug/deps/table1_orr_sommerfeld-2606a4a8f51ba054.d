@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_orr_sommerfeld-2606a4a8f51ba054.d: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+/root/repo/target/debug/deps/libtable1_orr_sommerfeld-2606a4a8f51ba054.rmeta: crates/bench/src/bin/table1_orr_sommerfeld.rs
+
+crates/bench/src/bin/table1_orr_sommerfeld.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_schwarz-e195e3cd3598aa8c.d: crates/bench/src/bin/table2_schwarz.rs
+
+/root/repo/target/debug/deps/libtable2_schwarz-e195e3cd3598aa8c.rmeta: crates/bench/src/bin/table2_schwarz.rs
+
+crates/bench/src/bin/table2_schwarz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mxm-f917b54396daf313.d: crates/bench/src/bin/table3_mxm.rs
+
+/root/repo/target/debug/deps/libtable3_mxm-f917b54396daf313.rmeta: crates/bench/src/bin/table3_mxm.rs
+
+crates/bench/src/bin/table3_mxm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_gflops-0ba51991b4a13014.d: crates/bench/src/bin/table4_gflops.rs
+
+/root/repo/target/debug/deps/libtable4_gflops-0ba51991b4a13014.rmeta: crates/bench/src/bin/table4_gflops.rs
+
+crates/bench/src/bin/table4_gflops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/terasem-1a4059372d7c2488.d: src/lib.rs
+
+/root/repo/target/debug/deps/libterasem-1a4059372d7c2488.rmeta: src/lib.rs
+
+src/lib.rs:
