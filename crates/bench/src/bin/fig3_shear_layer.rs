@@ -110,8 +110,12 @@ fn run_case(s: &mut NsSolver, t_final: f64) -> Outcome {
 
 /// `--smoke`: a seconds-long metrics exercise for `scripts/metrics_smoke.sh`
 /// — a tiny shear-layer solve with `sem_obs` enabled, emitting one
-/// `JSON `-prefixed per-timestep record per step to stdout.
+/// per-timestep record per step to the metrics sink (stdout `JSON `
+/// lines by default; `TERASEM_METRICS_SINK`/`TERASEM_METRICS_PHASES`/
+/// `TERASEM_TRACE` are honored).
 fn run_smoke() {
+    sem_obs::init_from_env();
+    let trace_path = sem_obs::trace::init_from_env();
     let steps = 20;
     let mut s = shear_layer(4, 6, 30.0, 1e5, 0.3, 0.002);
     s.cfg.metrics = true;
@@ -122,11 +126,20 @@ fn run_smoke() {
     }
     let counters = sem_obs::counters::snapshot();
     eprintln!(
-        "smoke: {} mxm calls, {} gather-scatter words, {} operator applications",
+        "smoke: {} mxm calls, {} gather-scatter words, {} operator applications, \
+         {} cg breakdowns, {} projection updates dropped",
         counters.get(sem_obs::Counter::MxmCalls),
         counters.get(sem_obs::Counter::GsWords),
         counters.get(sem_obs::Counter::OperatorApplications),
+        counters.get(sem_obs::Counter::CgBreakdowns),
+        counters.get(sem_obs::Counter::ProjectionDropped),
     );
+    if let Some(path) = trace_path {
+        match sem_obs::trace::write_chrome(&path) {
+            Ok(threads) => eprintln!("smoke: chrome trace ({threads} thread(s)) -> {path}"),
+            Err(e) => eprintln!("smoke: cannot write chrome trace {path}: {e}"),
+        }
+    }
 }
 
 fn main() {
@@ -159,32 +172,44 @@ fn main() {
             ("(f) thin N=16 n=256", 16, 16, 100.0, 4e4, 0.3),
         ],
     };
+    // Counters on (records stay off: cfg.metrics is false) so the table
+    // can surface per-case CG breakdowns and dropped projection updates —
+    // the silent-failure telemetry behind a "blows up" verdict.
+    sem_obs::set_enabled(true);
     println!(
-        "{:<22} | {:>9} | {:>9} {:>9} {:>11} {:>6} | {:>8}",
-        "case", "blowup@t", "w_min", "w_max", "enstrophy", "cores", "wall"
+        "{:<22} | {:>9} | {:>9} {:>9} {:>11} {:>6} | {:>6} {:>8} | {:>8}",
+        "case", "blowup@t", "w_min", "w_max", "enstrophy", "cores", "brkdwn", "projdrop", "wall"
     );
     for (label, k, n, rho, re, alpha) in cases {
         let mut s = shear_layer(k, n, rho, re, alpha, dt);
+        let c0 = sem_obs::counters::snapshot();
         let t0 = std::time::Instant::now();
         let out = run_case(&mut s, t_final);
         let wall = t0.elapsed().as_secs_f64();
+        let dc = sem_obs::counters::snapshot().delta(&c0);
+        let breakdowns = dc.get(sem_obs::Counter::CgBreakdowns);
+        let dropped = dc.get(sem_obs::Counter::ProjectionDropped);
         match out.blowup_time {
             Some(t) => println!(
-                "{label:<22} | {:>9.3} | {:>9} {:>9} {:>11} {:>6} | {:>8}",
+                "{label:<22} | {:>9.3} | {:>9} {:>9} {:>11} {:>6} | {:>6} {:>8} | {:>8}",
                 t,
                 "-",
                 "-",
                 "-",
                 "-",
+                breakdowns,
+                dropped,
                 fmt_secs(wall)
             ),
             None => println!(
-                "{label:<22} | {:>9} | {:>9.2} {:>9.2} {:>11.2} {:>6} | {:>8}",
+                "{label:<22} | {:>9} | {:>9.2} {:>9.2} {:>11.2} {:>6} | {:>6} {:>8} | {:>8}",
                 "stable",
                 out.w_min,
                 out.w_max,
                 out.enstrophy,
                 out.cores,
+                breakdowns,
+                dropped,
                 fmt_secs(wall)
             ),
         }

@@ -51,9 +51,10 @@ fn main() {
         );
         println!(
             "        {} operator applications, {} near-dependent updates dropped, \
-             pressure CG {} / projection {}",
+             {} CG breakdowns, pressure CG {} / projection {}",
             dc.get(sem_obs::Counter::OperatorApplications),
             dc.get(sem_obs::Counter::ProjectionDropped),
+            dc.get(sem_obs::Counter::CgBreakdowns),
             fmt_secs(dsp.seconds(sem_obs::Phase::PressureCg)),
             fmt_secs(dsp.seconds(sem_obs::Phase::PressureProjection)),
         );

@@ -1,0 +1,337 @@
+//! `sem-report`: replay a run's metrics JSON-lines into human tables.
+//!
+//! Input: a file of per-step `terasem.step` records — either a file-sink
+//! capture (`TERASEM_METRICS_SINK=file:run.jsonl`) or a saved stdout log
+//! (the legacy `JSON ` prefix is stripped automatically, so
+//! `./fig3_shear_layer --smoke > log && sem-report log` works).
+//!
+//! Output, in the spirit of the paper's Table 2 per-phase breakdown:
+//!
+//! 1. a **per-phase table** — calls, inclusive seconds, exclusive (self)
+//!    seconds derived from the static phase nesting tree, percent of
+//!    step time, and p50/p90/p99/max latencies from the merged
+//!    log-bucket histograms;
+//! 2. a **per-step trajectory** — pressure CG iterations, projection
+//!    depth, Helmholtz iterations, CFL, and wall time per step (the
+//!    Fig. 4 iteration-decay view);
+//! 3. a **counter summary** — including `cg_breakdowns` and
+//!    `projection_dropped`, the silent-failure counters.
+//!
+//! `--chrome <out.json>` additionally synthesizes a Chrome trace-event
+//! file (complete `"X"` events, one lane per phase, steps laid out on
+//! the recorded wall-time axis) loadable in `chrome://tracing`/Perfetto.
+//! This is derived from the per-step span deltas; for true intra-step
+//! event timelines record with `TERASEM_TRACE=<path>` instead.
+
+use sem_obs::hist::{quantile_from_buckets, HistSnapshot, NUM_BUCKETS};
+use sem_obs::json::Json;
+use sem_obs::record::STEP_RECORD_TYPE;
+use sem_obs::spans::{Phase, NUM_PHASES};
+
+struct StepRow {
+    step: u64,
+    time: f64,
+    cfl: f64,
+    seconds: f64,
+    pressure_iterations: u64,
+    pressure_final_residual: f64,
+    projection_depth: u64,
+    helmholtz_iterations: Vec<u64>,
+    span_delta_seconds: [f64; NUM_PHASES],
+    span_delta_calls: [u64; NUM_PHASES],
+    latency: HistSnapshot,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut chrome: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chrome" => {
+                if i + 1 >= args.len() {
+                    usage_and_exit();
+                }
+                chrome = Some(&args[i + 1]);
+                i += 2;
+            }
+            "-h" | "--help" => usage_and_exit(),
+            a if path.is_none() && !a.starts_with('-') => {
+                path = Some(a);
+                i += 1;
+            }
+            _ => usage_and_exit(),
+        }
+    }
+    let Some(path) = path else { usage_and_exit() };
+
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("sem-report: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut rows: Vec<StepRow> = Vec::new();
+    let mut skipped = 0usize;
+    let mut last_counters: Option<Vec<(String, u64)>> = None;
+    for line in body.lines() {
+        let line = line.trim();
+        let line = line.strip_prefix("JSON ").unwrap_or(line);
+        if line.is_empty() || !line.starts_with('{') {
+            continue;
+        }
+        let Some(v) = Json::parse(line) else {
+            skipped += 1;
+            continue;
+        };
+        if v.get("type").and_then(Json::as_str) != Some(STEP_RECORD_TYPE) {
+            continue;
+        }
+        match parse_row(&v) {
+            Some(row) => {
+                if let Some(counters) = v.get("counters").and_then(Json::as_obj) {
+                    last_counters = Some(
+                        counters
+                            .iter()
+                            .filter_map(|(k, c)| c.as_u64().map(|n| (k.clone(), n)))
+                            .collect(),
+                    );
+                }
+                rows.push(row);
+            }
+            None => skipped += 1,
+        }
+    }
+    if rows.is_empty() {
+        eprintln!("sem-report: no {STEP_RECORD_TYPE} records in {path} ({skipped} unparsable line(s))");
+        std::process::exit(1);
+    }
+    rows.sort_by_key(|r| r.step);
+    if skipped > 0 {
+        eprintln!("sem-report: warning: skipped {skipped} unparsable line(s)");
+    }
+
+    println!(
+        "sem-report: {} steps from {path} (t = {:.6} .. {:.6})",
+        rows.len(),
+        rows.first().unwrap().time,
+        rows.last().unwrap().time
+    );
+    println!();
+    print_phase_table(&rows);
+    println!();
+    print_trajectory(&rows);
+    if let Some(counters) = &last_counters {
+        println!();
+        print_counters(counters);
+    }
+    if let Some(out) = chrome {
+        match std::fs::write(out, chrome_from_rows(&rows)) {
+            Ok(()) => println!("\nChrome trace written to {out} (open in chrome://tracing or Perfetto)"),
+            Err(e) => {
+                eprintln!("sem-report: cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!("usage: sem-report <metrics.jsonl> [--chrome <out.json>]");
+    eprintln!("  <metrics.jsonl>: JSON-lines from TERASEM_METRICS_SINK=file:<path>");
+    eprintln!("                   or a saved stdout log ('JSON ' prefixes are stripped)");
+    std::process::exit(2);
+}
+
+fn parse_row(v: &Json) -> Option<StepRow> {
+    let mut row = StepRow {
+        step: v.get("step")?.as_u64()?,
+        time: v.get("time")?.as_f64().unwrap_or(f64::NAN),
+        cfl: v.get("cfl")?.as_f64().unwrap_or(f64::NAN),
+        seconds: v.get("seconds")?.as_f64().unwrap_or(0.0),
+        pressure_iterations: v.get("pressure_iterations")?.as_u64()?,
+        pressure_final_residual: v
+            .get("pressure_final_residual")?
+            .as_f64()
+            .unwrap_or(f64::NAN),
+        projection_depth: v.get("projection_depth")?.as_u64()?,
+        helmholtz_iterations: v
+            .get("helmholtz_iterations")?
+            .as_arr()?
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect(),
+        span_delta_seconds: [0.0; NUM_PHASES],
+        span_delta_calls: [0; NUM_PHASES],
+        latency: HistSnapshot::default(),
+    };
+    if let Some(spans) = v.get("spans_delta").and_then(Json::as_obj) {
+        for (name, entry) in spans {
+            let Some(p) = Phase::parse(name) else { continue };
+            row.span_delta_seconds[p as usize] =
+                entry.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+            row.span_delta_calls[p as usize] =
+                entry.get("calls").and_then(Json::as_u64).unwrap_or(0);
+        }
+    }
+    // Schema v2 latency buckets; absent in v1 logs — tables then show
+    // "-" latencies instead of failing.
+    if let Some(hist) = v.get("latency_hist").and_then(Json::as_obj) {
+        for (name, pairs) in hist {
+            let Some(p) = Phase::parse(name) else { continue };
+            for pair in pairs.as_arr().unwrap_or(&[]) {
+                if let Some([b, c]) = pair.as_arr().and_then(|a| <&[Json; 2]>::try_from(a).ok()) {
+                    if let (Some(b), Some(c)) = (b.as_u64(), c.as_u64()) {
+                        if (b as usize) < NUM_BUCKETS {
+                            row.latency.add_bucket(p, b as usize, c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(row)
+}
+
+/// Phases in tree order (parents before children), with their depth.
+fn tree_order() -> Vec<(Phase, usize)> {
+    let mut out = Vec::with_capacity(NUM_PHASES);
+    fn visit(p: Phase, depth: usize, out: &mut Vec<(Phase, usize)>) {
+        out.push((p, depth));
+        for c in Phase::ALL {
+            if c != p && c.parent() == Some(p) {
+                visit(c, depth + 1, out);
+            }
+        }
+    }
+    visit(Phase::Step, 0, &mut out);
+    out
+}
+
+fn fmt_lat(x: Option<f64>) -> String {
+    match x {
+        Some(s) => format!("{:>9}", sem_bench::fmt_secs(s)),
+        None => format!("{:>9}", "-"),
+    }
+}
+
+fn print_phase_table(rows: &[StepRow]) {
+    let mut incl = [0.0f64; NUM_PHASES];
+    let mut calls = [0u64; NUM_PHASES];
+    let mut hist = HistSnapshot::default();
+    for r in rows {
+        for p in 0..NUM_PHASES {
+            incl[p] += r.span_delta_seconds[p];
+            calls[p] += r.span_delta_calls[p];
+        }
+        hist.merge(&r.latency);
+    }
+    // Exclusive (self) time: inclusive minus the inclusive time of
+    // direct children in the static nesting tree. Span totals are
+    // inclusive by design (a parent's guard is open across its
+    // children), so this is the only subtraction needed.
+    let mut excl = incl;
+    for c in Phase::ALL {
+        if let Some(parent) = c.parent() {
+            excl[parent as usize] -= incl[c as usize];
+        }
+    }
+    let step_total = incl[Phase::Step as usize].max(f64::MIN_POSITIVE);
+
+    println!("Per-phase breakdown (inclusive spans; excl = self time):");
+    println!(
+        "{:<22} {:>8} {:>11} {:>11} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "phase", "calls", "incl(s)", "excl(s)", "%step", "p50", "p90", "p99", "max"
+    );
+    for (p, depth) in tree_order() {
+        let i = p as usize;
+        let buckets = hist.buckets(p);
+        if calls[i] == 0 && incl[i] == 0.0 && buckets.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let name = format!("{}{}", "  ".repeat(depth), p.name());
+        println!(
+            "{:<22} {:>8} {:>11.6} {:>11.6} {:>6.1}% {} {} {} {}",
+            name,
+            calls[i],
+            incl[i],
+            excl[i].max(0.0),
+            100.0 * incl[i] / step_total,
+            fmt_lat(quantile_from_buckets(buckets, 0.50)),
+            fmt_lat(quantile_from_buckets(buckets, 0.90)),
+            fmt_lat(quantile_from_buckets(buckets, 0.99)),
+            fmt_lat(quantile_from_buckets(buckets, 1.0)),
+        );
+    }
+}
+
+fn print_trajectory(rows: &[StepRow]) {
+    println!("Per-step trajectory:");
+    println!(
+        "{:>6} {:>12} {:>8} {:>8} {:>6} {:>8} {:>12} {:>10} {:>9}",
+        "step", "time", "cfl", "p_iters", "depth", "helm", "p_resid", "seconds", "cg_p99"
+    );
+    for r in rows {
+        let helm: u64 = r.helmholtz_iterations.iter().sum();
+        let cg_p99 = quantile_from_buckets(r.latency.buckets(Phase::PressureCg), 0.99);
+        println!(
+            "{:>6} {:>12.6} {:>8.3} {:>8} {:>6} {:>8} {:>12.3e} {:>10.6} {}",
+            r.step,
+            r.time,
+            r.cfl,
+            r.pressure_iterations,
+            r.projection_depth,
+            helm,
+            r.pressure_final_residual,
+            r.seconds,
+            fmt_lat(cg_p99),
+        );
+    }
+}
+
+fn print_counters(counters: &[(String, u64)]) {
+    println!("Counters (cumulative at last step):");
+    for (name, value) in counters {
+        let flag = match name.as_str() {
+            "cg_breakdowns" | "projection_dropped" if *value > 0 => "  <-- check",
+            _ => "",
+        };
+        println!("  {name:<24} {value:>14}{flag}");
+    }
+}
+
+/// Synthesize a Chrome trace from per-step span deltas: one complete
+/// `"X"` event per (step, phase) on the recorded wall-time axis, one
+/// lane (tid) per phase so overlap/nesting needs no begin/end pairing.
+fn chrome_from_rows(rows: &[StepRow]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut cursor_us = 0.0f64;
+    for r in rows {
+        for (p, _) in tree_order() {
+            let i = p as usize;
+            let secs = r.span_delta_seconds[i];
+            if secs <= 0.0 && r.span_delta_calls[i] == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"step\":{}}}}}",
+                p.name(),
+                cursor_us,
+                (secs * 1e6).max(0.001),
+                i,
+                r.step
+            ));
+        }
+        cursor_us += (r.seconds * 1e6).max(1.0);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}

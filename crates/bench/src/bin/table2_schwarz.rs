@@ -78,9 +78,12 @@ fn main() {
             },
         },
     ];
+    // Counters on so each row can surface CG breakdowns / dropped
+    // projection updates (silent robustness telemetry, ROADMAP item).
+    sem_obs::set_enabled(true);
     println!(
-        "{:>6} | {:>18} | {:>8} {:>10}",
-        "K", "preconditioner", "iter/stp", "cpu"
+        "{:>6} | {:>18} | {:>8} {:>10} | {:>6} {:>8}",
+        "K", "preconditioner", "iter/stp", "cpu", "brkdwn", "projdrop"
     );
     let mut params = AnnulusParams {
         n_theta: 24,
@@ -98,6 +101,7 @@ fn main() {
         let dt = 2e-3 / (1 << level) as f64;
         for row in &rows {
             let mut s = cylinder_startup(params, n, row.cfg, dt, eps);
+            let c0 = sem_obs::counters::snapshot();
             let t0 = std::time::Instant::now();
             let mut iters = 0usize;
             for _ in 0..steps {
@@ -105,12 +109,15 @@ fn main() {
                 iters += st.pressure_iters;
             }
             let total = t0.elapsed().as_secs_f64();
+            let dc = sem_obs::counters::snapshot().delta(&c0);
             println!(
-                "{:>6} | {:>18} | {:>8.1} {:>10}",
+                "{:>6} | {:>18} | {:>8.1} {:>10} | {:>6} {:>8}",
                 k,
                 row.label,
                 iters as f64 / steps as f64,
-                fmt_secs(total)
+                fmt_secs(total),
+                dc.get(sem_obs::Counter::CgBreakdowns),
+                dc.get(sem_obs::Counter::ProjectionDropped),
             );
         }
         println!();

@@ -58,6 +58,7 @@ pub fn orr_sommerfeld_channel(
         schwarz: SchwarzConfig::default(),
         boussinesq: None,
         metrics: false,
+        sink: None,
     };
     let mut s = NsSolver::new(ops, cfg);
     // Base flow plus scaled TS eigenfunction, sampled per node through the
@@ -113,6 +114,7 @@ pub fn shear_layer(
         schwarz: SchwarzConfig::default(),
         boussinesq: None,
         metrics: false,
+        sink: None,
     };
     let mut s = NsSolver::new(ops, cfg);
     s.set_velocity(|x, y, _| {
@@ -162,6 +164,7 @@ pub fn rayleigh_benard(
             kappa: 1.0,
         }),
         metrics: false,
+        sink: None,
     };
     let mut s = NsSolver::new(ops, cfg);
     // Conduction profile + small perturbation to trigger convection.
@@ -203,6 +206,7 @@ pub fn cylinder_startup(
         schwarz,
         boussinesq: None,
         metrics: false,
+        sink: None,
     };
     let mut s = NsSolver::new(ops, cfg);
     let ri = params.r_inner;
@@ -255,6 +259,7 @@ pub fn hairpin_channel(k: [usize; 3], n: usize, dt: f64, lmax: usize) -> NsSolve
         },
         boussinesq: None,
         metrics: false,
+        sink: None,
     };
     let delta = 0.5;
     let profile = move |y: f64| (1.0 - (-y / delta).exp()).clamp(0.0, 1.0);

@@ -133,6 +133,10 @@ pub fn par_for_each_init<T, S>(
                 for (j, item) in chunk.iter_mut().enumerate() {
                     f(&mut s, b * block + j, item);
                 }
+                // Hand any trace events recorded by this worker to the
+                // global registry before the scope joins (the TLS drop
+                // would also do it; this makes the flush deterministic).
+                sem_obs::trace::flush_thread();
             });
         }
     });
@@ -179,7 +183,10 @@ fn par_ranges(n: usize, f: impl Fn(Range<usize>) + Sync) {
         let mut start = 0;
         while start < n {
             let end = (start + block).min(n);
-            scope.spawn(move || f(start..end));
+            scope.spawn(move || {
+                f(start..end);
+                sem_obs::trace::flush_thread();
+            });
             start = end;
         }
     });

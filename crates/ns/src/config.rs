@@ -57,12 +57,19 @@ pub struct NsConfig {
     /// Optional Boussinesq temperature coupling.
     pub boussinesq: Option<Boussinesq>,
     /// Enable solver observability: turns on the process-global `sem_obs`
-    /// counters/spans and emits one `JSON `-prefixed per-timestep record
-    /// (CG iterations, residuals, projection depth, CFL, per-phase
-    /// times) to stdout from every `step()`. Off by default; the
-    /// disabled path costs one relaxed atomic load per probe and does
-    /// not change solver results bitwise.
+    /// counters/spans and emits one per-timestep record (CG iterations,
+    /// residuals, projection depth, CFL, per-phase times and latency
+    /// quantiles) to the metrics sink from every `step()` — stdout
+    /// `JSON `-prefixed lines by default. Off by default; the disabled
+    /// path costs one relaxed atomic load per probe and does not change
+    /// solver results bitwise.
     pub metrics: bool,
+    /// Metrics destination. `None` keeps whatever sink is installed
+    /// process-wide (stdout unless `TERASEM_METRICS_SINK` or
+    /// `sem_obs::sink::set_sink` said otherwise); `Some(handle)` installs
+    /// `handle` when the solver is built. Only consulted when `metrics`
+    /// is on.
+    pub sink: Option<sem_obs::SinkHandle>,
 }
 
 impl Default for NsConfig {
@@ -89,6 +96,7 @@ impl Default for NsConfig {
             schwarz: SchwarzConfig::default(),
             boussinesq: None,
             metrics: false,
+            sink: None,
         }
     }
 }

@@ -94,6 +94,9 @@ impl NsSolver {
     pub fn new(ops: SemOps, cfg: NsConfig) -> Self {
         if cfg.metrics {
             sem_obs::set_enabled(true);
+            if let Some(h) = &cfg.sink {
+                sem_obs::sink::set_sink(Some(h.0.clone()));
+            }
         }
         let n = ops.n_velocity();
         let np = ops.n_pressure();
@@ -201,13 +204,15 @@ impl NsSolver {
 
     /// Advance one timestep; returns the step's statistics.
     ///
-    /// With `cfg.metrics` on, additionally prints one `JSON `-prefixed
-    /// [`sem_obs::StepRecord`] line to stdout (schema in
+    /// With `cfg.metrics` on, additionally emits one
+    /// [`sem_obs::StepRecord`] to the metrics sink (stdout `JSON `-
+    /// prefixed lines by default; see `sem_obs::sink` and the schema in
     /// `crates/obs/src/record.rs`).
     pub fn step(&mut self) -> StepStats {
         let wall = Instant::now();
         let counters0 = sem_obs::counters::snapshot();
         let spans0 = sem_obs::spans::span_snapshot();
+        let hist0 = sem_obs::hist::hist_snapshot();
         let step_span = sem_obs::span(sem_obs::Phase::Step);
         let flops0 = self.ops.flops_so_far();
         let dim = self.ops.geo.dim;
@@ -264,6 +269,7 @@ impl NsSolver {
                     let mut advected = self.vel_hist[j].clone();
                     let t0 = self.time_hist[j];
                     let total_steps = substeps.max(1) * (j + 1);
+                    let _oifs_span = sem_obs::span(sem_obs::Phase::Oifs);
                     for comp in advected.iter_mut() {
                         advect_field(
                             &self.ops,
@@ -425,6 +431,7 @@ impl NsSolver {
 
         // --- filter -------------------------------------------------------
         if let Some(f) = &self.filter {
+            let _filter_span = sem_obs::span(sem_obs::Phase::Filter);
             for c in 0..dim {
                 f.apply(&self.ops, &mut self.vel[c]);
             }
@@ -435,6 +442,7 @@ impl NsSolver {
         if let Some(b) = self.cfg.boussinesq {
             temp_iters = self.step_temperature(b, k, h2, t_new);
             if let (Some(f), Some(t)) = (&self.filter, self.temp.as_mut()) {
+                let _filter_span = sem_obs::span(sem_obs::Phase::Filter);
                 f.apply(&self.ops, t);
             }
         }
@@ -463,8 +471,8 @@ impl NsSolver {
         if self.cfg.metrics {
             let scalar_active = self.cfg.boussinesq.is_some() || !self.scalars.is_empty();
             let mut rec = stats.to_record(dt, scalar_active);
-            rec.capture_registries((&counters0, &spans0));
-            println!("{}", rec.to_json_line());
+            rec.capture_registries((&counters0, &spans0, &hist0));
+            rec.emit();
         }
         stats
     }
@@ -645,6 +653,7 @@ impl NsSolver {
                 sc.field[i] = t0[i] + tb[i];
             }
             if let Some(f) = &self.filter {
+                let _filter_span = sem_obs::span(sem_obs::Phase::Filter);
                 f.apply(&self.ops, &mut sc.field);
             }
         }

@@ -2,9 +2,11 @@
 //!
 //! [`JsonObj`] builds one flat-or-nested JSON object as a `String`;
 //! [`is_valid`] is a small recursive-descent syntax checker used by the
-//! schema tests and the `metrics_smoke.sh` validator fallback. Neither
-//! aims to be a general JSON library — just enough to emit and sanity-
-//! check the structured records of [`crate::record`].
+//! schema tests and the `metrics_smoke.sh` validator fallback; [`Json`]
+//! is a small parsed-value tree used by `sem-report` to replay the
+//! JSON-lines a run emitted. None of these aims to be a general JSON
+//! library — just enough to emit, sanity-check, and replay the
+//! structured records of [`crate::record`].
 
 /// Escape a string for inclusion in a JSON string literal.
 pub fn escape(s: &str) -> String {
@@ -288,6 +290,216 @@ fn number(b: &[u8], i: &mut usize) -> bool {
     *i > start
 }
 
+/// A parsed JSON value. Numbers are kept as `f64` (every value the
+/// records emit — step indices, counters, times — round-trips exactly
+/// through `f64` up to 2^53, far beyond any run length here).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one complete JSON value (surrounding whitespace allowed).
+    pub fn parse(s: &str) -> Option<Json> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        (i == b.len()).then_some(v)
+    }
+
+    /// Object member lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional values).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object members, in source order.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Option<Json> {
+    skip_ws(b, i);
+    match b.get(*i)? {
+        b'{' => parse_object(b, i),
+        b'[' => parse_array(b, i),
+        b'"' => parse_string(b, i).map(Json::Str),
+        b't' => literal(b, i, b"true").then_some(Json::Bool(true)),
+        b'f' => literal(b, i, b"false").then_some(Json::Bool(false)),
+        b'n' => literal(b, i, b"null").then_some(Json::Null),
+        c if c.is_ascii_digit() || *c == b'-' => {
+            let start = *i;
+            if !number(b, i) {
+                return None;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()?
+                .parse::<f64>()
+                .ok()
+                .map(Json::Num)
+        }
+        _ => None,
+    }
+}
+
+fn parse_object(b: &[u8], i: &mut usize) -> Option<Json> {
+    *i += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Some(Json::Obj(members));
+    }
+    loop {
+        skip_ws(b, i);
+        let key = parse_string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return None;
+        }
+        *i += 1;
+        let val = parse_value(b, i)?;
+        members.push((key, val));
+        skip_ws(b, i);
+        match b.get(*i)? {
+            b',' => *i += 1,
+            b'}' => {
+                *i += 1;
+                return Some(Json::Obj(members));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], i: &mut usize) -> Option<Json> {
+    *i += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i)? {
+            b',' => *i += 1,
+            b']' => {
+                *i += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Option<String> {
+    if b.get(*i) != Some(&b'"') {
+        return None;
+    }
+    *i += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*i + 1..*i + 5)?;
+                        let code =
+                            u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return None,
+                }
+                *i += 1;
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting at this byte.
+                let s = std::str::from_utf8(&b[*i..]).ok()?;
+                let ch = s.chars().next()?;
+                out.push(ch);
+                *i += ch.len_utf8();
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +541,55 @@ mod tests {
         }
         assert_eq!(fmt_f64(f64::INFINITY), "null");
         assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn parser_roundtrips_builder_output() {
+        let mut inner = JsonObj::new();
+        inner.u64("iterations", 12).f64("residual", 1.5e-9);
+        let mut o = JsonObj::new();
+        o.str("type", "terasem.step")
+            .u64("step", 7)
+            .bool("converged", true)
+            .arr_u64("iters", &[5, 6])
+            .obj("pressure", inner)
+            .raw("missing", "null");
+        let line = o.finish();
+        let v = Json::parse(&line).expect("parse");
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("terasem.step"));
+        assert_eq!(v.get("step").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("converged").and_then(Json::as_bool), Some(true));
+        let iters: Vec<u64> = v
+            .get("iters")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        assert_eq!(iters, vec![5, 6]);
+        assert_eq!(
+            v.get("pressure")
+                .and_then(|p| p.get("residual"))
+                .and_then(Json::as_f64),
+            Some(1.5e-9)
+        );
+        assert_eq!(v.get("missing"), Some(&Json::Null));
+        assert_eq!(v.get("absent"), None);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let v = Json::parse(r#"{"k":"a\"b\\c\ndA"}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_str), Some("a\"b\\c\ndA"));
+        assert_eq!(Json::parse("  [1, -2.5e3, null]  ").unwrap(),
+            Json::Arr(vec![Json::Num(1.0), Json::Num(-2500.0), Json::Null]));
+        for bad in ["", "{", "{\"a\":}", "[1,2", "{} x", "nul"] {
+            assert!(Json::parse(bad).is_none(), "should reject: {bad}");
+        }
+        // as_u64 rejects fractional and negative numbers.
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-3").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("3").unwrap().as_u64(), Some(3));
     }
 
     #[test]

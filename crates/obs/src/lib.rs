@@ -6,7 +6,7 @@
 //! MFLOPS — Tables 3–4), available from a *running* solve instead of
 //! ad-hoc locals in each experiment binary.
 //!
-//! Three facilities, all zero-dependency and safe to leave compiled into
+//! Six facilities, all zero-dependency and safe to leave compiled into
 //! production binaries:
 //!
 //! * [`counters`] — monotonically aggregated global counters (mxm flops,
@@ -24,6 +24,17 @@
 //!   prefix convention as `sem_bench::timing`, so one
 //!   `grep '^JSON '` harvests both bench summaries and solver
 //!   trajectories.
+//! * [`hist`] — log-bucketed latency histograms per phase, feeding the
+//!   per-step `latency` quantiles (p50/p90/p99/max) in records.
+//! * [`sink`] — pluggable record destinations (stdout, file, null,
+//!   in-memory), selected via `TERASEM_METRICS_SINK` or `NsConfig`.
+//! * [`trace`] — per-thread timestamped begin/end event log with
+//!   Chrome trace-event export (`TERASEM_TRACE`), off by default even
+//!   when metrics are on.
+//!
+//! Span totals are *inclusive* (a parent phase's time contains its
+//! nested children); `sem-report` derives exclusive (self) times from
+//! the static [`spans::Phase::parent`] nesting tree.
 //!
 //! ## Cost when disabled
 //!
@@ -41,12 +52,16 @@
 //! [`init_from_env`] (called by the experiment binaries).
 
 pub mod counters;
+pub mod hist;
 pub mod json;
 pub mod record;
+pub mod sink;
 pub mod spans;
+pub mod trace;
 
 pub use counters::Counter;
 pub use record::StepRecord;
+pub use sink::{Sink, SinkHandle};
 pub use spans::{span, Phase, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,7 +80,12 @@ pub fn set_enabled(on: bool) {
 }
 
 /// Enable metrics if the `TERASEM_METRICS` environment variable is set
-/// to `1` or `true`. Returns the resulting enabled state.
+/// to `1` or `true`, and apply the companion env vars: the per-phase
+/// mask `TERASEM_METRICS_PHASES` (see [`spans::init_phases_from_env`])
+/// and the sink selector `TERASEM_METRICS_SINK` (see
+/// [`sink::init_sink_from_env`]). Returns the resulting enabled state.
+/// (`TERASEM_TRACE` is handled separately by [`trace::init_from_env`],
+/// since the caller owns writing the export file at run end.)
 pub fn init_from_env() -> bool {
     if let Ok(v) = std::env::var("TERASEM_METRICS") {
         let v = v.trim();
@@ -73,15 +93,19 @@ pub fn init_from_env() -> bool {
             set_enabled(true);
         }
     }
+    spans::init_phases_from_env();
+    sink::init_sink_from_env();
     enabled()
 }
 
-/// Reset all counters and span accumulators to zero (the enabled flag is
-/// left unchanged). Intended for experiment binaries that measure deltas
+/// Reset all counters, span accumulators, and latency histograms to zero
+/// (the enabled flag, phase mask, sink, and trace log are left
+/// unchanged). Intended for experiment binaries that measure deltas
 /// between workload sections.
 pub fn reset() {
     counters::reset_counters();
     spans::reset_spans();
+    hist::reset_hist();
 }
 
 /// Serializes unit tests that mutate the process-global enabled flag or

@@ -12,11 +12,14 @@
 //! `"type"` field (`"terasem.step"` here, bench lines have `"group"`).
 
 use crate::counters::{self, Counter, CounterSnapshot};
+use crate::hist::{self, quantile_from_buckets, HistSnapshot};
 use crate::json::JsonObj;
 use crate::spans::{self, Phase, SpanSnapshot};
 
 /// Schema version stamped into every record as `"schema"`.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v1: counters + cumulative/delta span totals (PR 2).
+/// v2: adds per-step `latency` quantiles and `latency_hist` buckets.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The `"type"` tag of a per-timestep record.
 pub const STEP_RECORD_TYPE: &str = "terasem.step";
@@ -57,21 +60,40 @@ pub struct StepRecord {
     pub spans: SpanSnapshot,
     /// Span increments attributable to this step alone.
     pub spans_delta: SpanSnapshot,
+    /// Per-phase latency histogram increments for this step alone
+    /// (quantiles derive from these — see [`crate::hist`]).
+    pub latency: HistSnapshot,
 }
 
 impl StepRecord {
     /// Fill the cumulative-registry fields from the live global state and
-    /// derive the per-step deltas against `since` (a snapshot pair taken
-    /// at step entry).
-    pub fn capture_registries(&mut self, since: (&CounterSnapshot, &SpanSnapshot)) {
+    /// derive the per-step deltas against `since` (snapshots taken at
+    /// step entry).
+    pub fn capture_registries(
+        &mut self,
+        since: (&CounterSnapshot, &SpanSnapshot, &HistSnapshot),
+    ) {
         self.counters = counters::snapshot();
         self.spans = spans::span_snapshot();
         self.counters_delta = self.counters.delta(since.0);
         self.spans_delta = self.spans.delta(since.1);
+        self.latency = hist::hist_snapshot().delta(since.2);
     }
 
-    /// Serialize as one `JSON `-prefixed line (no trailing newline).
+    /// Serialize as one `JSON `-prefixed line (no trailing newline) —
+    /// the stdout convention shared with `sem_bench::timing`.
     pub fn to_json_line(&self) -> String {
+        format!("JSON {}", self.to_json_body())
+    }
+
+    /// Deliver this record to the process-global metrics sink (see
+    /// [`crate::sink`]).
+    pub fn emit(&self) {
+        crate::sink::emit(&self.to_json_body());
+    }
+
+    /// Serialize as one bare JSON object (what sinks receive).
+    pub fn to_json_body(&self) -> String {
         let mut o = JsonObj::new();
         o.str("type", STEP_RECORD_TYPE)
             .u64("schema", SCHEMA_VERSION)
@@ -93,8 +115,10 @@ impl StepRecord {
             .obj("counters", counters_obj(&self.counters))
             .obj("counters_delta", counters_obj(&self.counters_delta))
             .obj("spans", spans_obj(&self.spans))
-            .obj("spans_delta", spans_obj(&self.spans_delta));
-        format!("JSON {}", o.finish())
+            .obj("spans_delta", spans_obj(&self.spans_delta))
+            .obj("latency", latency_obj(&self.latency))
+            .obj("latency_hist", latency_hist_obj(&self.latency));
+        o.finish()
     }
 }
 
@@ -118,7 +142,53 @@ fn spans_obj(snap: &SpanSnapshot) -> JsonObj {
     o
 }
 
-/// Field names every `terasem.step` record must carry (schema v1). Used
+/// Per-phase `{count, p50, p90, p99, max}` (seconds) for every phase
+/// that recorded samples this step. Quantiles come from bucket upper
+/// bounds, so they are deterministic given the bucket counts.
+fn latency_obj(hist: &HistSnapshot) -> JsonObj {
+    let mut o = JsonObj::new();
+    for p in Phase::ALL {
+        let buckets = hist.buckets(p);
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            continue;
+        }
+        let q = |q: f64| quantile_from_buckets(buckets, q).unwrap_or(0.0);
+        let mut entry = JsonObj::new();
+        entry
+            .u64("count", count)
+            .f64("p50", q(0.50))
+            .f64("p90", q(0.90))
+            .f64("p99", q(0.99))
+            .f64("max", q(1.0));
+        o.obj(p.name(), entry);
+    }
+    o
+}
+
+/// Compact raw buckets: per phase, an array of `[bucket_index, count]`
+/// pairs for the nonzero buckets — enough for `sem-report` to rebuild
+/// and merge exact histograms across steps.
+fn latency_hist_obj(hist: &HistSnapshot) -> JsonObj {
+    let mut o = JsonObj::new();
+    for p in Phase::ALL {
+        let buckets = hist.buckets(p);
+        if buckets.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let pairs = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("[{i},{c}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        o.raw(p.name(), &format!("[{pairs}]"));
+    }
+    o
+}
+
+/// Field names every `terasem.step` record must carry (schema v2). Used
 /// by the schema tests and mirrored by `scripts/metrics_smoke.sh`.
 pub const REQUIRED_FIELDS: &[&str] = &[
     "type",
@@ -139,6 +209,8 @@ pub const REQUIRED_FIELDS: &[&str] = &[
     "counters_delta",
     "spans",
     "spans_delta",
+    "latency",
+    "latency_hist",
 ];
 
 #[cfg(test)]
@@ -196,18 +268,59 @@ mod tests {
         crate::reset();
         let c0 = counters::snapshot();
         let s0 = spans::span_snapshot();
+        let h0 = crate::hist::hist_snapshot();
         counters::add(Counter::MxmFlops, 1000);
         {
             let _sp = spans::span(Phase::PressureCg);
         }
         let mut rec = sample();
-        rec.capture_registries((&c0, &s0));
+        rec.capture_registries((&c0, &s0, &h0));
         assert_eq!(rec.counters_delta.get(Counter::MxmFlops), 1000);
         assert_eq!(rec.spans_delta.calls(Phase::PressureCg), 1);
+        assert_eq!(rec.latency.count(Phase::PressureCg), 1);
         let line = rec.to_json_line();
         assert!(line.contains("\"mxm_flops\":1000"));
         assert!(is_valid(&line["JSON ".len()..]));
         crate::set_enabled(prev);
         crate::reset();
+    }
+
+    #[test]
+    fn latency_fields_roundtrip_through_parser() {
+        use crate::json::Json;
+        let mut rec = sample();
+        rec.latency.add_bucket(Phase::PressureCg, 10, 90); // ~1 µs
+        rec.latency.add_bucket(Phase::PressureCg, 20, 10); // ~1 ms
+        let body = rec.to_json_body();
+        assert!(is_valid(&body), "{body}");
+        let v = Json::parse(&body).expect("parse");
+        assert_eq!(v.get("schema").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        let lat = v.get("latency").and_then(|l| l.get("pressure_cg")).unwrap();
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(100));
+        let p50 = lat.get("p50").and_then(Json::as_f64).unwrap();
+        let p99 = lat.get("p99").and_then(Json::as_f64).unwrap();
+        let max = lat.get("max").and_then(Json::as_f64).unwrap();
+        assert!(p50 < 1e-5 && p99 > 1e-4 && p99 == max, "{p50} {p99} {max}");
+        // Raw buckets rebuild the exact histogram.
+        let pairs = v
+            .get("latency_hist")
+            .and_then(|h| h.get("pressure_cg"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        let mut rebuilt = HistSnapshot::default();
+        for pair in pairs {
+            let p = pair.as_arr().unwrap();
+            rebuilt.add_bucket(
+                Phase::PressureCg,
+                p[0].as_u64().unwrap() as usize,
+                p[1].as_u64().unwrap(),
+            );
+        }
+        assert_eq!(
+            rebuilt.buckets(Phase::PressureCg),
+            rec.latency.buckets(Phase::PressureCg)
+        );
+        // Phases with no samples are omitted from both objects.
+        assert!(v.get("latency").and_then(|l| l.get("schwarz")).is_none());
     }
 }

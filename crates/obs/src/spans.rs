@@ -3,12 +3,29 @@
 //! [`span`]`(Phase::X)` returns a guard; when the guard drops, the
 //! elapsed wall time is added to the phase's accumulator in a
 //! process-global, thread-safe registry (relaxed atomics — same model as
-//! [`crate::counters`]). Spans nest freely: a [`Phase::Schwarz`] span
-//! naturally contains the [`Phase::CoarseSolve`] span of its coarse
-//! component, and each phase accumulates its own *inclusive* time.
+//! [`crate::counters`]), to the phase's latency histogram
+//! ([`crate::hist`]), and — when event tracing is on — a begin/end event
+//! pair is recorded in the per-thread trace buffer ([`crate::trace`]).
+//! Spans nest freely: a [`Phase::Schwarz`] span naturally contains the
+//! [`Phase::CoarseSolve`] span of its coarse component.
+//!
+//! ## Inclusive semantics
+//!
+//! Phase totals are **inclusive**: a phase's accumulated time contains
+//! the time of every phase nested inside it (`Step` ⊃ `PressureCg` ⊃
+//! `Schwarz` ⊃ `CoarseSolve`, …). Summing phase totals therefore counts
+//! nested work more than once; to get *exclusive* (self) times, subtract
+//! the inclusive totals of a phase's children, which [`Phase::parent`]
+//! makes mechanical — the `sem-report` tool does exactly that for its
+//! per-phase table.
+//!
+//! ## Cost and masking
 //!
 //! While metrics are disabled the guard holds no timestamp and drop does
-//! nothing, so the cost is one relaxed load per scope.
+//! nothing, so the cost is one relaxed load per scope. With metrics on,
+//! individual phases can still be opted out through the phase enable
+//! mask ([`set_phase_mask`] / `TERASEM_METRICS_PHASES`), so probe cost
+//! is opt-in per subsystem.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -21,6 +38,9 @@ pub enum Phase {
     /// Convective term: EXT evaluation or OIFS characteristic
     /// subintegration.
     Convection,
+    /// OIFS RK4 characteristic subintegration (nested inside
+    /// [`Phase::Convection`] when the OIFS scheme is active).
+    Oifs,
     /// Velocity (and temperature) Helmholtz solves.
     Helmholtz,
     /// Successive-RHS projection (project + history update).
@@ -31,22 +51,26 @@ pub enum Phase {
     Schwarz,
     /// Coarse-grid solve component of the preconditioner.
     CoarseSolve,
+    /// Once-per-step filter stabilization of velocity/temperature/species.
+    Filter,
     /// One full timestep.
     Step,
 }
 
 /// Number of phases.
-pub const NUM_PHASES: usize = 7;
+pub const NUM_PHASES: usize = 9;
 
 impl Phase {
     /// All phases, in declaration order.
     pub const ALL: [Phase; NUM_PHASES] = [
         Phase::Convection,
+        Phase::Oifs,
         Phase::Helmholtz,
         Phase::PressureProjection,
         Phase::PressureCg,
         Phase::Schwarz,
         Phase::CoarseSolve,
+        Phase::Filter,
         Phase::Step,
     ];
 
@@ -54,12 +78,37 @@ impl Phase {
     pub fn name(self) -> &'static str {
         match self {
             Phase::Convection => "convection",
+            Phase::Oifs => "oifs",
             Phase::Helmholtz => "helmholtz",
             Phase::PressureProjection => "pressure_projection",
             Phase::PressureCg => "pressure_cg",
             Phase::Schwarz => "schwarz",
             Phase::CoarseSolve => "coarse_solve",
+            Phase::Filter => "filter",
             Phase::Step => "step",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn parse(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The phase this phase's spans nest inside (the static span-nesting
+    /// tree of the solver): `None` for the root [`Phase::Step`]. Used to
+    /// derive exclusive (self) times from the inclusive totals:
+    /// `excl(p) = incl(p) − Σ_{c: parent(c)=p} incl(c)`.
+    pub fn parent(self) -> Option<Phase> {
+        match self {
+            Phase::Step => None,
+            Phase::Convection => Some(Phase::Step),
+            Phase::Oifs => Some(Phase::Convection),
+            Phase::Helmholtz => Some(Phase::Step),
+            Phase::PressureProjection => Some(Phase::Step),
+            Phase::PressureCg => Some(Phase::Step),
+            Phase::Schwarz => Some(Phase::PressureCg),
+            Phase::CoarseSolve => Some(Phase::Schwarz),
+            Phase::Filter => Some(Phase::Step),
         }
     }
 }
@@ -69,14 +118,83 @@ const ZERO: AtomicU64 = AtomicU64::new(0);
 static NANOS: [AtomicU64; NUM_PHASES] = [ZERO; NUM_PHASES];
 static CALLS: [AtomicU64; NUM_PHASES] = [ZERO; NUM_PHASES];
 
+/// Per-phase enable mask: bit `p as usize` gates `Phase p`. Default
+/// all-ones (every phase instrumented once metrics are on).
+static PHASE_MASK: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Is `phase` currently enabled by the phase mask? (Independent of the
+/// global [`crate::enabled`] switch, which gates everything.)
+#[inline]
+pub fn phase_enabled(phase: Phase) -> bool {
+    PHASE_MASK.load(Ordering::Relaxed) & (1u64 << phase as usize) != 0
+}
+
+/// Set the per-phase enable mask (bit `p as usize` enables `Phase p`).
+/// `u64::MAX` (the default) enables every phase.
+pub fn set_phase_mask(mask: u64) {
+    PHASE_MASK.store(mask, Ordering::Relaxed);
+}
+
+/// Current per-phase enable mask.
+pub fn phase_mask() -> u64 {
+    PHASE_MASK.load(Ordering::Relaxed)
+}
+
+/// Build a mask enabling exactly `phases`.
+pub fn mask_for(phases: &[Phase]) -> u64 {
+    phases.iter().fold(0u64, |m, &p| m | (1u64 << p as usize))
+}
+
+/// Parse a `TERASEM_METRICS_PHASES`-style comma-separated list of phase
+/// names (`"pressure_cg,schwarz,step"`) into a mask. Unknown names are
+/// reported in the error. An empty/whitespace list means "all phases".
+pub fn parse_phase_list(s: &str) -> Result<u64, String> {
+    let names: Vec<&str> = s
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Ok(u64::MAX);
+    }
+    let mut mask = 0u64;
+    for name in names {
+        match Phase::parse(name) {
+            Some(p) => mask |= 1u64 << p as usize,
+            None => {
+                return Err(format!(
+                    "unknown phase {name:?} (valid: {})",
+                    Phase::ALL.map(|p| p.name()).join(",")
+                ))
+            }
+        }
+    }
+    Ok(mask)
+}
+
+/// Apply the `TERASEM_METRICS_PHASES` environment variable to the phase
+/// mask (no-op when unset; a warning on stderr and no change when the
+/// list fails to parse). Returns the resulting mask.
+pub fn init_phases_from_env() -> u64 {
+    if let Ok(v) = std::env::var("TERASEM_METRICS_PHASES") {
+        match parse_phase_list(&v) {
+            Ok(mask) => set_phase_mask(mask),
+            Err(e) => eprintln!("warning: TERASEM_METRICS_PHASES: {e}; mask unchanged"),
+        }
+    }
+    phase_mask()
+}
+
 /// Open a span over `phase`; the elapsed time is recorded when the
-/// returned guard drops. Free while metrics are disabled.
+/// returned guard drops. Free while metrics are disabled; one mask test
+/// more while the phase is masked out.
 #[inline]
 pub fn span(phase: Phase) -> SpanGuard {
-    SpanGuard {
-        phase,
-        start: crate::enabled().then(Instant::now),
+    let start = (crate::enabled() && phase_enabled(phase)).then(Instant::now);
+    if start.is_some() {
+        crate::trace::begin(phase);
     }
+    SpanGuard { phase, start }
 }
 
 /// Guard returned by [`span`]; records on drop.
@@ -92,6 +210,8 @@ impl Drop for SpanGuard {
             let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             NANOS[self.phase as usize].fetch_add(ns, Ordering::Relaxed);
             CALLS[self.phase as usize].fetch_add(1, Ordering::Relaxed);
+            crate::hist::record(self.phase, ns);
+            crate::trace::end(self.phase);
         }
     }
 }
@@ -205,6 +325,59 @@ mod tests {
         assert_eq!(phase_calls(Phase::Helmholtz), 0);
         assert_eq!(phase_seconds(Phase::Helmholtz), 0.0);
         crate::set_enabled(prev);
+    }
+
+    #[test]
+    fn masked_phases_record_nothing_while_others_do() {
+        let _g = crate::test_guard();
+        let prev = crate::enabled();
+        crate::set_enabled(true);
+        reset_spans();
+        set_phase_mask(mask_for(&[Phase::PressureCg]));
+        {
+            let _a = span(Phase::PressureCg);
+            let _b = span(Phase::Schwarz);
+            spin(50);
+        }
+        assert_eq!(phase_calls(Phase::PressureCg), 1);
+        assert_eq!(phase_calls(Phase::Schwarz), 0);
+        assert_eq!(phase_seconds(Phase::Schwarz), 0.0);
+        set_phase_mask(u64::MAX);
+        crate::set_enabled(prev);
+        reset_spans();
+    }
+
+    #[test]
+    fn phase_list_parsing() {
+        assert_eq!(parse_phase_list(""), Ok(u64::MAX));
+        assert_eq!(parse_phase_list("  "), Ok(u64::MAX));
+        assert_eq!(
+            parse_phase_list("pressure_cg, schwarz"),
+            Ok(mask_for(&[Phase::PressureCg, Phase::Schwarz]))
+        );
+        assert_eq!(parse_phase_list("step"), Ok(mask_for(&[Phase::Step])));
+        assert!(parse_phase_list("pressure_cg,bogus").is_err());
+        // Round-trip every phase name.
+        for p in Phase::ALL {
+            assert_eq!(Phase::parse(p.name()), Some(p));
+            assert_eq!(parse_phase_list(p.name()), Ok(mask_for(&[p])));
+        }
+        assert_eq!(Phase::parse("nope"), None);
+    }
+
+    #[test]
+    fn parent_tree_is_rooted_at_step() {
+        // Every phase walks up to Step without cycles.
+        for p in Phase::ALL {
+            let mut cur = p;
+            let mut hops = 0;
+            while let Some(up) = cur.parent() {
+                cur = up;
+                hops += 1;
+                assert!(hops <= NUM_PHASES, "cycle in parent() at {p:?}");
+            }
+            assert_eq!(cur, Phase::Step, "{p:?} does not root at Step");
+        }
     }
 
     #[test]

@@ -86,6 +86,7 @@ fn step_record_schema_roundtrips_through_validator() {
 
     let c0 = counters::snapshot();
     let s0 = spans::span_snapshot();
+    let h0 = sem_obs::hist::hist_snapshot();
     counters::add(Counter::GsWords, 4096);
     counters::add(Counter::OperatorApplications, 17);
     {
@@ -107,7 +108,7 @@ fn step_record_schema_roundtrips_through_validator() {
         seconds: 0.01,
         ..StepRecord::default()
     };
-    rec.capture_registries((&c0, &s0));
+    rec.capture_registries((&c0, &s0, &h0));
     let line = rec.to_json_line();
 
     assert!(line.starts_with("JSON {"));

@@ -115,6 +115,10 @@ impl PressureSolver {
             &self.opts,
         );
         drop(cg_span);
+        // Per-solve trace annotations (no-ops unless tracing is on).
+        sem_obs::trace::note("pressure_cg_iterations", res.iterations as f64);
+        sem_obs::trace::note("pressure_cg_residual", res.residual);
+        sem_obs::trace::note("projection_depth", history_len as f64);
         for i in 0..p.len() {
             p[i] = xbar[i] + dp[i];
         }

@@ -1,17 +1,33 @@
 #!/usr/bin/env bash
-# Observability smoke test: run a short shear-layer solve with metrics
-# enabled (fig3_shear_layer --smoke) and validate the emitted per-timestep
-# JSON records — one `JSON {...}` line per step, each carrying the
-# required schema fields (see crates/obs/src/record.rs).
+# Observability smoke test.
+#
+# Stage 1: run a short shear-layer solve with metrics enabled
+# (fig3_shear_layer --smoke) on the default stdout sink and validate the
+# emitted per-timestep JSON records — one `JSON {...}` line per step,
+# each carrying the required schema-v2 fields, including the latency
+# histogram objects (see crates/obs/src/record.rs).
+#
+# Stage 2: re-run with a file sink (TERASEM_METRICS_SINK=file:<path>) and
+# a Chrome trace export (TERASEM_TRACE=<path>), replay the file through
+# sem-report, and assert its per-phase/per-step tables are non-empty and
+# the trace export is valid JSON.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STEPS=20
 OUT=$(mktemp)
-trap 'rm -f "$OUT"' EXIT
+SINKFILE=$(mktemp)
+TRACEFILE=$(mktemp)
+REPORT=$(mktemp)
+trap 'rm -f "$OUT" "$SINKFILE" "$TRACEFILE" "$REPORT"' EXIT
 
-cargo run -q --release --offline -p sem-bench --bin fig3_shear_layer -- --smoke \
-    2>/dev/null | grep '^JSON ' | sed 's/^JSON //' > "$OUT"
+cargo build -q --release --offline -p sem-bench \
+    --bin fig3_shear_layer --bin sem-report
+FIG3=target/release/fig3_shear_layer
+SEMREPORT=target/release/sem-report
+
+# ---- stage 1: default stdout sink ------------------------------------
+"$FIG3" --smoke 2>/dev/null | grep '^JSON ' | sed 's/^JSON //' > "$OUT"
 
 LINES=$(wc -l < "$OUT")
 if [ "$LINES" -ne "$STEPS" ]; then
@@ -29,6 +45,7 @@ REQUIRED = [
     "pressure_final_residual", "projection_depth", "pressure_converged",
     "helmholtz_iterations", "scalar_iterations", "seconds",
     "counters", "counters_delta", "spans", "spans_delta",
+    "latency", "latency_hist",
 ]
 
 with open(sys.argv[1]) as f:
@@ -38,7 +55,7 @@ for i, r in enumerate(records):
     missing = [k for k in REQUIRED if k not in r]
     assert not missing, f"record {i}: missing fields {missing}"
     assert r["type"] == "terasem.step", f"record {i}: type {r['type']!r}"
-    assert r["schema"] == 1, f"record {i}: schema {r['schema']}"
+    assert r["schema"] == 2, f"record {i}: schema {r['schema']}"
     assert r["step"] == i + 1, f"record {i}: step {r['step']}"
     assert r["pressure_iterations"] >= 0
     assert isinstance(r["helmholtz_iterations"], list)
@@ -46,6 +63,16 @@ for i, r in enumerate(records):
         assert r[reg]["mxm_flops"] >= 0, f"record {i}: {reg} missing mxm_flops"
     assert r["spans"]["step"]["calls"] == i + 1, f"record {i}: step span calls"
     assert r["spans_delta"]["step"]["calls"] == 1, f"record {i}: step span delta"
+    # Schema v2: every phase that ran this step reports quantiles and
+    # raw buckets, and they agree on the sample count.
+    lat, hist = r["latency"], r["latency_hist"]
+    assert "step" in lat, f"record {i}: no step latency"
+    for phase, q in lat.items():
+        assert set(q) == {"count", "p50", "p90", "p99", "max"}, f"{phase}: {q}"
+        assert q["count"] >= 1 and q["p50"] <= q["p90"] <= q["p99"] <= q["max"]
+        buckets = hist[phase]
+        assert sum(c for _, c in buckets) == q["count"], f"{phase} count mismatch"
+        assert all(0 <= b < 64 and c >= 1 for b, c in buckets), f"{phase} buckets"
 
 # Cumulative counters must be monotone; per-step deltas must add up.
 for a, b in zip(records, records[1:]):
@@ -54,11 +81,12 @@ for a, b in zip(records, records[1:]):
         assert b["counters"][key] - a["counters"][key] == b["counters_delta"][key], \
             f"{key} delta mismatch at step {b['step']}"
 
-print(f"metrics_smoke: {len(records)} records validated")
+print(f"metrics_smoke: {len(records)} records validated (schema 2)")
 EOF
 elif command -v jq >/dev/null 2>&1; then
-    jq -e 'select(.type != "terasem.step" or .schema != 1
-                  or (.counters.mxm_flops < 0) or (has("cfl") | not))' \
+    jq -e 'select(.type != "terasem.step" or .schema != 2
+                  or (.counters.mxm_flops < 0) or (has("cfl") | not)
+                  or (has("latency") | not))' \
         "$OUT" >/dev/null && { echo "metrics_smoke: FAIL — bad record" >&2; exit 1; }
     echo "metrics_smoke: $LINES records validated (jq)"
 else
@@ -67,4 +95,46 @@ else
     echo "metrics_smoke: $LINES records present (no JSON validator found)"
 fi
 
-echo "metrics_smoke: OK"
+# ---- stage 2: file sink + sem-report + chrome export ------------------
+TERASEM_METRICS_SINK="file:$SINKFILE" TERASEM_TRACE="$TRACEFILE" \
+    "$FIG3" --smoke >/dev/null 2>&1
+
+SINKLINES=$(wc -l < "$SINKFILE")
+if [ "$SINKLINES" -ne "$STEPS" ]; then
+    echo "metrics_smoke: FAIL — file sink wrote $SINKLINES lines, want $STEPS" >&2
+    exit 1
+fi
+# File-sink lines are bare JSON (no 'JSON ' prefix).
+if grep -q '^JSON ' "$SINKFILE"; then
+    echo "metrics_smoke: FAIL — file sink lines carry the stdout prefix" >&2
+    exit 1
+fi
+
+"$SEMREPORT" "$SINKFILE" --chrome "$REPORT.chrome" > "$REPORT"
+grep -q "Per-phase breakdown" "$REPORT" || { echo "metrics_smoke: FAIL — no phase table" >&2; exit 1; }
+grep -q "pressure_cg" "$REPORT" || { echo "metrics_smoke: FAIL — empty phase table" >&2; exit 1; }
+grep -q "Per-step trajectory" "$REPORT" || { echo "metrics_smoke: FAIL — no trajectory" >&2; exit 1; }
+TRAJ=$(awk '/Per-step trajectory/,/^$/' "$REPORT" | grep -c '^ *[0-9]' || true)
+if [ "$TRAJ" -ne "$STEPS" ]; then
+    echo "metrics_smoke: FAIL — trajectory has $TRAJ rows, want $STEPS" >&2
+    exit 1
+fi
+grep -q "cg_breakdowns" "$REPORT" || { echo "metrics_smoke: FAIL — no counter summary" >&2; exit 1; }
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$TRACEFILE" "$REPORT.chrome" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    d = json.load(open(path))
+    evs = d["traceEvents"]
+    assert evs, f"{path}: empty traceEvents"
+    b = sum(1 for e in evs if e["ph"] == "B")
+    e = sum(1 for e in evs if e["ph"] == "E")
+    assert b == e, f"{path}: unbalanced B/E ({b} vs {e})"
+    assert all({"name", "ph", "ts", "pid", "tid"} <= set(ev) for ev in evs)
+print("metrics_smoke: chrome exports valid and balanced")
+EOF
+fi
+rm -f "$REPORT.chrome"
+
+echo "metrics_smoke: OK (stdout sink, file sink, sem-report, chrome export)"
