@@ -35,7 +35,7 @@ fn taylor_green(scheme: ConvectionScheme, dt: f64) -> NsSolver {
     s.set_velocity(|x, y, _| [x.sin() * y.cos(), -x.cos() * y.sin(), 0.0]);
     // Warm the projection history.
     for _ in 0..3 {
-        s.step();
+        s.step().unwrap();
     }
     s
 }
@@ -47,11 +47,11 @@ fn main() {
     // per step-quad, which is the paper's actual trade.
     let mut s_ext = taylor_green(ConvectionScheme::Ext, 2e-3);
     group.bench("ablation_convection_ext2_dt", || {
-        std::hint::black_box(s_ext.step());
+        std::hint::black_box(s_ext.step().unwrap());
     });
     let mut s_oifs = taylor_green(ConvectionScheme::Oifs { substeps: 4 }, 8e-3);
     group.bench("ablation_convection_oifs_4dt", || {
-        std::hint::black_box(s_oifs.step());
+        std::hint::black_box(s_oifs.step().unwrap());
     });
 
     // Pressure preconditioning ablation inside real steps.
@@ -59,7 +59,7 @@ fn main() {
     group.sample_size(10);
     let mut s_full = taylor_green(ConvectionScheme::Ext, 2e-3);
     group.bench("schwarz_coarse_projection", || {
-        std::hint::black_box(s_full.step());
+        std::hint::black_box(s_full.step().unwrap());
     });
     let two_pi = 2.0 * std::f64::consts::PI;
     let mesh = box2d(4, 4, [0.0, two_pi], [0.0, two_pi], true, true);
@@ -79,10 +79,10 @@ fn main() {
     let mut s_noproj = NsSolver::new(ops, cfg);
     s_noproj.set_velocity(|x, y, _| [x.sin() * y.cos(), -x.cos() * y.sin(), 0.0]);
     for _ in 0..3 {
-        s_noproj.step();
+        s_noproj.step().unwrap();
     }
     group.bench("schwarz_coarse_no_projection", || {
-        std::hint::black_box(s_noproj.step());
+        std::hint::black_box(s_noproj.step().unwrap());
     });
 
     // Observability overhead: the same step with the sem_obs registries
@@ -95,12 +95,12 @@ fn main() {
     let mut s_off = taylor_green(ConvectionScheme::Ext, 2e-3);
     sem_obs::set_enabled(false);
     group.bench("metrics_off", || {
-        std::hint::black_box(s_off.step());
+        std::hint::black_box(s_off.step().unwrap());
     });
     let mut s_on = taylor_green(ConvectionScheme::Ext, 2e-3);
     sem_obs::set_enabled(true);
     group.bench("metrics_on", || {
-        std::hint::black_box(s_on.step());
+        std::hint::black_box(s_on.step().unwrap());
     });
     sem_obs::set_enabled(false);
 }

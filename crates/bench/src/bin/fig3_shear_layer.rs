@@ -79,7 +79,19 @@ fn run_case(s: &mut NsSolver, t_final: f64) -> Outcome {
     let dt = s.cfg.dt;
     let steps = (t_final / dt).round() as usize;
     for _ in 0..steps {
-        let st = s.step();
+        let st = match s.step() {
+            Ok(st) => st,
+            Err(e) => {
+                eprintln!("step failed: {e}");
+                return Outcome {
+                    blowup_time: Some(s.time),
+                    w_min: f64::NAN,
+                    w_max: f64::NAN,
+                    enstrophy: f64::NAN,
+                    cores: 0,
+                };
+            }
+        };
         let ke = sem_ns::diagnostics::kinetic_energy(&s.ops, &s.vel);
         if !ke.is_finite() || ke > 10.0 || !st.cfl.is_finite() {
             return Outcome {
@@ -119,10 +131,34 @@ fn run_smoke() {
     let steps = 20;
     let mut s = shear_layer(4, 6, 30.0, 1e5, 0.3, 0.002);
     s.cfg.metrics = true;
+    // Fault-injection smoke (scripts/fault_smoke.sh): a `TERASEM_FAULT`
+    // plan arms the sem-guard layer; recovery is switched on so every
+    // injected fault must be rolled back and retried, not survived by
+    // luck.
+    s.cfg.faults = sem_ns::FaultPlan::from_env();
+    if let Some(plan) = &s.cfg.faults {
+        s.cfg.recovery = sem_ns::RecoveryPolicy::enabled();
+        eprintln!(
+            "smoke: fault plan active ({} event(s), seed {})",
+            plan.events.len(),
+            plan.seed
+        );
+    }
     sem_obs::set_enabled(true);
     eprintln!("smoke: shear layer 4x4 elements, N = 6, {steps} steps, metrics on");
+    let mut recovered_steps = 0u64;
     for _ in 0..steps {
-        s.step();
+        match s.step() {
+            Ok(st) => {
+                if st.recoveries > 0 {
+                    recovered_steps += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("smoke: FATAL unrecovered step failure: {e}");
+                std::process::exit(3);
+            }
+        }
     }
     let counters = sem_obs::counters::snapshot();
     eprintln!(
@@ -133,6 +169,12 @@ fn run_smoke() {
         counters.get(sem_obs::Counter::OperatorApplications),
         counters.get(sem_obs::Counter::CgBreakdowns),
         counters.get(sem_obs::Counter::ProjectionDropped),
+    );
+    eprintln!(
+        "smoke: {} faults injected, {} recovery rollbacks, {} step(s) recovered",
+        counters.get(sem_obs::Counter::FaultsInjected),
+        counters.get(sem_obs::Counter::Recoveries),
+        recovered_steps,
     );
     if let Some(path) = trace_path {
         match sem_obs::trace::write_chrome(&path) {
@@ -176,6 +218,7 @@ fn main() {
     // can surface per-case CG breakdowns and dropped projection updates —
     // the silent-failure telemetry behind a "blows up" verdict.
     sem_obs::set_enabled(true);
+    let trace_path = sem_obs::trace::init_from_env();
     println!(
         "{:<22} | {:>9} | {:>9} {:>9} {:>11} {:>6} | {:>6} {:>8} | {:>8}",
         "case", "blowup@t", "w_min", "w_max", "enstrophy", "cores", "brkdwn", "projdrop", "wall"
@@ -212,6 +255,12 @@ fn main() {
                 dropped,
                 fmt_secs(wall)
             ),
+        }
+    }
+    if let Some(path) = trace_path {
+        match sem_obs::trace::write_chrome(&path) {
+            Ok(threads) => eprintln!("chrome trace ({threads} thread(s)) -> {path}"),
+            Err(e) => eprintln!("cannot write chrome trace {path}: {e}"),
         }
     }
     println!();

@@ -27,8 +27,10 @@ fn main() {
     ));
     // Per-run work and time come from the sem_obs registries: counter
     // deltas give operator applications and dropped projection updates,
-    // span deltas give where the pressure wall-time went.
+    // span deltas give where the pressure wall-time went. `TERASEM_TRACE`
+    // additionally captures a chrome trace of the whole comparison.
     sem_obs::set_enabled(true);
+    let trace_path = sem_obs::trace::init_from_env();
     let mut runs = Vec::new();
     for lmax in [26usize, 0] {
         let mut s = rayleigh_benard(kx, ky, n, ra, pr, lmax, dt, tol);
@@ -37,7 +39,7 @@ fn main() {
         let (series, secs) = timed(|| {
             let mut out = Vec::with_capacity(steps);
             for _ in 0..steps {
-                let st = s.step();
+                let st = s.step().unwrap();
                 out.push((st.pressure_iters, st.pressure_initial_residual));
             }
             out
@@ -97,4 +99,10 @@ fn main() {
         it0 / it26.max(1e-9),
         (r0 / r26.max(1e-300)).log10()
     );
+    if let Some(path) = trace_path {
+        match sem_obs::trace::write_chrome(&path) {
+            Ok(threads) => eprintln!("chrome trace ({threads} thread(s)) -> {path}"),
+            Err(e) => eprintln!("cannot write chrome trace {path}: {e}"),
+        }
+    }
 }

@@ -42,7 +42,7 @@ fn main() {
     let mut total_secs = 0.0;
     let mut last5 = Vec::new();
     for _ in 0..26 {
-        let st = s.step();
+        let st = s.step().unwrap();
         total_flops += st.flops;
         total_secs += st.seconds;
         println!(

@@ -22,6 +22,11 @@
 //! the recorded wall-time axis) loadable in `chrome://tracing`/Perfetto.
 //! This is derived from the per-step span deltas; for true intra-step
 //! event timelines record with `TERASEM_TRACE=<path>` instead.
+//!
+//! `--strict` turns the report into a health gate for CI: after the
+//! tables it exits with status 4 if the run shows any CG breakdowns,
+//! dropped projection updates, or sem-guard recovery rollbacks — the
+//! three "the solver survived, but something went wrong" signals.
 
 use sem_obs::hist::{quantile_from_buckets, HistSnapshot, NUM_BUCKETS};
 use sem_obs::json::Json;
@@ -36,6 +41,7 @@ struct StepRow {
     pressure_iterations: u64,
     pressure_final_residual: f64,
     projection_depth: u64,
+    recoveries: u64,
     helmholtz_iterations: Vec<u64>,
     span_delta_seconds: [f64; NUM_PHASES],
     span_delta_calls: [u64; NUM_PHASES],
@@ -46,6 +52,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<&str> = None;
     let mut chrome: Option<&str> = None;
+    let mut strict = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -55,6 +62,10 @@ fn main() {
                 }
                 chrome = Some(&args[i + 1]);
                 i += 2;
+            }
+            "--strict" => {
+                strict = true;
+                i += 1;
             }
             "-h" | "--help" => usage_and_exit(),
             a if path.is_none() && !a.starts_with('-') => {
@@ -137,12 +148,43 @@ fn main() {
             }
         }
     }
+    if strict {
+        strict_gate(&rows, last_counters.as_deref());
+    }
+}
+
+/// `--strict`: exit 4 if the run shows breakdowns, dropped projection
+/// updates, or recovery rollbacks. Counter totals (cumulative at the
+/// last record) are preferred; per-record `recoveries` (schema v3) is a
+/// fallback so pre-counter logs still gate on recovery events.
+fn strict_gate(rows: &[StepRow], counters: Option<&[(String, u64)]>) -> ! {
+    let from_counters = |name: &str| -> Option<u64> {
+        counters?.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    };
+    let breakdowns = from_counters("cg_breakdowns").unwrap_or(0);
+    let dropped = from_counters("projection_dropped").unwrap_or(0);
+    let recoveries = from_counters("recoveries")
+        .unwrap_or_else(|| rows.iter().map(|r| r.recoveries).sum());
+    let clean = breakdowns == 0 && dropped == 0 && recoveries == 0;
+    println!();
+    println!(
+        "strict: {breakdowns} CG breakdown(s), {dropped} dropped projection update(s), \
+         {recoveries} recovery rollback(s)"
+    );
+    if clean {
+        println!("strict: PASS");
+        std::process::exit(0);
+    }
+    println!("strict: FAIL — run required solver intervention");
+    std::process::exit(4);
 }
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: sem-report <metrics.jsonl> [--chrome <out.json>]");
+    eprintln!("usage: sem-report <metrics.jsonl> [--chrome <out.json>] [--strict]");
     eprintln!("  <metrics.jsonl>: JSON-lines from TERASEM_METRICS_SINK=file:<path>");
     eprintln!("                   or a saved stdout log ('JSON ' prefixes are stripped)");
+    eprintln!("  --strict: exit 4 on CG breakdowns, dropped projection updates,");
+    eprintln!("            or recovery rollbacks (health gate for CI)");
     std::process::exit(2);
 }
 
@@ -158,6 +200,8 @@ fn parse_row(v: &Json) -> Option<StepRow> {
             .as_f64()
             .unwrap_or(f64::NAN),
         projection_depth: v.get("projection_depth")?.as_u64()?,
+        // Schema v3; absent (0) in older logs.
+        recoveries: v.get("recoveries").and_then(Json::as_u64).unwrap_or(0),
         helmholtz_iterations: v
             .get("helmholtz_iterations")?
             .as_arr()?
@@ -296,7 +340,7 @@ fn print_counters(counters: &[(String, u64)]) {
     println!("Counters (cumulative at last step):");
     for (name, value) in counters {
         let flag = match name.as_str() {
-            "cg_breakdowns" | "projection_dropped" if *value > 0 => "  <-- check",
+            "cg_breakdowns" | "projection_dropped" | "recoveries" if *value > 0 => "  <-- check",
             _ => "",
         };
         println!("  {name:<24} {value:>14}{flag}");

@@ -40,7 +40,7 @@ fn growth_error(
     // the discrete eigenmode), then sample the amplitude.
     let settle = steps / 5;
     for step in 0..steps {
-        let st = s.step();
+        let st = s.step().unwrap();
         if !st.cfl.is_finite() {
             return f64::INFINITY;
         }

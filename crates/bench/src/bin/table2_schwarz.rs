@@ -81,6 +81,7 @@ fn main() {
     // Counters on so each row can surface CG breakdowns / dropped
     // projection updates (silent robustness telemetry, ROADMAP item).
     sem_obs::set_enabled(true);
+    let trace_path = sem_obs::trace::init_from_env();
     println!(
         "{:>6} | {:>18} | {:>8} {:>10} | {:>6} {:>8}",
         "K", "preconditioner", "iter/stp", "cpu", "brkdwn", "projdrop"
@@ -105,7 +106,7 @@ fn main() {
             let t0 = std::time::Instant::now();
             let mut iters = 0usize;
             for _ in 0..steps {
-                let st = s.step();
+                let st = s.step().unwrap();
                 iters += st.pressure_iters;
             }
             let total = t0.elapsed().as_secs_f64();
@@ -121,6 +122,12 @@ fn main() {
             );
         }
         println!();
+    }
+    if let Some(path) = trace_path {
+        match sem_obs::trace::write_chrome(&path) {
+            Ok(threads) => eprintln!("chrome trace ({threads} thread(s)) -> {path}"),
+            Err(e) => eprintln!("cannot write chrome trace {path}: {e}"),
+        }
     }
     println!("notes:");
     println!(" * FDM and FEM share the tensor local operator here, so their iteration");

@@ -103,9 +103,10 @@ fn main() {
     // mxm dispatch point; gs calls are counted where the exchange runs)
     // instead of the old per-step estimates.
     sem_obs::set_enabled(true);
+    let trace_path = sem_obs::trace::init_from_env();
     let c0 = sem_obs::counters::snapshot();
     for _ in 0..steps {
-        let st = s.step();
+        let st = s.step().unwrap();
         prof.press_iters += st.pressure_iters as f64;
         let h: usize = st.helmholtz_iters.iter().sum();
         prof.helm_iters += h as f64;
@@ -244,7 +245,7 @@ fn main() {
             let mut s = hairpin_channel(ksmall, nsmall, 4e-3, 25);
             let t0 = std::time::Instant::now();
             for _ in 0..4 {
-                s.step();
+                s.step().unwrap();
             }
             t0.elapsed().as_secs_f64()
         });
@@ -258,5 +259,11 @@ fn main() {
             "  {t:>3} threads: {} ({eff:.0}% efficiency; paper's dual mode: 82%)",
             fmt_secs(secs)
         );
+    }
+    if let Some(path) = trace_path {
+        match sem_obs::trace::write_chrome(&path) {
+            Ok(threads) => eprintln!("chrome trace ({threads} thread(s)) -> {path}"),
+            Err(e) => eprintln!("cannot write chrome trace {path}: {e}"),
+        }
     }
 }

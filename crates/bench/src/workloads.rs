@@ -20,12 +20,14 @@ pub fn solver_tolerances(eps: f64) -> (CgOptions, CgOptions) {
             rtol: 0.0,
             max_iter: 4000,
             record_history: false,
+            ..CgOptions::default()
         },
         CgOptions {
             tol: eps * 1e-2,
             rtol: 0.0,
             max_iter: 4000,
             record_history: false,
+            ..CgOptions::default()
         },
     )
 }
@@ -59,6 +61,8 @@ pub fn orr_sommerfeld_channel(
         boussinesq: None,
         metrics: false,
         sink: None,
+        faults: None,
+        recovery: sem_ns::RecoveryPolicy::default(),
     };
     let mut s = NsSolver::new(ops, cfg);
     // Base flow plus scaled TS eigenfunction, sampled per node through the
@@ -115,6 +119,8 @@ pub fn shear_layer(
         boussinesq: None,
         metrics: false,
         sink: None,
+        faults: None,
+        recovery: sem_ns::RecoveryPolicy::default(),
     };
     let mut s = NsSolver::new(ops, cfg);
     s.set_velocity(|x, y, _| {
@@ -156,6 +162,7 @@ pub fn rayleigh_benard(
             rtol: 0.0,
             max_iter: 4000,
             record_history: false,
+            ..CgOptions::default()
         },
         helmholtz_cg,
         schwarz: SchwarzConfig::default(),
@@ -165,6 +172,8 @@ pub fn rayleigh_benard(
         }),
         metrics: false,
         sink: None,
+        faults: None,
+        recovery: sem_ns::RecoveryPolicy::default(),
     };
     let mut s = NsSolver::new(ops, cfg);
     // Conduction profile + small perturbation to trigger convection.
@@ -201,12 +210,15 @@ pub fn cylinder_startup(
             rtol: 0.0,
             max_iter: 8000,
             record_history: false,
+            ..CgOptions::default()
         },
         helmholtz_cg,
         schwarz,
         boussinesq: None,
         metrics: false,
         sink: None,
+        faults: None,
+        recovery: sem_ns::RecoveryPolicy::default(),
     };
     let mut s = NsSolver::new(ops, cfg);
     let ri = params.r_inner;
@@ -260,6 +272,8 @@ pub fn hairpin_channel(k: [usize; 3], n: usize, dt: f64, lmax: usize) -> NsSolve
         boussinesq: None,
         metrics: false,
         sink: None,
+        faults: None,
+        recovery: sem_ns::RecoveryPolicy::default(),
     };
     let delta = 0.5;
     let profile = move |y: f64| (1.0 - (-y / delta).exp()).clamp(0.0, 1.0);
@@ -308,7 +322,7 @@ mod tests {
     #[test]
     fn rayleigh_benard_builds_and_steps() {
         let mut s = rayleigh_benard(4, 2, 4, 5e4, 0.71, 8, 2e-4, 1e-7);
-        let st = s.step();
+        let st = s.step().unwrap();
         assert!(st.pressure_iters > 0);
         assert!(st.temp_iters > 0);
     }
@@ -323,7 +337,7 @@ mod tests {
             growth: 2.0,
         };
         let mut s = cylinder_startup(p, 4, SchwarzConfig::default(), 2e-3, 1e-5);
-        let st = s.step();
+        let st = s.step().unwrap();
         assert!(st.pressure_iters > 0);
         assert!(st.cfl.is_finite());
     }
@@ -332,7 +346,7 @@ mod tests {
     fn hairpin_channel_builds_3d() {
         let mut s = hairpin_channel([4, 2, 2], 3, 2e-3, 5);
         assert_eq!(s.ops.geo.dim, 3);
-        let st = s.step();
+        let st = s.step().unwrap();
         assert!(st.pressure_iters > 0);
         assert!(st.helmholtz_iters.len() == 3);
     }

@@ -124,6 +124,13 @@ impl GsHandle {
     /// Panics if `u.len()` differs from the init length.
     pub fn gs(&self, u: &mut [f64], op: GsOp) {
         assert_eq!(u.len(), self.n_local, "gs_op: vector length mismatch");
+        if sem_obs::fault::fire(sem_obs::fault::FaultSite::GsExchange) {
+            // Injected exchange drop: skip the combine entirely, leaving
+            // every shared copy stale — finite but wrong, detectable only
+            // through the fired flag the comm layer reports upward
+            // (`sem_obs::fault::take_fired`).
+            return;
+        }
         self.charge_exchange(1);
         for g in 0..self.num_groups() {
             let lo = self.offsets[g] as usize;

@@ -1,0 +1,392 @@
+//! On-disk checkpoint/restart for the NS time loop (`sem-guard`).
+//!
+//! A [`Checkpoint`] captures everything `NsSolver::step` evolves —
+//! current fields, the full multistep histories, the successive-RHS
+//! projection basis (with its `E`-images, so the restarted pressure
+//! solves see the same initial guesses) — in a versioned little-endian
+//! binary format built on `std::io` alone. A run resumed from a
+//! checkpoint is bitwise-identical to the uninterrupted run, at any
+//! `TERASEM_THREADS` setting.
+//!
+//! The solver configuration, boundary/forcing closures, and the
+//! transient recovery-ladder state (per-step Jacobi fallback, pending
+//! Δt restoration) are *not* checkpointed: rebuild the solver the same
+//! way, then call `NsSolver::restore_checkpoint`.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// File magic ("terasem checkpoint").
+pub const MAGIC: [u8; 8] = *b"TERASEMC";
+/// Format version.
+pub const VERSION: u32 = 1;
+
+/// Serialized state of one passive scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalarState {
+    /// Display name.
+    pub name: String,
+    /// Diffusivity.
+    pub kappa: f64,
+    /// Current nodal values.
+    pub field: Vec<f64>,
+    /// BDF value history (front = most recent).
+    pub hist: Vec<Vec<f64>>,
+    /// Convection-term history (front = most recent).
+    pub conv_hist: Vec<Vec<f64>>,
+}
+
+/// A complete, self-describing snapshot of the time-loop state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Spatial dimension (consistency check on restore).
+    pub dim: u32,
+    /// Velocity-grid dof count (consistency check on restore).
+    pub n: u64,
+    /// Pressure-grid dof count (consistency check on restore).
+    pub np: u64,
+    /// Timestep size at capture (restored into `cfg.dt`).
+    pub dt: f64,
+    /// Simulation time.
+    pub time: f64,
+    /// Steps taken.
+    pub step_index: u64,
+    /// Velocity components.
+    pub vel: Vec<Vec<f64>>,
+    /// Pressure.
+    pub pressure: Vec<f64>,
+    /// Temperature, when Boussinesq coupling was active.
+    pub temp: Option<Vec<f64>>,
+    /// Velocity BDF history (front = most recent).
+    pub vel_hist: Vec<Vec<Vec<f64>>>,
+    /// Times of the history levels.
+    pub time_hist: Vec<f64>,
+    /// Convection-term history (EXT mode).
+    pub conv_hist: Vec<Vec<Vec<f64>>>,
+    /// Temperature value history.
+    pub temp_hist: Vec<Vec<f64>>,
+    /// Temperature convection history.
+    pub temp_conv_hist: Vec<Vec<f64>>,
+    /// Passive scalars, in registration order.
+    pub scalars: Vec<ScalarState>,
+    /// Successive-RHS projection basis: `(x, Ex)` pairs, oldest first.
+    pub projection: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+fn w_u32(w: &mut dyn Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_u64(w: &mut dyn Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_f64(w: &mut dyn Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_f64s(w: &mut dyn Write, v: &[f64]) -> io::Result<()> {
+    w_u64(w, v.len() as u64)?;
+    for &x in v {
+        w_f64(w, x)?;
+    }
+    Ok(())
+}
+
+fn w_f64s2(w: &mut dyn Write, v: &[Vec<f64>]) -> io::Result<()> {
+    w_u64(w, v.len() as u64)?;
+    for x in v {
+        w_f64s(w, x)?;
+    }
+    Ok(())
+}
+
+fn w_f64s3(w: &mut dyn Write, v: &[Vec<Vec<f64>>]) -> io::Result<()> {
+    w_u64(w, v.len() as u64)?;
+    for x in v {
+        w_f64s2(w, x)?;
+    }
+    Ok(())
+}
+
+fn w_str(w: &mut dyn Write, s: &str) -> io::Result<()> {
+    w_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn r_u32(r: &mut dyn Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64(r: &mut dyn Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn r_f64(r: &mut dyn Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Cap on any one serialized length field: catches corrupted headers
+/// before they turn into huge allocations.
+const MAX_LEN: u64 = 1 << 40;
+
+fn r_len(r: &mut dyn Read) -> io::Result<usize> {
+    let v = r_u64(r)?;
+    if v > MAX_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint length field {v} out of range"),
+        ));
+    }
+    Ok(v as usize)
+}
+
+fn r_f64s(r: &mut dyn Read) -> io::Result<Vec<f64>> {
+    let len = r_len(r)?;
+    let mut v = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        v.push(r_f64(r)?);
+    }
+    Ok(v)
+}
+
+fn r_f64s2(r: &mut dyn Read) -> io::Result<Vec<Vec<f64>>> {
+    let len = r_len(r)?;
+    let mut v = Vec::with_capacity(len.min(1 << 10));
+    for _ in 0..len {
+        v.push(r_f64s(r)?);
+    }
+    Ok(v)
+}
+
+fn r_f64s3(r: &mut dyn Read) -> io::Result<Vec<Vec<Vec<f64>>>> {
+    let len = r_len(r)?;
+    let mut v = Vec::with_capacity(len.min(1 << 10));
+    for _ in 0..len {
+        v.push(r_f64s2(r)?);
+    }
+    Ok(v)
+}
+
+fn r_str(r: &mut dyn Read) -> io::Result<String> {
+    let len = r_len(r)?;
+    let mut b = vec![0u8; len];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "checkpoint name not UTF-8"))
+}
+
+impl Checkpoint {
+    /// Serialize to a writer (header + little-endian payload).
+    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        w.write_all(&MAGIC)?;
+        w_u32(w, VERSION)?;
+        w_u32(w, self.dim)?;
+        w_u64(w, self.n)?;
+        w_u64(w, self.np)?;
+        w_f64(w, self.dt)?;
+        w_f64(w, self.time)?;
+        w_u64(w, self.step_index)?;
+        w_f64s2(w, &self.vel)?;
+        w_f64s(w, &self.pressure)?;
+        w_u32(w, self.temp.is_some() as u32)?;
+        if let Some(t) = &self.temp {
+            w_f64s(w, t)?;
+        }
+        w_f64s3(w, &self.vel_hist)?;
+        w_f64s(w, &self.time_hist)?;
+        w_f64s3(w, &self.conv_hist)?;
+        w_f64s2(w, &self.temp_hist)?;
+        w_f64s2(w, &self.temp_conv_hist)?;
+        w_u64(w, self.scalars.len() as u64)?;
+        for sc in &self.scalars {
+            w_str(w, &sc.name)?;
+            w_f64(w, sc.kappa)?;
+            w_f64s(w, &sc.field)?;
+            w_f64s2(w, &sc.hist)?;
+            w_f64s2(w, &sc.conv_hist)?;
+        }
+        w_u64(w, self.projection.len() as u64)?;
+        for (x, ex) in &self.projection {
+            w_f64s(w, x)?;
+            w_f64s(w, ex)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader, validating magic and version.
+    pub fn read_from(r: &mut dyn Read) -> io::Result<Checkpoint> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a terasem checkpoint (bad magic)",
+            ));
+        }
+        let version = r_u32(r)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported checkpoint version {version} (expected {VERSION})"),
+            ));
+        }
+        let dim = r_u32(r)?;
+        let n = r_u64(r)?;
+        let np = r_u64(r)?;
+        let dt = r_f64(r)?;
+        let time = r_f64(r)?;
+        let step_index = r_u64(r)?;
+        let vel = r_f64s2(r)?;
+        let pressure = r_f64s(r)?;
+        let temp = if r_u32(r)? != 0 {
+            Some(r_f64s(r)?)
+        } else {
+            None
+        };
+        let vel_hist = r_f64s3(r)?;
+        let time_hist = r_f64s(r)?;
+        let conv_hist = r_f64s3(r)?;
+        let temp_hist = r_f64s2(r)?;
+        let temp_conv_hist = r_f64s2(r)?;
+        let nsc = r_len(r)?;
+        let mut scalars = Vec::with_capacity(nsc.min(1 << 10));
+        for _ in 0..nsc {
+            scalars.push(ScalarState {
+                name: r_str(r)?,
+                kappa: r_f64(r)?,
+                field: r_f64s(r)?,
+                hist: r_f64s2(r)?,
+                conv_hist: r_f64s2(r)?,
+            });
+        }
+        let nproj = r_len(r)?;
+        let mut projection = Vec::with_capacity(nproj.min(1 << 10));
+        for _ in 0..nproj {
+            let x = r_f64s(r)?;
+            let ex = r_f64s(r)?;
+            projection.push((x, ex));
+        }
+        Ok(Checkpoint {
+            dim,
+            n,
+            np,
+            dt,
+            time,
+            step_index,
+            vel,
+            pressure,
+            temp,
+            vel_hist,
+            time_hist,
+            conv_hist,
+            temp_hist,
+            temp_conv_hist,
+            scalars,
+            projection,
+        })
+    }
+
+    /// Write to `path` (buffered; the file is created or truncated).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Read from `path`.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+        let mut r = BufReader::new(File::open(path)?);
+        Checkpoint::read_from(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            dim: 2,
+            n: 3,
+            np: 2,
+            dt: 1e-3,
+            time: 0.125,
+            step_index: 17,
+            vel: vec![vec![1.0, -2.5, 3.25], vec![0.0, 0.5, -0.5]],
+            pressure: vec![9.0, -1.0],
+            temp: Some(vec![0.1, 0.2, 0.3]),
+            vel_hist: vec![vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]]],
+            time_hist: vec![0.124],
+            conv_hist: vec![vec![vec![0.0, 0.1, 0.2], vec![0.3, 0.4, 0.5]]],
+            temp_hist: vec![vec![0.1, 0.2, 0.25]],
+            temp_conv_hist: vec![vec![0.0, 0.0, 0.01]],
+            scalars: vec![ScalarState {
+                name: "dye".into(),
+                kappa: 1e-6,
+                field: vec![1.0, 0.0, -1.0],
+                hist: vec![vec![1.0, 0.0, -1.0]],
+                conv_hist: vec![vec![0.0, 0.0, 0.0]],
+            }],
+            projection: vec![(vec![0.5, -0.5], vec![1.5, -1.5])],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bitwise_exact() {
+        // Include values that expose any non-bitwise path.
+        let mut ck = sample();
+        ck.pressure[0] = f64::MIN_POSITIVE;
+        ck.vel[0][1] = -0.0;
+        ck.time = 1.0 / 3.0;
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.vel[0][1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        let mut junk = buf.clone();
+        junk[0] ^= 0xff;
+        assert!(Checkpoint::read_from(&mut junk.as_slice()).is_err());
+        let mut vjunk = buf.clone();
+        vjunk[8] = 99; // version byte
+        let err = Checkpoint::read_from(&mut vjunk.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        for cut in [9, 24, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                Checkpoint::read_from(&mut buf[..cut].as_ref()).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_fields_are_rejected() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        // First length field (vel outer count) starts after
+        // magic(8)+version(4)+dim(4)+n(8)+np(8)+dt(8)+time(8)+step(8).
+        let off = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+        buf[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = Checkpoint::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+}

@@ -70,6 +70,16 @@ pub struct NsConfig {
     /// `handle` when the solver is built. Only consulted when `metrics`
     /// is on.
     pub sink: Option<sem_obs::SinkHandle>,
+    /// Deterministic fault-injection plan (`None` = no faults). Parsed
+    /// from `TERASEM_FAULT` with [`crate::fault::FaultPlan::from_env`] or
+    /// built programmatically. Any configured plan routes `step()`
+    /// through the snapshot/rollback machinery, so an empty plan still
+    /// changes timing (never results).
+    pub faults: Option<crate::fault::FaultPlan>,
+    /// Staged recovery policy for failed steps. Disabled by default: an
+    /// uninjected run takes no snapshots and is bitwise-identical to a
+    /// build without the recovery layer.
+    pub recovery: crate::recovery::RecoveryPolicy,
 }
 
 impl Default for NsConfig {
@@ -86,17 +96,21 @@ impl Default for NsConfig {
                 rtol: 0.0,
                 max_iter: 2000,
                 record_history: false,
+                ..CgOptions::default()
             },
             helmholtz_cg: CgOptions {
                 tol: 1e-10,
                 rtol: 0.0,
                 max_iter: 2000,
                 record_history: false,
+                ..CgOptions::default()
             },
             schwarz: SchwarzConfig::default(),
             boussinesq: None,
             metrics: false,
             sink: None,
+            faults: None,
+            recovery: crate::recovery::RecoveryPolicy::default(),
         }
     }
 }

@@ -33,6 +33,12 @@ pub struct StepStats {
     pub flops: u64,
     /// Wall-clock seconds for the step.
     pub seconds: f64,
+    /// Rollback/retry attempts the recovery ladder needed before this
+    /// step committed (0 on a clean step).
+    pub recoveries: usize,
+    /// The recovery trail of this step: what failed and how each retry
+    /// escalated (empty on a clean step).
+    pub recovery_trail: Vec<crate::recovery::RecoveryAttempt>,
 }
 
 impl StepStats {
@@ -55,9 +61,66 @@ impl StepStats {
             helmholtz_iterations: self.helmholtz_iters.iter().map(|&i| i as u64).collect(),
             scalar_iterations: scalar_active.then_some(self.temp_iters as u64),
             seconds: self.seconds,
+            recoveries: self.recoveries as u64,
             ..sem_obs::StepRecord::default()
         }
     }
+}
+
+/// A failed field-health check (see [`field_health`] and the energy
+/// watchdog in `NsSolver::step`).
+#[derive(Clone, Debug)]
+pub enum HealthViolation {
+    /// A field contains NaN or Inf.
+    NonFinite {
+        /// Which field ("u", "v", "w", "p", "T", or a scalar name).
+        field: String,
+    },
+    /// Kinetic energy grew past the policy's `max_energy_growth`
+    /// factor in one step while staying finite.
+    EnergyBlowup {
+        /// Kinetic energy at step entry.
+        before: f64,
+        /// Kinetic energy after the attempted step.
+        after: f64,
+        /// `after / before`.
+        factor: f64,
+    },
+}
+
+impl std::fmt::Display for HealthViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthViolation::NonFinite { field } => {
+                write!(f, "non-finite values in field `{field}`")
+            }
+            HealthViolation::EnergyBlowup {
+                before,
+                after,
+                factor,
+            } => write!(
+                f,
+                "kinetic energy blow-up: {before:.3e} -> {after:.3e} (x{factor:.1})"
+            ),
+        }
+    }
+}
+
+/// Scan named fields for NaN/Inf; returns the first offender. Fields
+/// are `(name, data)` pairs so velocity components, pressure,
+/// temperature, and passive scalars can all be fed through one call.
+pub fn field_health<'a, I>(fields: I) -> Option<HealthViolation>
+where
+    I: IntoIterator<Item = (&'a str, &'a [f64])>,
+{
+    for (name, data) in fields {
+        if data.iter().any(|v| !v.is_finite()) {
+            return Some(HealthViolation::NonFinite {
+                field: name.to_string(),
+            });
+        }
+    }
+    None
 }
 
 /// Convective CFL: `max |u_i| Δt / Δx_i` over all nodes, with the local
@@ -167,6 +230,22 @@ mod tests {
         let u2 = eval_on_nodes(&ops, |x, _, _| x);
         let d2 = divergence_norm(&ops, &[u2, eval_on_nodes(&ops, |_, _, _| 0.0)]);
         assert!((d2 - 1.0).abs() < 1e-9, "{d2}");
+    }
+
+    #[test]
+    fn field_health_finds_first_nonfinite_field() {
+        let clean = vec![1.0, 2.0, 3.0];
+        let poisoned = vec![1.0, f64::NAN, 3.0];
+        let inf = vec![f64::INFINITY];
+        assert!(field_health([("u", clean.as_slice())]).is_none());
+        match field_health([("u", clean.as_slice()), ("p", poisoned.as_slice())]) {
+            Some(HealthViolation::NonFinite { field }) => assert_eq!(field, "p"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match field_health([("T", inf.as_slice())]) {
+            Some(HealthViolation::NonFinite { field }) => assert_eq!(field, "T"),
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -26,12 +26,23 @@
 //! covers the paper's "multiple-species transport" and the convection
 //! benchmarks (Fig. 4's substitute).
 
+//!
+//! The `sem-guard` robustness layer rides on top of the time loop:
+//! deterministic fault injection ([`fault`], `TERASEM_FAULT`), staged
+//! rollback/retry recovery ([`recovery`]), and on-disk checkpointing
+//! ([`checkpoint`]).
+
+pub mod checkpoint;
 pub mod config;
 pub mod convection;
 pub mod diagnostics;
+pub mod fault;
 pub mod output;
+pub mod recovery;
 pub mod solver;
 
 pub use config::{ConvectionScheme, NsConfig};
-pub use diagnostics::StepStats;
+pub use diagnostics::{HealthViolation, StepStats};
+pub use fault::{FaultKind, FaultPlan, FieldTarget};
+pub use recovery::{RecoveryPolicy, RecoveryStage, StepError, StepFailure};
 pub use solver::NsSolver;

@@ -16,9 +16,13 @@
 //! 4. once-per-step filter stabilization of velocity (and temperature);
 //! 5. the temperature transport step (when Boussinesq coupling is on).
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{bdf_coeffs, Boussinesq, ConvectionScheme, NsConfig};
 use crate::convection::{advect_field, ext_convection, OifsScratch};
-use crate::diagnostics::{cfl, StepStats};
+use crate::diagnostics::{cfl, field_health, kinetic_energy, HealthViolation, StepStats};
+use crate::fault::{FaultKind, FieldTarget};
+use crate::recovery::{RecoveryAttempt, RecoveryStage, SolveKind, StepError, StepFailure};
+use sem_obs::fault::{self as obs_fault, FaultSite};
 use sem_ops::convect::convect;
 use sem_ops::fields::set_dirichlet;
 use sem_ops::filter::ElementFilter;
@@ -53,7 +57,7 @@ pub type ScalarFn = Box<dyn Fn(f64, f64, f64, f64) -> f64 + Sync + Send>;
 /// let mut solver = NsSolver::new(ops, NsConfig { dt: 5e-3, nu: 0.05, ..Default::default() });
 /// solver.set_velocity(|x, y, _| [x.sin() * y.cos(), -x.cos() * y.sin(), 0.0]);
 /// for _ in 0..3 {
-///     let stats = solver.step();
+///     let stats = solver.step().expect("no faults configured, step cannot fail");
 ///     assert!(stats.pressure_iters > 0);
 /// }
 /// assert!(solver.time > 0.0);
@@ -87,6 +91,34 @@ pub struct NsSolver {
     temp_bc: Option<ScalarFn>,
     oifs_scratch: OifsScratch,
     scalars: Vec<PassiveScalar>,
+    /// Pending Δt restoration after a stage-3 (Δt-halving) recovery.
+    dt_restore: Option<DtRestore>,
+}
+
+/// Bookkeeping for restoring the original Δt after a halving recovery.
+#[derive(Clone, Copy, Debug)]
+struct DtRestore {
+    /// The Δt to return to.
+    original_dt: f64,
+    /// Clean steps still required before restoring.
+    clean_steps_left: usize,
+}
+
+/// Everything `step()` needs to roll the solver back to step entry.
+struct StepSnapshot {
+    vel: Vec<Vec<f64>>,
+    pressure: Vec<f64>,
+    temp: Option<Vec<f64>>,
+    time: f64,
+    step_index: usize,
+    vel_hist: VecDeque<Vec<Vec<f64>>>,
+    time_hist: VecDeque<f64>,
+    conv_hist: VecDeque<Vec<Vec<f64>>>,
+    temp_hist: VecDeque<Vec<f64>>,
+    temp_conv_hist: VecDeque<Vec<f64>>,
+    scalars: Vec<(Vec<f64>, VecDeque<Vec<f64>>, VecDeque<Vec<f64>>)>,
+    projection: sem_solvers::projection::RhsProjection,
+    kinetic: f64,
 }
 
 impl NsSolver {
@@ -126,6 +158,7 @@ impl NsSolver {
             temp_bc: None,
             oifs_scratch,
             scalars: Vec::new(),
+            dt_restore: None,
             ops,
             cfg,
         }
@@ -208,13 +241,57 @@ impl NsSolver {
     /// [`sem_obs::StepRecord`] to the metrics sink (stdout `JSON `-
     /// prefixed lines by default; see `sem_obs::sink` and the schema in
     /// `crates/obs/src/record.rs`).
-    pub fn step(&mut self) -> StepStats {
+    ///
+    /// # Errors
+    ///
+    /// Without a fault plan and with recovery disabled (the defaults)
+    /// this never fails: the step body is the pre-`sem-guard` fast path
+    /// — no snapshot, bitwise-identical results. When
+    /// [`crate::NsConfig::faults`] or [`crate::NsConfig::recovery`] is
+    /// active, a failed step (CG breakdown, non-finite field, energy
+    /// blow-up, dropped gather-scatter exchange) is rolled back and
+    /// retried through the escalation ladder of
+    /// [`crate::recovery::RecoveryPolicy`]; when the ladder is
+    /// exhausted (or recovery is disabled) a [`StepError`] is returned
+    /// with the solver left at the pre-step state.
+    pub fn step(&mut self) -> Result<StepStats, StepError> {
         let wall = Instant::now();
         let counters0 = sem_obs::counters::snapshot();
         let spans0 = sem_obs::spans::span_snapshot();
         let hist0 = sem_obs::hist::hist_snapshot();
         let step_span = sem_obs::span(sem_obs::Phase::Step);
         let flops0 = self.ops.flops_so_far();
+        let guarded = self.cfg.recovery.enabled || self.cfg.faults.is_some();
+        let mut stats = if guarded {
+            match self.guarded_step() {
+                Ok(s) => s,
+                Err(e) => {
+                    drop(step_span);
+                    return Err(e);
+                }
+            }
+        } else {
+            self.attempt_step().0
+        };
+        drop(step_span);
+        stats.flops = self.ops.flops_so_far() - flops0;
+        stats.seconds = wall.elapsed().as_secs_f64();
+        if self.cfg.metrics {
+            let scalar_active = self.cfg.boussinesq.is_some() || !self.scalars.is_empty();
+            let mut rec = stats.to_record(self.cfg.dt, scalar_active);
+            rec.capture_registries((&counters0, &spans0, &hist0));
+            rec.emit();
+        }
+        Ok(stats)
+    }
+
+    /// One attempt of the step body (the pre-`sem-guard` `step`).
+    /// Returns the stats (with `flops`/`seconds` left at zero for the
+    /// caller to fill) and the first failure observed, if any. The
+    /// attempt always runs to completion — a breakdown leaves garbage
+    /// in the fields, which the caller rolls back.
+    fn attempt_step(&mut self) -> (StepStats, Option<StepFailure>) {
+        let mut failure: Option<StepFailure> = None;
         let dim = self.ops.geo.dim;
         let n = self.ops.n_velocity();
         let dt = self.cfg.dt;
@@ -393,6 +470,14 @@ impl NsSolver {
             self.ensure_helmholtz(h2);
             let solver = &self.helmholtz.as_ref().unwrap().1;
             let res = solver.solve(&self.ops, &mut u0, &b);
+            if failure.is_none() {
+                if let Some(bd) = res.breakdown {
+                    failure = Some(StepFailure::Breakdown {
+                        solve: SolveKind::Helmholtz(c),
+                        breakdown: bd,
+                    });
+                }
+            }
             helm_iters.push(res.iterations);
             let mut u_new = u0;
             for i in 0..n {
@@ -414,6 +499,14 @@ impl NsSolver {
         }
         let mut dp = vec![0.0; np];
         let pstats = self.pressure_solver.solve(&self.ops, &mut dp, &mut g);
+        if failure.is_none() {
+            if let Some(bd) = pstats.breakdown {
+                failure = Some(StepFailure::Breakdown {
+                    solve: SolveKind::Pressure,
+                    breakdown: bd,
+                });
+            }
+        }
         for (p, &d) in self.pressure.iter_mut().zip(dp.iter()) {
             *p += d;
         }
@@ -440,7 +533,16 @@ impl NsSolver {
         // --- temperature transport ---------------------------------------
         let mut temp_iters = 0;
         if let Some(b) = self.cfg.boussinesq {
-            temp_iters = self.step_temperature(b, k, h2, t_new);
+            let (iters, bd) = self.step_temperature(b, k, h2, t_new);
+            temp_iters = iters;
+            if failure.is_none() {
+                if let Some(bd) = bd {
+                    failure = Some(StepFailure::Breakdown {
+                        solve: SolveKind::Scalar,
+                        breakdown: bd,
+                    });
+                }
+            }
             if let (Some(f), Some(t)) = (&self.filter, self.temp.as_mut()) {
                 let _filter_span = sem_obs::span(sem_obs::Phase::Filter);
                 f.apply(&self.ops, t);
@@ -449,11 +551,19 @@ impl NsSolver {
 
         // --- passive species transport ------------------------------------
         if !self.scalars.is_empty() {
-            temp_iters += self.step_scalars(k, h2, t_new);
+            let (iters, bd) = self.step_scalars(k, h2, t_new);
+            temp_iters += iters;
+            if failure.is_none() {
+                if let Some(bd) = bd {
+                    failure = Some(StepFailure::Breakdown {
+                        solve: SolveKind::Scalar,
+                        breakdown: bd,
+                    });
+                }
+            }
         }
 
         self.time = t_new;
-        drop(step_span);
         let stats = StepStats {
             step: self.step_index,
             time: self.time,
@@ -465,19 +575,402 @@ impl NsSolver {
             helmholtz_iters: helm_iters,
             temp_iters,
             cfl: cfl_now,
-            flops: self.ops.flops_so_far() - flops0,
-            seconds: wall.elapsed().as_secs_f64(),
+            ..StepStats::default()
         };
-        if self.cfg.metrics {
-            let scalar_active = self.cfg.boussinesq.is_some() || !self.scalars.is_empty();
-            let mut rec = stats.to_record(dt, scalar_active);
-            rec.capture_registries((&counters0, &spans0, &hist0));
-            rec.emit();
-        }
-        stats
+        (stats, failure)
     }
 
-    fn step_temperature(&mut self, b: Boussinesq, k: usize, h2: f64, t_new: f64) -> usize {
+    /// The guarded step: snapshot, inject scheduled faults, attempt,
+    /// and walk the recovery ladder on failure (see
+    /// [`crate::recovery`]).
+    fn guarded_step(&mut self) -> Result<StepStats, StepError> {
+        let policy = self.cfg.recovery;
+        let step_idx = self.step_index + 1;
+        let entry_time = self.time;
+        let original_dt = self.cfg.dt;
+        let snap = self.snapshot();
+        let mut trail: Vec<RecoveryAttempt> = Vec::new();
+        let mut halvings = 0usize;
+        let mut attempt = 0usize;
+        loop {
+            self.inject_faults(step_idx, attempt);
+            let (mut stats, mut failure) = self.attempt_step();
+
+            // Drain the process-global fault letterbox. A dropped
+            // gather-scatter exchange leaves fields finite but
+            // inconsistent across element boundaries, so the sticky
+            // fired flag is the only way to learn about it; the other
+            // sites surface through CG breakdowns or the health scan.
+            obs_fault::disarm_all();
+            if obs_fault::take_fired(FaultSite::GsExchange) && failure.is_none() {
+                failure = Some(StepFailure::ExchangeDropped);
+            }
+            let _ = obs_fault::take_fired(FaultSite::PressureOperator);
+            let _ = obs_fault::take_fired(FaultSite::PressurePrecond);
+            let _ = obs_fault::take_fired(FaultSite::ProjectionUpdate);
+
+            if failure.is_none() {
+                failure = self.health_failure(snap.kinetic, policy.max_energy_growth);
+            }
+
+            let Some(cause) = failure else {
+                // Committed. The Jacobi fallback is per-step; a halved
+                // Δt persists until enough clean steps have passed.
+                self.pressure_solver.set_jacobi_fallback(false);
+                stats.recoveries = trail.len();
+                stats.recovery_trail = trail;
+                self.settle_dt_restore(original_dt, stats.recoveries, policy.dt_recovery_steps);
+                return Ok(stats);
+            };
+
+            // Roll back to step entry before deciding what to do next.
+            self.restore(&snap);
+            self.pressure_solver.set_jacobi_fallback(false);
+            self.cfg.dt = original_dt;
+
+            let rollbacks = trail.len();
+            let stage = if !policy.enabled || rollbacks >= policy.max_retries {
+                None
+            } else if rollbacks == 0 {
+                Some(RecoveryStage::ClearProjection)
+            } else if rollbacks == 1 && policy.jacobi_fallback {
+                Some(RecoveryStage::JacobiFallback)
+            } else if halvings < policy.max_dt_halvings {
+                halvings += 1;
+                Some(RecoveryStage::HalveDt(
+                    original_dt / f64::powi(2.0, halvings as i32),
+                ))
+            } else {
+                None
+            };
+
+            let Some(stage) = stage else {
+                trail.push(RecoveryAttempt { cause: cause.clone(), stage: None });
+                return Err(StepError {
+                    step: step_idx,
+                    time: entry_time,
+                    cause,
+                    trail,
+                });
+            };
+
+            sem_obs::counters::add(sem_obs::Counter::Recoveries, 1);
+            sem_obs::trace::note("recovery_rollback", (rollbacks + 1) as f64);
+            trail.push(RecoveryAttempt {
+                cause,
+                stage: Some(stage),
+            });
+
+            // Stages are cumulative; re-apply them all after the
+            // rollback (restoring the snapshot also restored the
+            // projection basis and Δt).
+            self.pressure_solver.clear_history();
+            self.pressure_solver
+                .set_jacobi_fallback(policy.jacobi_fallback && trail.len() >= 2);
+            if halvings > 0 {
+                self.cfg.dt = original_dt / f64::powi(2.0, halvings as i32);
+                // A changed Δt invalidates the uniform-spacing multistep
+                // history: restart at BDF1/EXT1.
+                self.clear_multistep_history();
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Inject the fault plan's events scheduled for `attempt` of
+    /// (1-based) `step`: field faults are applied directly (at a
+    /// seed-chosen node), the rest are armed in the `sem_obs::fault`
+    /// letterbox for their in-solver injection sites.
+    fn inject_faults(&mut self, step: usize, attempt: usize) {
+        let Some(plan) = self.cfg.faults.clone() else {
+            return;
+        };
+        for ev in plan.events_for(step, attempt) {
+            match ev.kind {
+                FaultKind::FieldNan | FaultKind::FieldInf => {
+                    let val = if ev.kind == FaultKind::FieldNan {
+                        f64::NAN
+                    } else {
+                        f64::INFINITY
+                    };
+                    let target = ev.field.expect("field faults carry a target");
+                    let data: &mut Vec<f64> = match target {
+                        FieldTarget::U => &mut self.vel[0],
+                        FieldTarget::V => &mut self.vel[1],
+                        FieldTarget::W => {
+                            if self.vel.len() < 3 {
+                                eprintln!("terasem: ignoring w-field fault on a 2D run");
+                                continue;
+                            }
+                            &mut self.vel[2]
+                        }
+                        FieldTarget::Pressure => &mut self.pressure,
+                        FieldTarget::Temperature => match self.temp.as_mut() {
+                            Some(t) => t,
+                            None => {
+                                eprintln!(
+                                    "terasem: ignoring temperature fault without Boussinesq"
+                                );
+                                continue;
+                            }
+                        },
+                    };
+                    let idx = plan.node_index(step, target, data.len());
+                    data[idx] = val;
+                    sem_obs::counters::add(sem_obs::Counter::FaultsInjected, 1);
+                    sem_obs::trace::note("fault_injected_field", idx as f64);
+                }
+                FaultKind::IndefiniteOperator => obs_fault::arm(FaultSite::PressureOperator),
+                FaultKind::IndefinitePreconditioner => obs_fault::arm(FaultSite::PressurePrecond),
+                FaultKind::ProjectionCorruption => obs_fault::arm(FaultSite::ProjectionUpdate),
+                FaultKind::GsDrop => obs_fault::arm(FaultSite::GsExchange),
+            }
+        }
+    }
+
+    /// Post-attempt field-health check: NaN/Inf scan over every evolved
+    /// field plus the kinetic-energy watchdog.
+    fn health_failure(&self, ke0: f64, max_growth: f64) -> Option<StepFailure> {
+        const COMP: [&str; 3] = ["u", "v", "w"];
+        let mut fields: Vec<(&str, &[f64])> = Vec::new();
+        for (c, comp) in self.vel.iter().enumerate() {
+            fields.push((COMP[c], comp.as_slice()));
+        }
+        fields.push(("p", self.pressure.as_slice()));
+        if let Some(t) = &self.temp {
+            fields.push(("T", t.as_slice()));
+        }
+        for sc in &self.scalars {
+            fields.push((sc.name.as_str(), sc.field.as_slice()));
+        }
+        if let Some(v) = field_health(fields) {
+            return Some(StepFailure::FieldHealth(v));
+        }
+        if max_growth > 0.0 && ke0 > 0.0 {
+            let ke = kinetic_energy(&self.ops, &self.vel);
+            if ke > max_growth * ke0 {
+                return Some(StepFailure::FieldHealth(HealthViolation::EnergyBlowup {
+                    before: ke0,
+                    after: ke,
+                    factor: ke / ke0,
+                }));
+            }
+        }
+        None
+    }
+
+    /// Capture everything an attempt can modify.
+    fn snapshot(&mut self) -> StepSnapshot {
+        StepSnapshot {
+            vel: self.vel.clone(),
+            pressure: self.pressure.clone(),
+            temp: self.temp.clone(),
+            time: self.time,
+            step_index: self.step_index,
+            vel_hist: self.vel_hist.clone(),
+            time_hist: self.time_hist.clone(),
+            conv_hist: self.conv_hist.clone(),
+            temp_hist: self.temp_hist.clone(),
+            temp_conv_hist: self.temp_conv_hist.clone(),
+            scalars: self
+                .scalars
+                .iter()
+                .map(|sc| (sc.field.clone(), sc.hist.clone(), sc.conv_hist.clone()))
+                .collect(),
+            projection: self.pressure_solver.projection_snapshot(),
+            kinetic: kinetic_energy(&self.ops, &self.vel),
+        }
+    }
+
+    /// Roll the solver back to a snapshot (the Helmholtz caches are
+    /// kept — they depend only on `h2` and rebuild deterministically).
+    fn restore(&mut self, snap: &StepSnapshot) {
+        self.vel = snap.vel.clone();
+        self.pressure = snap.pressure.clone();
+        self.temp = snap.temp.clone();
+        self.time = snap.time;
+        self.step_index = snap.step_index;
+        self.vel_hist = snap.vel_hist.clone();
+        self.time_hist = snap.time_hist.clone();
+        self.conv_hist = snap.conv_hist.clone();
+        self.temp_hist = snap.temp_hist.clone();
+        self.temp_conv_hist = snap.temp_conv_hist.clone();
+        for (sc, (field, hist, conv_hist)) in self.scalars.iter_mut().zip(snap.scalars.iter()) {
+            sc.field = field.clone();
+            sc.hist = hist.clone();
+            sc.conv_hist = conv_hist.clone();
+        }
+        self.pressure_solver
+            .restore_projection(snap.projection.clone());
+    }
+
+    /// Forget all multistep history: the next step restarts at
+    /// BDF1/EXT1 (required whenever Δt changes, since the BDF/EXT
+    /// coefficients assume uniform spacing).
+    fn clear_multistep_history(&mut self) {
+        self.vel_hist.clear();
+        self.time_hist.clear();
+        self.conv_hist.clear();
+        self.temp_hist.clear();
+        self.temp_conv_hist.clear();
+        for sc in self.scalars.iter_mut() {
+            sc.hist.clear();
+            sc.conv_hist.clear();
+        }
+    }
+
+    /// Post-commit Δt bookkeeping: schedule a restoration after a
+    /// halving, count clean steps, and restore the original Δt once
+    /// enough have passed.
+    fn settle_dt_restore(&mut self, entry_dt: f64, recoveries: usize, recovery_steps: usize) {
+        let wait = recovery_steps.max(1);
+        if self.cfg.dt < entry_dt {
+            // This step committed at a freshly halved Δt.
+            let original_dt = self.dt_restore.map_or(entry_dt, |r| r.original_dt);
+            self.dt_restore = Some(DtRestore {
+                original_dt,
+                clean_steps_left: wait,
+            });
+        } else if let Some(r) = &mut self.dt_restore {
+            if recoveries > 0 {
+                r.clean_steps_left = wait;
+            } else {
+                r.clean_steps_left -= 1;
+                if r.clean_steps_left == 0 {
+                    self.cfg.dt = r.original_dt;
+                    self.dt_restore = None;
+                    self.clear_multistep_history();
+                    sem_obs::trace::note("recovery_dt_restored", self.cfg.dt);
+                }
+            }
+        }
+    }
+
+    /// Capture the full time-loop state as a [`Checkpoint`] (see
+    /// [`crate::checkpoint`] for what is and is not included).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            dim: self.ops.geo.dim as u32,
+            n: self.ops.n_velocity() as u64,
+            np: self.ops.n_pressure() as u64,
+            dt: self.cfg.dt,
+            time: self.time,
+            step_index: self.step_index as u64,
+            vel: self.vel.clone(),
+            pressure: self.pressure.clone(),
+            temp: self.temp.clone(),
+            vel_hist: self.vel_hist.iter().cloned().collect(),
+            time_hist: self.time_hist.iter().copied().collect(),
+            conv_hist: self.conv_hist.iter().cloned().collect(),
+            temp_hist: self.temp_hist.iter().cloned().collect(),
+            temp_conv_hist: self.temp_conv_hist.iter().cloned().collect(),
+            scalars: self
+                .scalars
+                .iter()
+                .map(|sc| crate::checkpoint::ScalarState {
+                    name: sc.name.clone(),
+                    kappa: sc.kappa,
+                    field: sc.field.clone(),
+                    hist: sc.hist.iter().cloned().collect(),
+                    conv_hist: sc.conv_hist.iter().cloned().collect(),
+                })
+                .collect(),
+            projection: self
+                .pressure_solver
+                .projection()
+                .basis()
+                .to_vec(),
+        }
+    }
+
+    /// Restore the time-loop state from a checkpoint taken on an
+    /// identically built solver (same mesh, order, and configuration).
+    /// Continuing the run is bitwise-identical to never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the checkpoint's grid sizes or field inventory do not
+    /// match this solver; the solver is left unmodified in that case.
+    pub fn restore_checkpoint(&mut self, ck: &Checkpoint) -> Result<(), String> {
+        let dim = self.ops.geo.dim;
+        let n = self.ops.n_velocity();
+        let np = self.ops.n_pressure();
+        if ck.dim as usize != dim || ck.n as usize != n || ck.np as usize != np {
+            return Err(format!(
+                "checkpoint grid mismatch: dim/n/np {}x{}x{} vs solver {}x{}x{}",
+                ck.dim, ck.n, ck.np, dim, n, np
+            ));
+        }
+        if ck.vel.len() != dim || ck.temp.is_some() != self.temp.is_some() {
+            return Err("checkpoint field inventory mismatch".into());
+        }
+        if ck.scalars.len() != self.scalars.len() {
+            return Err(format!(
+                "checkpoint has {} passive scalar(s), solver has {}",
+                ck.scalars.len(),
+                self.scalars.len()
+            ));
+        }
+        if ck.projection.len() > self.cfg.pressure_lmax {
+            return Err(format!(
+                "checkpoint projection basis ({}) exceeds pressure_lmax ({})",
+                ck.projection.len(),
+                self.cfg.pressure_lmax
+            ));
+        }
+        self.vel = ck.vel.clone();
+        self.pressure = ck.pressure.clone();
+        self.temp = ck.temp.clone();
+        self.time = ck.time;
+        self.step_index = ck.step_index as usize;
+        self.cfg.dt = ck.dt;
+        self.vel_hist = ck.vel_hist.iter().cloned().collect();
+        self.time_hist = ck.time_hist.iter().copied().collect();
+        self.conv_hist = ck.conv_hist.iter().cloned().collect();
+        self.temp_hist = ck.temp_hist.iter().cloned().collect();
+        self.temp_conv_hist = ck.temp_conv_hist.iter().cloned().collect();
+        for (sc, st) in self.scalars.iter_mut().zip(ck.scalars.iter()) {
+            sc.name = st.name.clone();
+            sc.kappa = st.kappa;
+            sc.field = st.field.clone();
+            sc.hist = st.hist.iter().cloned().collect();
+            sc.conv_hist = st.conv_hist.iter().cloned().collect();
+        }
+        let mut proj = sem_solvers::projection::RhsProjection::with_rtol(
+            np,
+            self.cfg.pressure_lmax,
+            self.cfg.pressure_cg.dependence_rtol,
+        );
+        for (x, ex) in &ck.projection {
+            proj.push_raw(x.clone(), ex.clone());
+        }
+        self.pressure_solver.restore_projection(proj);
+        // Recovery-ladder transients are deliberately not checkpointed.
+        self.pressure_solver.set_jacobi_fallback(false);
+        self.dt_restore = None;
+        Ok(())
+    }
+
+    /// Write a checkpoint file (see [`crate::checkpoint`]).
+    pub fn write_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.checkpoint().save(path)
+    }
+
+    /// Restore from a checkpoint file written by an identically built
+    /// solver.
+    pub fn read_checkpoint(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let ck = Checkpoint::load(path)?;
+        self.restore_checkpoint(&ck)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    fn step_temperature(
+        &mut self,
+        b: Boussinesq,
+        k: usize,
+        h2: f64,
+        t_new: f64,
+    ) -> (usize, Option<sem_solvers::cg::CgBreakdown>) {
         let n = self.ops.n_velocity();
         let bm = self.ops.geo.bm.clone();
         let mut rhs = vec![0.0; n];
@@ -529,7 +1022,7 @@ impl NsSolver {
         for i in 0..n {
             tfield[i] = t0[i] + tb[i];
         }
-        res.iterations
+        (res.iterations, res.breakdown)
     }
 
     /// Register an additional passively transported species (the paper's
@@ -579,13 +1072,19 @@ impl NsSolver {
     }
 
     /// Advance all passive scalars one step (called from `step`).
-    fn step_scalars(&mut self, k: usize, h2: f64, t_new: f64) -> usize {
+    fn step_scalars(
+        &mut self,
+        k: usize,
+        h2: f64,
+        t_new: f64,
+    ) -> (usize, Option<sem_solvers::cg::CgBreakdown>) {
         let n = self.ops.n_velocity();
         let dim = self.ops.geo.dim;
         let dt = self.cfg.dt;
         let order_next = self.cfg.torder;
         let bm = self.ops.geo.bm.clone();
         let mut total_iters = 0;
+        let mut first_breakdown = None;
         // Histories were not yet pushed for scalars this step: push now
         // using the *previous* velocity stored at the front of vel_hist.
         let vel_refs: Vec<&[f64]> = self.vel_hist[0].iter().map(|c| c.as_slice()).collect();
@@ -649,6 +1148,9 @@ impl NsSolver {
                 sc.solver.as_ref().unwrap().1.solve(&self.ops, &mut t0, &rhs)
             };
             total_iters += res.iterations;
+            if first_breakdown.is_none() {
+                first_breakdown = res.breakdown;
+            }
             for i in 0..n {
                 sc.field[i] = t0[i] + tb[i];
             }
@@ -658,7 +1160,7 @@ impl NsSolver {
             }
         }
         self.scalars = scalars;
-        total_iters
+        (total_iters, first_breakdown)
     }
 }
 
@@ -698,12 +1200,14 @@ mod tests {
                 rtol: 0.0,
                 max_iter: 4000,
                 record_history: false,
+                ..CgOptions::default()
             },
             helmholtz_cg: CgOptions {
                 tol: 1e-12,
                 rtol: 0.0,
                 max_iter: 4000,
                 record_history: false,
+                ..CgOptions::default()
             },
             ..Default::default()
         }
@@ -733,7 +1237,7 @@ mod tests {
     fn taylor_green_vortex_decays_correctly() {
         let mut s = taylor_green_solver(2, 8, 2e-3);
         for _ in 0..25 {
-            let st = s.step();
+            let st = s.step().unwrap();
             assert!(st.pressure_iters < 500);
         }
         let err = taylor_green_error(&s);
@@ -750,7 +1254,7 @@ mod tests {
         let run = |dt: f64, steps: usize| -> Vec<f64> {
             let mut s = taylor_green_solver(2, 9, dt);
             for _ in 0..steps {
-                s.step();
+                s.step().unwrap();
             }
             s.vel[0].clone()
         };
@@ -779,8 +1283,8 @@ mod tests {
         let mut s2 = taylor_green_solver(2, 7, 2e-3);
         s2.cfg.convection = ConvectionScheme::Oifs { substeps: 2 };
         for _ in 0..10 {
-            s1.step();
-            s2.step();
+            s1.step().unwrap();
+            s2.step().unwrap();
         }
         let mut diff = 0.0_f64;
         for i in 0..s1.ops.n_velocity() {
@@ -796,7 +1300,7 @@ mod tests {
         s.cfg.convection = ConvectionScheme::Oifs { substeps: 10 };
         let mut max_cfl = 0.0_f64;
         for _ in 0..6 {
-            let st = s.step();
+            let st = s.step().unwrap();
             max_cfl = max_cfl.max(st.cfl);
             assert!(
                 kinetic_energy(&s.ops, &s.vel).is_finite(),
@@ -829,7 +1333,7 @@ mod tests {
         let mut s = NsSolver::new(ops, NsConfig { nu, ..cfg });
         s.set_forcing(Box::new(move |_, _, _, _| [2.0 * nu, 0.0, 0.0]));
         for _ in 0..120 {
-            s.step();
+            s.step().unwrap();
         }
         let mut err = 0.0_f64;
         for i in 0..s.ops.n_velocity() {
@@ -847,8 +1351,8 @@ mod tests {
         s1.cfg.filter_alpha = 0.2;
         s1.filter = Some(ElementFilter::new(&s1.ops, 0.2));
         for _ in 0..10 {
-            s0.step();
-            s1.step();
+            s0.step().unwrap();
+            s1.step().unwrap();
         }
         let e0 = taylor_green_error(&s0);
         let e1 = taylor_green_error(&s1);
@@ -876,7 +1380,7 @@ mod tests {
         let mut s = NsSolver::new(ops, cfg);
         s.set_temperature(|x, _, _| x.sin());
         for _ in 0..20 {
-            s.step();
+            s.step().unwrap();
         }
         let decay = (-kappa * s.time).exp();
         let t = s.temp.as_ref().unwrap();
@@ -904,7 +1408,7 @@ mod tests {
         s.set_temperature(|x, y, _| (1.0 - y) + 0.01 * (TWO_PI * x / 2.0).sin());
         s.set_temp_bc(Box::new(|_, y, _, _| if y > 0.5 { 0.0 } else { 1.0 }));
         for _ in 0..20 {
-            s.step();
+            s.step().unwrap();
         }
         let ke = kinetic_energy(&s.ops, &s.vel);
         assert!(ke > 1e-12, "no convective motion: KE = {ke}");
@@ -926,7 +1430,7 @@ mod tests {
         assert_eq!(s.num_scalars(), 2);
         assert_eq!(s.scalar_name(ia), "species_a");
         for _ in 0..20 {
-            s.step();
+            s.step().unwrap();
         }
         for (idx, kappa) in [(ia, k_a), (ib, k_b)] {
             let decay = (-kappa * s.time).exp();
@@ -953,7 +1457,7 @@ mod tests {
         let kappa = 1e-6;
         let idx = s.add_scalar("dye", kappa, |x, _, _| x.sin());
         for _ in 0..50 {
-            s.step();
+            s.step().unwrap();
         }
         let t = s.time;
         let f = s.scalar(idx);
@@ -970,7 +1474,7 @@ mod tests {
         let mut first = None;
         let mut last = f64::INFINITY;
         for i in 0..10 {
-            let st = s.step();
+            let st = s.step().unwrap();
             if i == 1 {
                 first = Some(st.pressure_initial_residual);
             }

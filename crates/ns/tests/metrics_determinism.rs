@@ -31,7 +31,7 @@ fn taylor_green(metrics: bool) -> NsSolver {
 fn run(metrics: bool, steps: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut s = taylor_green(metrics);
     for _ in 0..steps {
-        s.step();
+        s.step().unwrap();
     }
     (s.vel.clone(), s.pressure.clone())
 }

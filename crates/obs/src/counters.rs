@@ -33,10 +33,16 @@ pub enum Counter {
     /// PCG terminations due to an indefinite operator or preconditioner
     /// (breakdown guards in `sem_solvers::cg`).
     CgBreakdowns,
+    /// Faults fired by the deterministic injection layer
+    /// (`sem_obs::fault` — armed by `TERASEM_FAULT` plans).
+    FaultsInjected,
+    /// Step rollback/retry attempts taken by the `NsSolver` recovery
+    /// ladder (`sem_ns::recovery`).
+    Recoveries,
 }
 
 /// Number of counters.
-pub const NUM_COUNTERS: usize = 7;
+pub const NUM_COUNTERS: usize = 9;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -48,6 +54,8 @@ impl Counter {
         Counter::OperatorApplications,
         Counter::ProjectionDropped,
         Counter::CgBreakdowns,
+        Counter::FaultsInjected,
+        Counter::Recoveries,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -60,6 +68,8 @@ impl Counter {
             Counter::OperatorApplications => "operator_applications",
             Counter::ProjectionDropped => "projection_dropped",
             Counter::CgBreakdowns => "cg_breakdowns",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::Recoveries => "recoveries",
         }
     }
 }

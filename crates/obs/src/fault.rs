@@ -1,0 +1,227 @@
+//! Deterministic fault-injection arming registry (the low half of
+//! `sem-guard`).
+//!
+//! The NS time loop (`sem_ns::fault`) decides *when* a fault should
+//! strike from a seeded plan; this module is the process-global
+//! letterbox that carries the decision down to the instrumented sites in
+//! `sem_solvers` and `sem_gs` without threading configuration through
+//! every call signature. A site is *armed* with [`arm`], and the next
+//! probe at that site ([`fire`]) consumes the arming exactly once,
+//! increments [`Counter::FaultsInjected`](crate::Counter), emits a
+//! `fault_injected` trace note, and records a sticky "fired" flag that
+//! the orchestrator drains with [`take_fired`] — that self-report is how
+//! silent corruption (a skipped gather-scatter exchange produces finite
+//! but wrong values) becomes a detectable step failure.
+//!
+//! Cost when nothing is armed: a single relaxed atomic load behind
+//! [`any_armed`] per probe site — the same budget as the metrics
+//! counters, so production paths pay nothing measurable.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// The instrumented injection points outside the NS crate. Field-level
+/// NaN/Inf faults are applied directly by `sem_ns` and need no site
+/// here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum FaultSite {
+    /// Negate the consistent-Poisson operator output inside the pressure
+    /// CG `A p` closure — trips the `IndefiniteOperator` guard.
+    PressureOperator,
+    /// Negate the pressure preconditioner output — trips the
+    /// `IndefinitePreconditioner` guard.
+    PressurePrecond,
+    /// Corrupt the stored successive-RHS projection basis so the next
+    /// solve starts from a poisoned initial guess.
+    ProjectionUpdate,
+    /// Skip one gather-scatter exchange (finite but wrong values; only
+    /// the sticky fired flag makes this detectable).
+    GsExchange,
+}
+
+/// Number of fault sites.
+pub const NUM_SITES: usize = 4;
+
+impl FaultSite {
+    /// All sites, in declaration order.
+    pub const ALL: [FaultSite; NUM_SITES] = [
+        FaultSite::PressureOperator,
+        FaultSite::PressurePrecond,
+        FaultSite::ProjectionUpdate,
+        FaultSite::GsExchange,
+    ];
+
+    /// Stable snake_case name (trace annotation / test diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::PressureOperator => "pressure_operator",
+            FaultSite::PressurePrecond => "pressure_precond",
+            FaultSite::ProjectionUpdate => "projection_update",
+            FaultSite::GsExchange => "gs_exchange",
+        }
+    }
+}
+
+// Fast gate: probe sites check one relaxed load and bail before touching
+// the per-site cells. Maintained as the count of currently-armed sites.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO32: AtomicU32 = AtomicU32::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const FALSE: AtomicBool = AtomicBool::new(false);
+/// Remaining armed firings per site (almost always 0 or 1; a plan may
+/// arm the same site on consecutive attempts, never concurrently).
+static ARMED: [AtomicU32; NUM_SITES] = [ZERO32; NUM_SITES];
+/// Sticky per-site "a fault fired since the last drain" flags.
+static FIRED: [AtomicBool; NUM_SITES] = [FALSE; NUM_SITES];
+
+fn refresh_any_armed() {
+    let any = ARMED.iter().any(|c| c.load(Ordering::Relaxed) > 0);
+    ANY_ARMED.store(any, Ordering::Relaxed);
+}
+
+/// Is any site currently armed? One relaxed load — the probe-site fast
+/// path.
+#[inline]
+pub fn any_armed() -> bool {
+    ANY_ARMED.load(Ordering::Relaxed)
+}
+
+/// Arm `site` for one firing (stacking: arming twice yields two
+/// firings).
+pub fn arm(site: FaultSite) {
+    ARMED[site as usize].fetch_add(1, Ordering::Relaxed);
+    ANY_ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarm every site (fired flags are left for [`take_fired`]).
+pub fn disarm_all() {
+    for cell in &ARMED {
+        cell.store(0, Ordering::Relaxed);
+    }
+    ANY_ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Probe: if `site` is armed, consume one arming and report `true` (the
+/// caller then applies its corruption). Instrumented through the
+/// `faults_injected` counter and a trace note; also sets the sticky
+/// fired flag drained by [`take_fired`].
+#[inline]
+pub fn fire(site: FaultSite) -> bool {
+    if !any_armed() {
+        return false;
+    }
+    fire_slow(site)
+}
+
+#[cold]
+fn fire_slow(site: FaultSite) -> bool {
+    let cell = &ARMED[site as usize];
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        if cur == 0 {
+            return false;
+        }
+        match cell.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(now) => cur = now,
+        }
+    }
+    FIRED[site as usize].store(true, Ordering::Relaxed);
+    refresh_any_armed();
+    crate::counters::add(crate::Counter::FaultsInjected, 1);
+    crate::trace::note("fault_injected", site as usize as f64);
+    true
+}
+
+/// Drain the sticky fired flag for `site`: returns whether a fault fired
+/// there since the previous drain, and clears the flag.
+pub fn take_fired(site: FaultSite) -> bool {
+    FIRED[site as usize].swap(false, Ordering::Relaxed)
+}
+
+/// Has a fault fired at `site` since the last drain (without clearing)?
+pub fn fired(site: FaultSite) -> bool {
+    FIRED[site as usize].load(Ordering::Relaxed)
+}
+
+/// Full reset: disarm every site and clear every fired flag.
+pub fn reset() {
+    disarm_all();
+    for cell in &FIRED {
+        cell.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        let _g = crate::test_guard();
+        reset();
+        assert!(!any_armed());
+        for site in FaultSite::ALL {
+            assert!(!fire(site));
+            assert!(!take_fired(site));
+        }
+    }
+
+    #[test]
+    fn armed_site_fires_exactly_once_and_reports() {
+        let _g = crate::test_guard();
+        let prev = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        crate::counters::reset_counters();
+        arm(FaultSite::PressureOperator);
+        assert!(any_armed());
+        // Wrong site: untouched.
+        assert!(!fire(FaultSite::GsExchange));
+        assert!(fire(FaultSite::PressureOperator));
+        assert!(!fire(FaultSite::PressureOperator), "one-shot");
+        assert!(!any_armed());
+        assert_eq!(crate::counters::get(crate::Counter::FaultsInjected), 1);
+        assert!(fired(FaultSite::PressureOperator));
+        assert!(take_fired(FaultSite::PressureOperator));
+        assert!(!take_fired(FaultSite::PressureOperator), "drained");
+        crate::set_enabled(prev);
+        reset();
+    }
+
+    #[test]
+    fn stacked_armings_fire_stacked_times() {
+        let _g = crate::test_guard();
+        reset();
+        arm(FaultSite::ProjectionUpdate);
+        arm(FaultSite::ProjectionUpdate);
+        assert!(fire(FaultSite::ProjectionUpdate));
+        assert!(any_armed());
+        assert!(fire(FaultSite::ProjectionUpdate));
+        assert!(!fire(FaultSite::ProjectionUpdate));
+        reset();
+    }
+
+    #[test]
+    fn disarm_all_keeps_fired_flags() {
+        let _g = crate::test_guard();
+        reset();
+        arm(FaultSite::GsExchange);
+        assert!(fire(FaultSite::GsExchange));
+        arm(FaultSite::PressurePrecond);
+        disarm_all();
+        assert!(!fire(FaultSite::PressurePrecond));
+        assert!(take_fired(FaultSite::GsExchange), "fired flag survives disarm");
+        reset();
+    }
+
+    #[test]
+    fn site_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in FaultSite::ALL {
+            assert!(seen.insert(s.name()));
+        }
+    }
+}

@@ -52,6 +52,7 @@
 //! [`init_from_env`] (called by the experiment binaries).
 
 pub mod counters;
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod record;
@@ -60,6 +61,7 @@ pub mod spans;
 pub mod trace;
 
 pub use counters::Counter;
+pub use fault::FaultSite;
 pub use record::StepRecord;
 pub use sink::{Sink, SinkHandle};
 pub use spans::{span, Phase, SpanGuard};

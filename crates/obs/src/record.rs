@@ -19,7 +19,9 @@ use crate::spans::{self, Phase, SpanSnapshot};
 /// Schema version stamped into every record as `"schema"`.
 /// v1: counters + cumulative/delta span totals (PR 2).
 /// v2: adds per-step `latency` quantiles and `latency_hist` buckets.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: adds the per-step `recoveries` rollback-attempt count and the
+///     `faults_injected`/`recoveries` counters.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The `"type"` tag of a per-timestep record.
 pub const STEP_RECORD_TYPE: &str = "terasem.step";
@@ -51,6 +53,9 @@ pub struct StepRecord {
     pub scalar_iterations: Option<u64>,
     /// Wall time of the step, in seconds.
     pub seconds: f64,
+    /// Rollback/retry attempts the recovery ladder needed before this
+    /// step committed (0 on a clean step).
+    pub recoveries: u64,
     /// Counter totals at the end of the step (cumulative since process
     /// start or the last [`crate::reset`]).
     pub counters: CounterSnapshot,
@@ -112,6 +117,7 @@ impl StepRecord {
             None => o.raw("scalar_iterations", "null"),
         };
         o.f64("seconds", self.seconds)
+            .u64("recoveries", self.recoveries)
             .obj("counters", counters_obj(&self.counters))
             .obj("counters_delta", counters_obj(&self.counters_delta))
             .obj("spans", spans_obj(&self.spans))
@@ -188,7 +194,7 @@ fn latency_hist_obj(hist: &HistSnapshot) -> JsonObj {
     o
 }
 
-/// Field names every `terasem.step` record must carry (schema v2). Used
+/// Field names every `terasem.step` record must carry (schema v3). Used
 /// by the schema tests and mirrored by `scripts/metrics_smoke.sh`.
 pub const REQUIRED_FIELDS: &[&str] = &[
     "type",
@@ -205,6 +211,7 @@ pub const REQUIRED_FIELDS: &[&str] = &[
     "helmholtz_iterations",
     "scalar_iterations",
     "seconds",
+    "recoveries",
     "counters",
     "counters_delta",
     "spans",

@@ -20,6 +20,13 @@ pub struct CgOptions {
     pub max_iter: usize,
     /// Record the residual norm at every iteration.
     pub record_history: bool,
+    /// Relative dependence threshold for the successive-RHS projection
+    /// attached to this solve (see
+    /// [`crate::projection::DEPENDENCE_RTOL`], the default): a candidate
+    /// history direction retaining less than this fraction of its
+    /// E-norm-squared after Gram–Schmidt is dropped as numerically
+    /// dependent.
+    pub dependence_rtol: f64,
 }
 
 impl Default for CgOptions {
@@ -29,6 +36,7 @@ impl Default for CgOptions {
             rtol: 0.0,
             max_iter: 2000,
             record_history: false,
+            dependence_rtol: crate::projection::DEPENDENCE_RTOL,
         }
     }
 }

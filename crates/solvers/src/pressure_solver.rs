@@ -9,6 +9,7 @@
 use crate::cg::{pcg, CgBreakdown, CgOptions, CgResult};
 use crate::projection::RhsProjection;
 use crate::schwarz::{SchwarzConfig, SchwarzPrecond};
+use sem_obs::fault::{self, FaultSite};
 use sem_ops::fields::dot_pressure;
 use sem_ops::pressure::EOperator;
 use sem_ops::SemOps;
@@ -40,6 +41,12 @@ pub struct PressureSolver {
     pub opts: CgOptions,
     /// Scratch for the update's `E x` application.
     ex_scratch: Vec<f64>,
+    /// Recovery mode: replace the Schwarz preconditioner with Jacobi on
+    /// `diag(E)` for subsequent solves (stage 2 of the `sem-guard`
+    /// escalation ladder).
+    jacobi_fallback: bool,
+    /// Lazily probed `diag(E)` (computed on first fallback use, cached).
+    jacobi_diag: Option<Vec<f64>>,
 }
 
 impl PressureSolver {
@@ -55,9 +62,11 @@ impl PressureSolver {
         PressureSolver {
             e: EOperator::new(ops),
             precond,
-            projection: RhsProjection::new(ops.n_pressure(), lmax),
+            projection: RhsProjection::with_rtol(ops.n_pressure(), lmax, opts.dependence_rtol),
             opts,
             ex_scratch: vec![0.0; ops.n_pressure()],
+            jacobi_fallback: false,
+            jacobi_diag: None,
         }
     }
 
@@ -66,15 +75,66 @@ impl PressureSolver {
         PressureSolver {
             e: EOperator::new(ops),
             precond: None,
-            projection: RhsProjection::new(ops.n_pressure(), lmax),
+            projection: RhsProjection::with_rtol(ops.n_pressure(), lmax, opts.dependence_rtol),
             opts,
             ex_scratch: vec![0.0; ops.n_pressure()],
+            jacobi_fallback: false,
+            jacobi_diag: None,
         }
     }
 
     /// Reset the projection history (e.g. after a Δt change).
     pub fn clear_history(&mut self) {
         self.projection.clear();
+    }
+
+    /// Clone of the projection history (step snapshot / checkpoint).
+    pub fn projection_snapshot(&self) -> RhsProjection {
+        self.projection.clone()
+    }
+
+    /// Replace the projection history (rollback restore).
+    pub fn restore_projection(&mut self, projection: RhsProjection) {
+        self.projection = projection;
+    }
+
+    /// Read access to the projection history.
+    pub fn projection(&self) -> &RhsProjection {
+        &self.projection
+    }
+
+    /// Switch the preconditioner between the configured Schwarz method
+    /// and a Jacobi sweep on the exact `diag(E)` (probed with canonical
+    /// unit vectors on first use — `n_pressure` operator applications,
+    /// paid once and cached; acceptable as a recovery-only cost). Stage 2
+    /// of the recovery ladder turns this on for the retried step and
+    /// back off afterwards.
+    pub fn set_jacobi_fallback(&mut self, on: bool) {
+        self.jacobi_fallback = on;
+    }
+
+    /// Is the Jacobi fallback currently selected?
+    pub fn jacobi_fallback(&self) -> bool {
+        self.jacobi_fallback
+    }
+
+    fn ensure_jacobi_diag(&mut self, ops: &SemOps) {
+        if self.jacobi_diag.is_some() {
+            return;
+        }
+        let n = ops.n_pressure();
+        let mut diag = vec![0.0; n];
+        let mut unit = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            unit[i] = 1.0;
+            self.e.apply(ops, &unit, &mut out);
+            // Guard degenerate rows (diag(E) is positive away from the
+            // constant nullspace, but stay safe).
+            diag[i] = if out[i] > 0.0 { out[i] } else { 1.0 };
+            unit[i] = 0.0;
+        }
+        self.jacobi_diag = Some(diag);
     }
 
     /// Solve `E p = g`, writing the solution into `p`.
@@ -98,6 +158,20 @@ impl PressureSolver {
             self.projection.project(g)
         };
         // Stage 2: PCG for the perturbation.
+        // Armed faults are consumed here, once per solve: the corruption
+        // then applies to every closure call of this solve (a transient
+        // operator/preconditioner sign flip), which deterministically
+        // trips the corresponding CG breakdown guard.
+        let op_fault = fault::fire(FaultSite::PressureOperator);
+        let pc_fault = fault::fire(FaultSite::PressurePrecond);
+        if self.jacobi_fallback {
+            self.ensure_jacobi_diag(ops);
+        }
+        let jacobi = if self.jacobi_fallback {
+            self.jacobi_diag.as_deref()
+        } else {
+            None
+        };
         let cg_span = sem_obs::span(sem_obs::Phase::PressureCg);
         let mut dp = vec![0.0; p.len()];
         let e = &mut self.e;
@@ -105,10 +179,27 @@ impl PressureSolver {
         let res: CgResult = pcg(
             &mut dp,
             g,
-            |q, eq| e.apply(ops, q, eq),
-            |r, z| match precond {
-                Some(m) => m.apply(r, z),
-                None => z.copy_from_slice(r),
+            |q, eq| {
+                e.apply(ops, q, eq);
+                if op_fault {
+                    eq.iter_mut().for_each(|v| *v = -*v);
+                }
+            },
+            |r, z| {
+                match jacobi {
+                    Some(d) => {
+                        for i in 0..r.len() {
+                            z[i] = r[i] / d[i];
+                        }
+                    }
+                    None => match precond {
+                        Some(m) => m.apply(r, z),
+                        None => z.copy_from_slice(r),
+                    },
+                }
+                if pc_fault {
+                    z.iter_mut().for_each(|v| *v = -*v);
+                }
             },
             |u, v| dot_pressure(ops, u, v),
             project_mean,
@@ -131,6 +222,11 @@ impl PressureSolver {
         let ex = std::mem::take(&mut self.ex_scratch);
         self.projection.update(p, &ex);
         self.ex_scratch = ex;
+        if fault::fire(FaultSite::ProjectionUpdate) {
+            // Poison the stored basis behind the update guards: the
+            // *next* solve starts from a NaN guess and breaks down.
+            self.projection.corrupt_latest();
+        }
         PressureSolveStats {
             iterations: res.iterations,
             initial_residual: res.initial_residual,

@@ -27,20 +27,31 @@
 pub const DEPENDENCE_RTOL: f64 = 1e-12;
 
 /// E-orthonormal history of previous solutions.
+#[derive(Clone)]
 pub struct RhsProjection {
     lmax: usize,
     /// Pairs `(x_i, E x_i)` with `x_iᵀ E x_j = δ_ij`.
     basis: Vec<(Vec<f64>, Vec<f64>)>,
     n: usize,
+    /// Relative dependence threshold (see [`DEPENDENCE_RTOL`]).
+    rtol: f64,
 }
 
 impl RhsProjection {
-    /// History capacity `L` (`lmax = 0` disables projection entirely).
+    /// History capacity `L` (`lmax = 0` disables projection entirely),
+    /// with the default [`DEPENDENCE_RTOL`] dependence threshold.
     pub fn new(n: usize, lmax: usize) -> Self {
+        Self::with_rtol(n, lmax, DEPENDENCE_RTOL)
+    }
+
+    /// Like [`RhsProjection::new`] with an explicit dependence threshold
+    /// (`CgOptions::dependence_rtol` flows in here).
+    pub fn with_rtol(n: usize, lmax: usize, rtol: f64) -> Self {
         RhsProjection {
             lmax,
             basis: Vec::new(),
             n,
+            rtol,
         }
     }
 
@@ -110,7 +121,7 @@ impl RhsProjection {
         // its E-energy to the existing basis is numerically dependent;
         // storing it (normalized by a huge factor) would fill the history
         // with roundoff noise.
-        if !(norm2 > DEPENDENCE_RTOL * norm0) {
+        if !(norm2 > self.rtol * norm0) {
             sem_obs::counters::add(sem_obs::Counter::ProjectionDropped, 1);
             return;
         }
@@ -125,6 +136,42 @@ impl RhsProjection {
     /// Drop all history (e.g. when Δt or the operator changes).
     pub fn clear(&mut self) {
         self.basis.clear();
+    }
+
+    /// The stored E-orthonormal basis pairs `(x_i, E x_i)` (checkpoint
+    /// serialization; the basis feeds CG initial guesses, so a
+    /// bitwise-identical restart must carry it).
+    pub fn basis(&self) -> &[(Vec<f64>, Vec<f64>)] {
+        &self.basis
+    }
+
+    /// Append a basis pair verbatim, skipping orthonormalization — for
+    /// checkpoint restore only, where the pair was stored from an
+    /// already-orthonormal basis. Panics on length mismatch or capacity
+    /// overflow.
+    pub fn push_raw(&mut self, x: Vec<f64>, ex: Vec<f64>) {
+        assert_eq!(x.len(), self.n, "push_raw: x length");
+        assert_eq!(ex.len(), self.n, "push_raw: ex length");
+        assert!(self.basis.len() < self.lmax, "push_raw: capacity");
+        self.basis.push((x, ex));
+    }
+
+    /// Fault-injection hook
+    /// ([`sem_obs::fault::FaultSite::ProjectionUpdate`]): overwrite the
+    /// most recently stored basis direction with NaN, bypassing the
+    /// update guards — the next [`RhsProjection::project`] then poisons
+    /// its initial guess, which the recovery ladder must detect and cure
+    /// by clearing the history. Returns false when there is no stored
+    /// basis to corrupt.
+    pub fn corrupt_latest(&mut self) -> bool {
+        match self.basis.last_mut() {
+            Some((x, ex)) => {
+                x.fill(f64::NAN);
+                ex.fill(f64::NAN);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -318,6 +365,53 @@ mod tests {
                 }
             }
         });
+    }
+
+    /// Satellite regression for the configurable dependence threshold: a
+    /// marginal direction (post-orthogonalization E-energy fraction
+    /// ~1e-8) is accepted under the default `1e-12` threshold but
+    /// dropped once the threshold is loosened above it via
+    /// [`RhsProjection::with_rtol`] (the `CgOptions::dependence_rtol`
+    /// path).
+    #[test]
+    fn loosened_dependence_rtol_drops_marginal_directions() {
+        let n = 24;
+        let a = spd(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        // Scaled copy plus a ~1e-4 relative perturbation: keeps ~1e-8 of
+        // its E-energy after Gram–Schmidt against x.
+        let x2: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 1.5 * (v + 1e-4 * (i as f64 * 0.7).cos()))
+            .collect();
+        let mut strict = RhsProjection::with_rtol(n, 8, 1e-4);
+        strict.update(&x, &a.matvec(&x));
+        strict.update(&x2, &a.matvec(&x2));
+        assert_eq!(strict.len(), 1, "loosened threshold must drop it");
+        let mut default = RhsProjection::new(n, 8);
+        default.update(&x, &a.matvec(&x));
+        default.update(&x2, &a.matvec(&x2));
+        assert_eq!(default.len(), 2, "default threshold must accept it");
+    }
+
+    #[test]
+    fn corrupt_latest_poisons_projection() {
+        let n = 8;
+        let a = spd(n);
+        let mut proj = RhsProjection::new(n, 4);
+        assert!(!proj.corrupt_latest(), "empty basis: nothing to corrupt");
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).cos()).collect();
+        proj.update(&x, &a.matvec(&x));
+        assert!(proj.corrupt_latest());
+        assert_eq!(proj.len(), 1, "corruption bypasses the drop guards");
+        let mut b = vec![1.0; n];
+        let xbar = proj.project(&mut b);
+        assert!(xbar.iter().any(|v| v.is_nan()), "guess must be poisoned");
+        proj.clear();
+        let mut b2 = vec![1.0; n];
+        let clean = proj.project(&mut b2);
+        assert!(clean.iter().all(|&v| v == 0.0), "clear() cures it");
     }
 
     #[test]

@@ -72,7 +72,7 @@ fn main() {
         "step", "time", "KE", "Nu", "p-iters"
     );
     for step in 1..=steps {
-        let st = s.step();
+        let st = s.step().unwrap();
         if step % 25 == 0 || step == 1 {
             println!(
                 "{:>6} {:>9.4} {:>12.5e} {:>8.3} {:>8}",

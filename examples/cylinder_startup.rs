@@ -67,7 +67,7 @@ fn main() {
         "step", "time", "CFL", "p-iters", "w_min", "w_max"
     );
     for step in 1..=30 {
-        let st = s.step();
+        let st = s.step().unwrap();
         if step % 3 == 0 || step == 1 {
             let w = vorticity_2d(&s.ops, &s.vel[0], &s.vel[1]);
             // Surface vorticity: nodes on the cylinder.

@@ -64,7 +64,7 @@ fn main() {
     }));
 
     for step in 1..=20 {
-        let st = s.step();
+        let st = s.step().unwrap();
         if step % 4 == 0 || step == 1 {
             println!(
                 "step {:>3}: t = {:.3}, CFL = {:.2}, pressure iters = {:>3}, {:.0} Mflop",

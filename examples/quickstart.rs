@@ -96,7 +96,7 @@ fn main() {
     let mut ns = NsSolver::new(ops, cfg);
     ns.set_velocity(|x, y, _| [x.sin() * y.cos(), -x.cos() * y.sin(), 0.0]);
     for _ in 0..25 {
-        ns.step();
+        ns.step().unwrap();
     }
     let decay = (-2.0 * nu * ns.time).exp();
     let mut du = ns.vel[0].clone();

@@ -56,7 +56,7 @@ fn main() {
     let t_final = 1.0;
     let steps = (t_final / s.cfg.dt).round() as usize;
     for step in 0..steps {
-        let st = s.step();
+        let st = s.step().unwrap();
         let ke = kinetic_energy(&s.ops, &s.vel);
         if step % 50 == 0 {
             println!(

@@ -4,7 +4,7 @@
 # Stage 1: run a short shear-layer solve with metrics enabled
 # (fig3_shear_layer --smoke) on the default stdout sink and validate the
 # emitted per-timestep JSON records — one `JSON {...}` line per step,
-# each carrying the required schema-v2 fields, including the latency
+# each carrying the required schema-v3 fields, including the latency
 # histogram objects (see crates/obs/src/record.rs).
 #
 # Stage 2: re-run with a file sink (TERASEM_METRICS_SINK=file:<path>) and
@@ -43,7 +43,7 @@ REQUIRED = [
     "type", "schema", "step", "time", "dt", "cfl",
     "pressure_iterations", "pressure_initial_residual",
     "pressure_final_residual", "projection_depth", "pressure_converged",
-    "helmholtz_iterations", "scalar_iterations", "seconds",
+    "helmholtz_iterations", "scalar_iterations", "recoveries", "seconds",
     "counters", "counters_delta", "spans", "spans_delta",
     "latency", "latency_hist",
 ]
@@ -55,9 +55,10 @@ for i, r in enumerate(records):
     missing = [k for k in REQUIRED if k not in r]
     assert not missing, f"record {i}: missing fields {missing}"
     assert r["type"] == "terasem.step", f"record {i}: type {r['type']!r}"
-    assert r["schema"] == 2, f"record {i}: schema {r['schema']}"
+    assert r["schema"] == 3, f"record {i}: schema {r['schema']}"
     assert r["step"] == i + 1, f"record {i}: step {r['step']}"
     assert r["pressure_iterations"] >= 0
+    assert r["recoveries"] >= 0
     assert isinstance(r["helmholtz_iterations"], list)
     for reg in ("counters", "counters_delta"):
         assert r[reg]["mxm_flops"] >= 0, f"record {i}: {reg} missing mxm_flops"
@@ -81,10 +82,10 @@ for a, b in zip(records, records[1:]):
         assert b["counters"][key] - a["counters"][key] == b["counters_delta"][key], \
             f"{key} delta mismatch at step {b['step']}"
 
-print(f"metrics_smoke: {len(records)} records validated (schema 2)")
+print(f"metrics_smoke: {len(records)} records validated (schema 3)")
 EOF
 elif command -v jq >/dev/null 2>&1; then
-    jq -e 'select(.type != "terasem.step" or .schema != 2
+    jq -e 'select(.type != "terasem.step" or .schema != 3
                   or (.counters.mxm_flops < 0) or (has("cfl") | not)
                   or (has("latency") | not))' \
         "$OUT" >/dev/null && { echo "metrics_smoke: FAIL — bad record" >&2; exit 1; }

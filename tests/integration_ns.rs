@@ -58,7 +58,7 @@ fn orr_sommerfeld_growth_rate_end_to_end() {
     let mut ts = Vec::new();
     let mut es = Vec::new();
     for step in 0..steps {
-        s.step();
+        s.step().unwrap();
         if step >= steps / 2 {
             let mut du = s.vel[0].clone();
             for i in 0..s.ops.n_velocity() {
@@ -128,7 +128,7 @@ fn bump_channel_3d_steps_stably() {
     }));
     let mut last = Default::default();
     for _ in 0..5 {
-        last = s.step();
+        last = s.step().unwrap();
         assert!(kinetic_energy(&s.ops, &s.vel).is_finite());
     }
     let sem_ns_stats: terasem::ns::StepStats = last;
@@ -171,7 +171,7 @@ fn filter_stabilizes_underresolved_shear_layer() {
         });
         let ke0 = kinetic_energy(&s.ops, &s.vel);
         for _ in 0..150 {
-            s.step();
+            s.step().unwrap();
             let ke = kinetic_energy(&s.ops, &s.vel);
             if !ke.is_finite() || ke > 2.0 * ke0 {
                 return (s.time, true);
