@@ -124,11 +124,13 @@ fn run_case(s: &mut NsSolver, t_final: f64) -> Outcome {
 /// — a tiny shear-layer solve with `sem_obs` enabled, emitting one
 /// per-timestep record per step to the metrics sink (stdout `JSON `
 /// lines by default; `TERASEM_METRICS_SINK`/`TERASEM_METRICS_PHASES`/
-/// `TERASEM_TRACE` are honored).
+/// `TERASEM_TRACE` are honored). The run is driven through the sem-run
+/// supervisor, so `TERASEM_CHECKPOINT_DIR` additionally turns on
+/// auto-checkpointing with resume-from-latest.
 fn run_smoke() {
     sem_obs::init_from_env();
     let trace_path = sem_obs::trace::init_from_env();
-    let steps = 20;
+    let steps = 20u64;
     let mut s = shear_layer(4, 6, 30.0, 1e5, 0.3, 0.002);
     s.cfg.metrics = true;
     // Fault-injection smoke (scripts/fault_smoke.sh): a `TERASEM_FAULT`
@@ -144,22 +146,25 @@ fn run_smoke() {
             plan.seed
         );
     }
+    s.cfg.run = sem_ns::RunPolicy::default().from_env();
     sem_obs::set_enabled(true);
     eprintln!("smoke: shear layer 4x4 elements, N = 6, {steps} steps, metrics on");
-    let mut recovered_steps = 0u64;
-    for _ in 0..steps {
-        match s.step() {
-            Ok(st) => {
-                if st.recoveries > 0 {
-                    recovered_steps += 1;
-                }
-            }
-            Err(e) => {
-                eprintln!("smoke: FATAL unrecovered step failure: {e}");
-                std::process::exit(3);
-            }
-        }
+    let mut sup = sem_ns::RunSupervisor::new(s);
+    match sup.resume_from_latest() {
+        Ok(Some(at)) => eprintln!("smoke: resumed from checkpoint at step {at}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("smoke: checkpoint scan failed: {e}"),
     }
+    let recovered_steps = match sup.run_to(steps) {
+        Ok(report) => report.steps.iter().filter(|st| st.recoveries > 0).count() as u64,
+        Err(e) => {
+            eprintln!("smoke: FATAL unrecovered step failure: {e}");
+            if let Some(last) = e.history.last() {
+                eprintln!("smoke: last step error: {last}");
+            }
+            std::process::exit(3);
+        }
+    };
     let counters = sem_obs::counters::snapshot();
     eprintln!(
         "smoke: {} mxm calls, {} gather-scatter words, {} operator applications, \

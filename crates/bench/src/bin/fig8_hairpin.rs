@@ -25,6 +25,10 @@ fn main() {
         "Fig. 8: first 26 steps of the hairpin benchmark substitute (K = {kelem}, N = {n})"
     ));
     let mut s = hairpin_channel(k, n, dt, 25);
+    // Long-run operation: the 26-step trajectory is driven through the
+    // sem-run supervisor, so `TERASEM_CHECKPOINT_DIR` turns on
+    // auto-checkpointing and a killed run resumes where it left off.
+    s.cfg.run = sem_ns::RunPolicy::default().from_env();
     println!(
         "mesh: {}x{}x{} deformed hexes, {} velocity dofs/component, {} pressure dofs",
         k[0],
@@ -34,6 +38,19 @@ fn main() {
         s.ops.n_pressure()
     );
     println!();
+    let mut sup = sem_ns::RunSupervisor::new(s);
+    match sup.resume_from_latest() {
+        Ok(Some(at)) => println!("resumed from checkpoint at step {at}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("checkpoint scan failed: {e}"),
+    }
+    let report = match sup.run_to(26) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig8: run gave up: {e}");
+            std::process::exit(3);
+        }
+    };
     println!(
         "{:>4} | {:>10} | {:>7} {:>9} | {:>7} | {:>12}",
         "step", "time/step", "p-iter", "p-resid0", "Hx-iter", "Mflops/step"
@@ -41,8 +58,7 @@ fn main() {
     let mut total_flops = 0u64;
     let mut total_secs = 0.0;
     let mut last5 = Vec::new();
-    for _ in 0..26 {
-        let st = s.step().unwrap();
+    for st in &report.steps {
         total_flops += st.flops;
         total_secs += st.seconds;
         println!(
@@ -68,7 +84,7 @@ fn main() {
     );
     println!(
         "average time/step over last 5 steps: {} (paper: 17.5 s at 319 GF on 2048 dual nodes)",
-        fmt_secs(last5.iter().sum::<f64>() / last5.len() as f64)
+        fmt_secs(last5.iter().sum::<f64>() / last5.len().max(1) as f64)
     );
     println!();
     println!("claims: pressure iterations fall from the impulsive-start transient as the");

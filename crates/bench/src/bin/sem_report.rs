@@ -26,8 +26,11 @@
 //! `--strict` turns the report into a health gate for CI: after the
 //! tables it exits with status 4 if the run shows any CG breakdowns,
 //! dropped projection updates, or sem-guard recovery rollbacks — the
-//! three "the solver survived, but something went wrong" signals.
+//! three "the solver survived, but something went wrong" signals — and
+//! with status 5 if a `terasem.run` summary record says the run *ended*
+//! in an unrecovered error (transient-but-recovered is 4; gave-up is 5).
 
+use sem_ns::supervisor::RUN_RECORD_TYPE;
 use sem_obs::hist::{quantile_from_buckets, HistSnapshot, NUM_BUCKETS};
 use sem_obs::json::Json;
 use sem_obs::record::STEP_RECORD_TYPE;
@@ -42,10 +45,21 @@ struct StepRow {
     pressure_final_residual: f64,
     projection_depth: u64,
     recoveries: u64,
+    recovery_trail: Vec<String>,
     helmholtz_iterations: Vec<u64>,
     span_delta_seconds: [f64; NUM_PHASES],
     span_delta_calls: [u64; NUM_PHASES],
     latency: HistSnapshot,
+}
+
+/// One end-of-run `terasem.run` summary record (sem-run supervisor).
+struct RunSummary {
+    outcome: String,
+    steps: u64,
+    step_errors: u64,
+    watchdog_trips: u64,
+    checkpoints_written: u64,
+    resumed: bool,
 }
 
 fn main() {
@@ -86,6 +100,7 @@ fn main() {
     };
 
     let mut rows: Vec<StepRow> = Vec::new();
+    let mut runs: Vec<RunSummary> = Vec::new();
     let mut skipped = 0usize;
     let mut last_counters: Option<Vec<(String, u64)>> = None;
     for line in body.lines() {
@@ -98,6 +113,24 @@ fn main() {
             skipped += 1;
             continue;
         };
+        if v.get("type").and_then(Json::as_str) == Some(RUN_RECORD_TYPE) {
+            runs.push(RunSummary {
+                outcome: v
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                steps: v.get("steps").and_then(Json::as_u64).unwrap_or(0),
+                step_errors: v.get("step_errors").and_then(Json::as_u64).unwrap_or(0),
+                watchdog_trips: v.get("watchdog_trips").and_then(Json::as_u64).unwrap_or(0),
+                checkpoints_written: v
+                    .get("checkpoints_written")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                resumed: v.get("resumed").and_then(Json::as_bool).unwrap_or(false),
+            });
+            continue;
+        }
         if v.get("type").and_then(Json::as_str) != Some(STEP_RECORD_TYPE) {
             continue;
         }
@@ -139,6 +172,10 @@ fn main() {
         println!();
         print_counters(counters);
     }
+    if !runs.is_empty() {
+        println!();
+        print_runs(&runs);
+    }
     if let Some(out) = chrome {
         match std::fs::write(out, chrome_from_rows(&rows)) {
             Ok(()) => println!("\nChrome trace written to {out} (open in chrome://tracing or Perfetto)"),
@@ -149,15 +186,16 @@ fn main() {
         }
     }
     if strict {
-        strict_gate(&rows, last_counters.as_deref());
+        strict_gate(&rows, &runs, last_counters.as_deref());
     }
 }
 
-/// `--strict`: exit 4 if the run shows breakdowns, dropped projection
-/// updates, or recovery rollbacks. Counter totals (cumulative at the
-/// last record) are preferred; per-record `recoveries` (schema v3) is a
+/// `--strict`: exit 5 if a run record says the run gave up; exit 4 if
+/// the run completed but shows breakdowns, dropped projection updates,
+/// or recovery rollbacks. Counter totals (cumulative at the last
+/// record) are preferred; per-record `recoveries` (schema v3) is a
 /// fallback so pre-counter logs still gate on recovery events.
-fn strict_gate(rows: &[StepRow], counters: Option<&[(String, u64)]>) -> ! {
+fn strict_gate(rows: &[StepRow], runs: &[RunSummary], counters: Option<&[(String, u64)]>) -> ! {
     let from_counters = |name: &str| -> Option<u64> {
         counters?.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
     };
@@ -166,11 +204,16 @@ fn strict_gate(rows: &[StepRow], counters: Option<&[(String, u64)]>) -> ! {
     let recoveries = from_counters("recoveries")
         .unwrap_or_else(|| rows.iter().map(|r| r.recoveries).sum());
     let clean = breakdowns == 0 && dropped == 0 && recoveries == 0;
+    let gave_up = runs.iter().any(|r| r.outcome != "completed");
     println!();
     println!(
         "strict: {breakdowns} CG breakdown(s), {dropped} dropped projection update(s), \
          {recoveries} recovery rollback(s)"
     );
+    if gave_up {
+        println!("strict: FAIL — run ended in an unrecovered error (gave up)");
+        std::process::exit(5);
+    }
     if clean {
         println!("strict: PASS");
         std::process::exit(0);
@@ -184,7 +227,8 @@ fn usage_and_exit() -> ! {
     eprintln!("  <metrics.jsonl>: JSON-lines from TERASEM_METRICS_SINK=file:<path>");
     eprintln!("                   or a saved stdout log ('JSON ' prefixes are stripped)");
     eprintln!("  --strict: exit 4 on CG breakdowns, dropped projection updates,");
-    eprintln!("            or recovery rollbacks (health gate for CI)");
+    eprintln!("            or recovery rollbacks (health gate for CI);");
+    eprintln!("            exit 5 when a terasem.run record shows the run gave up");
     std::process::exit(2);
 }
 
@@ -202,6 +246,17 @@ fn parse_row(v: &Json) -> Option<StepRow> {
         projection_depth: v.get("projection_depth")?.as_u64()?,
         // Schema v3; absent (0) in older logs.
         recoveries: v.get("recoveries").and_then(Json::as_u64).unwrap_or(0),
+        // Schema v4; absent (empty) in older logs.
+        recovery_trail: v
+            .get("recovery_trail")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Json::as_str)
+                    .map(String::from)
+                    .collect()
+            })
+            .unwrap_or_default(),
         helmholtz_iterations: v
             .get("helmholtz_iterations")?
             .as_arr()?
@@ -312,17 +367,41 @@ fn print_phase_table(rows: &[StepRow]) {
     }
 }
 
+/// Compact label for a step's recovery trail: ladder-stage
+/// abbreviations joined with `+` (`clr+jac`), `-` on a clean step.
+fn recov_label(trail: &[String], recoveries: u64) -> String {
+    if trail.is_empty() {
+        // Pre-v4 logs carry only the count.
+        return if recoveries > 0 {
+            format!("x{recoveries}")
+        } else {
+            "-".to_string()
+        };
+    }
+    trail
+        .iter()
+        .map(|s| match s.as_str() {
+            "clear_projection" => "clr",
+            "jacobi_fallback" => "jac",
+            "halve_dt" => "dt/2",
+            "give_up" => "give",
+            other => other,
+        })
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
 fn print_trajectory(rows: &[StepRow]) {
     println!("Per-step trajectory:");
     println!(
-        "{:>6} {:>12} {:>8} {:>8} {:>6} {:>8} {:>12} {:>10} {:>9}",
-        "step", "time", "cfl", "p_iters", "depth", "helm", "p_resid", "seconds", "cg_p99"
+        "{:>6} {:>12} {:>8} {:>8} {:>6} {:>8} {:>12} {:>10} {:>9} {:>12}",
+        "step", "time", "cfl", "p_iters", "depth", "helm", "p_resid", "seconds", "cg_p99", "recov"
     );
     for r in rows {
         let helm: u64 = r.helmholtz_iterations.iter().sum();
         let cg_p99 = quantile_from_buckets(r.latency.buckets(Phase::PressureCg), 0.99);
         println!(
-            "{:>6} {:>12.6} {:>8.3} {:>8} {:>6} {:>8} {:>12.3e} {:>10.6} {}",
+            "{:>6} {:>12.6} {:>8.3} {:>8} {:>6} {:>8} {:>12.3e} {:>10.6} {} {:>12}",
             r.step,
             r.time,
             r.cfl,
@@ -332,6 +411,23 @@ fn print_trajectory(rows: &[StepRow]) {
             r.pressure_final_residual,
             r.seconds,
             fmt_lat(cg_p99),
+            recov_label(&r.recovery_trail, r.recoveries),
+        );
+    }
+}
+
+fn print_runs(runs: &[RunSummary]) {
+    println!("Run summaries (sem-run supervisor):");
+    for r in runs {
+        println!(
+            "  {}: {} step(s), {} step error(s), {} watchdog trip(s), \
+             {} checkpoint(s) written{}",
+            r.outcome,
+            r.steps,
+            r.step_errors,
+            r.watchdog_trips,
+            r.checkpoints_written,
+            if r.resumed { ", resumed from checkpoint" } else { "" },
         );
     }
 }

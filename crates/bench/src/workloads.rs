@@ -63,6 +63,7 @@ pub fn orr_sommerfeld_channel(
         sink: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
+        run: sem_ns::RunPolicy::default(),
     };
     let mut s = NsSolver::new(ops, cfg);
     // Base flow plus scaled TS eigenfunction, sampled per node through the
@@ -121,6 +122,7 @@ pub fn shear_layer(
         sink: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
+        run: sem_ns::RunPolicy::default(),
     };
     let mut s = NsSolver::new(ops, cfg);
     s.set_velocity(|x, y, _| {
@@ -174,6 +176,7 @@ pub fn rayleigh_benard(
         sink: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
+        run: sem_ns::RunPolicy::default(),
     };
     let mut s = NsSolver::new(ops, cfg);
     // Conduction profile + small perturbation to trigger convection.
@@ -219,6 +222,7 @@ pub fn cylinder_startup(
         sink: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
+        run: sem_ns::RunPolicy::default(),
     };
     let mut s = NsSolver::new(ops, cfg);
     let ri = params.r_inner;
@@ -274,6 +278,7 @@ pub fn hairpin_channel(k: [usize; 3], n: usize, dt: f64, lmax: usize) -> NsSolve
         sink: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
+        run: sem_ns::RunPolicy::default(),
     };
     let delta = 0.5;
     let profile = move |y: f64| (1.0 - (-y / delta).exp()).clamp(0.0, 1.0);

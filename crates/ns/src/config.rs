@@ -80,6 +80,12 @@ pub struct NsConfig {
     /// uninjected run takes no snapshots and is bitwise-identical to a
     /// build without the recovery layer.
     pub recovery: crate::recovery::RecoveryPolicy,
+    /// Run-supervision policy (`sem-run`): auto-checkpointing with
+    /// retention, per-step wall-clock watchdogs, and the run-level
+    /// give-up budget. Only consulted by
+    /// [`crate::supervisor::RunSupervisor`]; everything is disabled by
+    /// default and a plain `step()` loop never reads it.
+    pub run: crate::supervisor::RunPolicy,
 }
 
 impl Default for NsConfig {
@@ -111,6 +117,7 @@ impl Default for NsConfig {
             sink: None,
             faults: None,
             recovery: crate::recovery::RecoveryPolicy::default(),
+            run: crate::supervisor::RunPolicy::default(),
         }
     }
 }

@@ -62,6 +62,11 @@ impl StepStats {
             scalar_iterations: scalar_active.then_some(self.temp_iters as u64),
             seconds: self.seconds,
             recoveries: self.recoveries as u64,
+            recovery_trail: self
+                .recovery_trail
+                .iter()
+                .map(|a| a.stage_label().to_string())
+                .collect(),
             ..sem_obs::StepRecord::default()
         }
     }

@@ -42,6 +42,11 @@ pub enum FaultKind {
     /// stale — finite but wrong, detectable only through the fired
     /// flag the exchange layer reports upward.
     GsDrop,
+    /// NaN-poison the restricted RHS of one coarse-grid solve inside
+    /// the Schwarz preconditioner; the NaN propagates through the
+    /// Cholesky solve into the preconditioner output and PCG reports a
+    /// NaN `r·z` breakdown.
+    CoarseCorruption,
 }
 
 impl FaultKind {
@@ -54,6 +59,7 @@ impl FaultKind {
             FaultKind::IndefinitePreconditioner => "indef_pc",
             FaultKind::ProjectionCorruption => "proj",
             FaultKind::GsDrop => "gs",
+            FaultKind::CoarseCorruption => "coarse",
         }
     }
 
@@ -137,7 +143,7 @@ impl FaultPlan {
     /// spec  := item ((',' | ';') item)*
     /// item  := 'seed=' N
     ///        | kind (':' field)? '@' step ('x' count)?
-    /// kind  := 'nan' | 'inf' | 'indef_op' | 'indef_pc' | 'proj' | 'gs'
+    /// kind  := 'nan' | 'inf' | 'indef_op' | 'indef_pc' | 'proj' | 'gs' | 'coarse'
     /// field := 'u' | 'v' | 'w' | 'p' | 't'     (required for nan/inf)
     /// ```
     ///
@@ -170,6 +176,7 @@ impl FaultPlan {
                 "indef_pc" => FaultKind::IndefinitePreconditioner,
                 "proj" => FaultKind::ProjectionCorruption,
                 "gs" => FaultKind::GsDrop,
+                "coarse" => FaultKind::CoarseCorruption,
                 other => {
                     return Err(FaultSpecError(format!("unknown fault kind `{other}`")));
                 }
@@ -226,9 +233,10 @@ impl FaultPlan {
     }
 
     /// Read the plan from `TERASEM_FAULT`. Returns `None` when the
-    /// variable is unset or empty; a malformed spec prints a warning to
-    /// stderr and is ignored (a robustness layer must not crash the run
-    /// it protects).
+    /// variable is unset or empty; a malformed spec prints one warning
+    /// per process to stderr — naming the variable and the bad token —
+    /// and is ignored (a robustness layer must not crash the run it
+    /// protects).
     pub fn from_env() -> Option<FaultPlan> {
         let spec = std::env::var("TERASEM_FAULT").ok()?;
         if spec.trim().is_empty() {
@@ -237,7 +245,11 @@ impl FaultPlan {
         match FaultPlan::parse(&spec) {
             Ok(plan) => Some(plan),
             Err(e) => {
-                eprintln!("terasem: ignoring {e}");
+                sem_obs::warn::invalid_env(
+                    "TERASEM_FAULT",
+                    &spec,
+                    &format!("{e}; ignoring the fault plan"),
+                );
                 None
             }
         }
@@ -290,6 +302,30 @@ mod tests {
         assert_eq!(p.events[1].count, 2);
         assert_eq!(p.events[2].kind, FaultKind::GsDrop);
         assert!(p.events[2].field.is_none());
+    }
+
+    #[test]
+    fn parse_coarse_kind() {
+        let p = FaultPlan::parse("coarse@4x2").unwrap();
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].kind, FaultKind::CoarseCorruption);
+        assert!(p.events[0].field.is_none());
+        assert_eq!(p.events[0].step, 4);
+        assert_eq!(p.events[0].count, 2);
+        assert!(FaultPlan::parse("coarse:u@4").is_err(), "no field qualifier");
+    }
+
+    #[test]
+    fn malformed_env_spec_is_ignored_with_a_warning() {
+        // The warning itself goes through `sem_obs::warn::invalid_env`
+        // (once per process, pinned by its own unit test); here we pin
+        // that a malformed TERASEM_FAULT never yields a plan and never
+        // panics, on repeated reads.
+        std::env::set_var("TERASEM_FAULT", "frobnicate@3");
+        assert!(FaultPlan::from_env().is_none());
+        assert!(FaultPlan::from_env().is_none(), "second read also ignored");
+        std::env::remove_var("TERASEM_FAULT");
+        assert!(FaultPlan::from_env().is_none());
     }
 
     #[test]

@@ -30,7 +30,10 @@
 //! The `sem-guard` robustness layer rides on top of the time loop:
 //! deterministic fault injection ([`fault`], `TERASEM_FAULT`), staged
 //! rollback/retry recovery ([`recovery`]), and on-disk checkpointing
-//! ([`checkpoint`]).
+//! ([`checkpoint`]). The `sem-run` crash-only supervisor
+//! ([`supervisor`]) drives the loop for long runs: auto-checkpointing
+//! with retention, resume-from-latest, watchdogs, and a run-level
+//! give-up policy.
 
 pub mod checkpoint;
 pub mod config;
@@ -40,9 +43,11 @@ pub mod fault;
 pub mod output;
 pub mod recovery;
 pub mod solver;
+pub mod supervisor;
 
 pub use config::{ConvectionScheme, NsConfig};
 pub use diagnostics::{HealthViolation, StepStats};
 pub use fault::{FaultKind, FaultPlan, FieldTarget};
 pub use recovery::{RecoveryPolicy, RecoveryStage, StepError, StepFailure};
 pub use solver::NsSolver;
+pub use supervisor::{GiveUpReason, RunError, RunPolicy, RunReport, RunSupervisor};

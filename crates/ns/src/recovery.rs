@@ -127,6 +127,18 @@ pub enum RecoveryStage {
     HalveDt(f64),
 }
 
+impl RecoveryStage {
+    /// Stable snake_case name (the `recovery_trail` entries of schema-v4
+    /// step records and the `recov` column of `sem-report`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryStage::ClearProjection => "clear_projection",
+            RecoveryStage::JacobiFallback => "jacobi_fallback",
+            RecoveryStage::HalveDt(_) => "halve_dt",
+        }
+    }
+}
+
 /// One rung of the recovery trail: what failed, and what the ladder
 /// did about it.
 #[derive(Clone, Debug)]
@@ -136,6 +148,13 @@ pub struct RecoveryAttempt {
     /// The stage the subsequent retry ran under (`None` when the
     /// ladder was already exhausted and no retry followed).
     pub stage: Option<RecoveryStage>,
+}
+
+impl RecoveryAttempt {
+    /// The stage name, or `"give_up"` for the terminal no-retry rung.
+    pub fn stage_label(&self) -> &'static str {
+        self.stage.map_or("give_up", RecoveryStage::name)
+    }
 }
 
 /// A step that could not be completed. The solver state has been
@@ -179,6 +198,23 @@ mod tests {
         assert!(!p.enabled);
         assert!(RecoveryPolicy::enabled().enabled);
         assert!(RecoveryPolicy::enabled().jacobi_fallback);
+    }
+
+    #[test]
+    fn stage_labels_are_stable() {
+        assert_eq!(RecoveryStage::ClearProjection.name(), "clear_projection");
+        assert_eq!(RecoveryStage::JacobiFallback.name(), "jacobi_fallback");
+        assert_eq!(RecoveryStage::HalveDt(1e-3).name(), "halve_dt");
+        let gave_up = RecoveryAttempt {
+            cause: StepFailure::ExchangeDropped,
+            stage: None,
+        };
+        assert_eq!(gave_up.stage_label(), "give_up");
+        let retried = RecoveryAttempt {
+            cause: StepFailure::ExchangeDropped,
+            stage: Some(RecoveryStage::JacobiFallback),
+        };
+        assert_eq!(retried.stage_label(), "jacobi_fallback");
     }
 
     #[test]

@@ -608,6 +608,7 @@ impl NsSolver {
             let _ = obs_fault::take_fired(FaultSite::PressureOperator);
             let _ = obs_fault::take_fired(FaultSite::PressurePrecond);
             let _ = obs_fault::take_fired(FaultSite::ProjectionUpdate);
+            let _ = obs_fault::take_fired(FaultSite::CoarseRhs);
 
             if failure.is_none() {
                 failure = self.health_failure(snap.kinetic, policy.max_energy_growth);
@@ -705,14 +706,21 @@ impl NsSolver {
                             &mut self.vel[2]
                         }
                         FieldTarget::Pressure => &mut self.pressure,
+                        // `t` poisons the active scalar transport: the
+                        // Boussinesq temperature when coupled, else the
+                        // first registered passive scalar (its Helmholtz
+                        // solve and health scan see the NaN/Inf).
                         FieldTarget::Temperature => match self.temp.as_mut() {
                             Some(t) => t,
-                            None => {
-                                eprintln!(
-                                    "terasem: ignoring temperature fault without Boussinesq"
-                                );
-                                continue;
-                            }
+                            None => match self.scalars.first_mut() {
+                                Some(sc) => &mut sc.field,
+                                None => {
+                                    eprintln!(
+                                        "terasem: ignoring temperature fault without Boussinesq or passive scalars"
+                                    );
+                                    continue;
+                                }
+                            },
                         },
                     };
                     let idx = plan.node_index(step, target, data.len());
@@ -724,6 +732,7 @@ impl NsSolver {
                 FaultKind::IndefinitePreconditioner => obs_fault::arm(FaultSite::PressurePrecond),
                 FaultKind::ProjectionCorruption => obs_fault::arm(FaultSite::ProjectionUpdate),
                 FaultKind::GsDrop => obs_fault::arm(FaultSite::GsExchange),
+                FaultKind::CoarseCorruption => obs_fault::arm(FaultSite::CoarseRhs),
             }
         }
     }
@@ -802,6 +811,15 @@ impl NsSolver {
         }
         self.pressure_solver
             .restore_projection(snap.projection.clone());
+    }
+
+    /// Drop the successive-RHS pressure projection basis. The recovery
+    /// ladder's first rung, exposed for the run supervisor's hard
+    /// watchdog: a step that blew its wall-clock budget most often did
+    /// so because CG thrashed from a degenerate projected guess, and
+    /// rebuilding the basis is cheap insurance before the next step.
+    pub fn clear_projection_history(&mut self) {
+        self.pressure_solver.clear_history();
     }
 
     /// Forget all multistep history: the next step restarts at

@@ -1,0 +1,578 @@
+//! Crash-only run supervision (`sem-run`).
+//!
+//! A [`RunSupervisor`] owns an [`NsSolver`] and drives it to a target
+//! step with *crash-only* semantics: the run may be killed at any
+//! instant — mid-step, mid-checkpoint — and restarting the same binary
+//! resumes from the newest valid checkpoint and produces final fields
+//! bitwise-identical to the uninterrupted run, at any `TERASEM_THREADS`
+//! setting.
+//!
+//! The machinery, all driven by [`RunPolicy`] (carried in
+//! `NsConfig::run`, everything disabled by default):
+//!
+//! - **Auto-checkpointing** on a step interval and/or a wall-clock
+//!   interval, written atomically (`<name>.tmp` + `rename`) so a kill
+//!   can never leave a torn file under a valid checkpoint name, with
+//!   `keep_last` retention pruning the oldest files.
+//! - **[`RunSupervisor::resume_from_latest`]**: scan the checkpoint
+//!   directory newest-first, skip torn/corrupt candidates (the
+//!   structural validation of [`crate::checkpoint`] rejects them), and
+//!   restore the first one that both parses and matches the solver's
+//!   discretization.
+//! - **Per-step wall-clock watchdogs**: a soft budget warns and leaves
+//!   a trace note; a hard budget is treated as a step failure — it
+//!   spends one rung of the run-level error budget and applies the
+//!   recovery ladder's first remedy (clearing the projection history)
+//!   before the next step.
+//! - **Run-level give-up policy**: bounded tolerated [`StepError`]s and
+//!   a consecutive-recovered-steps thrashing guard. Give-up always
+//!   exits through a final checkpoint and a structured [`RunError`]
+//!   carrying the full failure history — never a panic, never a
+//!   half-written state.
+//!
+//! Wall-clock features (watchdogs, time-interval checkpoints) are
+//! nondeterministic by nature and are off by default; the bitwise
+//! reproducibility guarantee covers the step-interval checkpointing
+//! path that the soak harness exercises.
+
+use crate::checkpoint::Checkpoint;
+use crate::diagnostics::StepStats;
+use crate::recovery::StepError;
+use crate::solver::NsSolver;
+use sem_obs::counters::{self, Counter};
+use sem_obs::json::JsonObj;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The `"type"` tag of the end-of-run summary record emitted to the
+/// metrics sink (when `NsConfig::metrics` is on).
+pub const RUN_RECORD_TYPE: &str = "terasem.run";
+
+/// Run-supervision policy (carried as `NsConfig::run`). The default
+/// disables every feature: a supervised run with the default policy is
+/// bitwise-identical to calling `NsSolver::step` in a loop.
+#[derive(Clone, Debug)]
+pub struct RunPolicy {
+    /// Directory for auto-checkpoints. `None` disables checkpointing
+    /// (including the final exit checkpoint). Created on first write.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint every `n` committed steps.
+    pub checkpoint_every_steps: Option<u64>,
+    /// Checkpoint when this many wall-clock seconds have passed since
+    /// the last write (checked after each committed step).
+    pub checkpoint_every_secs: Option<f64>,
+    /// How many checkpoint files to retain; older ones are pruned after
+    /// each successful write. Clamped to at least 1.
+    pub keep_last: usize,
+    /// Soft per-step wall-clock budget: exceeding it warns on stderr
+    /// and leaves a `watchdog_soft` trace note. `None` disables.
+    pub soft_step_secs: Option<f64>,
+    /// Hard per-step wall-clock budget: exceeding it is treated as a
+    /// step failure — it spends one rung of `max_total_step_errors` and
+    /// clears the pressure projection history (the recovery ladder's
+    /// first remedy) before the next step. `None` disables.
+    pub hard_step_secs: Option<f64>,
+    /// How many step failures (ladder-exhausted [`StepError`]s and hard
+    /// watchdog trips) the run tolerates before giving up. Each
+    /// tolerated `StepError` retries the step — valid because a failed
+    /// step leaves the solver rolled back to its pre-step state. The
+    /// default `0` gives up on the first failure.
+    pub max_total_step_errors: usize,
+    /// Thrashing guard: give up after this many *consecutive* steps
+    /// that each needed recovery rollbacks. `None` disables.
+    pub max_consecutive_recovered_steps: Option<usize>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            checkpoint_dir: None,
+            checkpoint_every_steps: None,
+            checkpoint_every_secs: None,
+            keep_last: 3,
+            soft_step_secs: None,
+            hard_step_secs: None,
+            max_total_step_errors: 0,
+            max_consecutive_recovered_steps: None,
+        }
+    }
+}
+
+impl RunPolicy {
+    /// Step-interval checkpointing into `dir` — the deterministic
+    /// configuration the soak harness uses.
+    pub fn checkpointing(dir: impl Into<PathBuf>, every_steps: u64, keep_last: usize) -> Self {
+        RunPolicy {
+            checkpoint_dir: Some(dir.into()),
+            checkpoint_every_steps: Some(every_steps.max(1)),
+            keep_last,
+            ..RunPolicy::default()
+        }
+    }
+
+    /// Layer the operator environment over this policy:
+    /// `TERASEM_CHECKPOINT_DIR` (enables checkpointing, default interval
+    /// 5 steps when none is configured), `TERASEM_CHECKPOINT_EVERY`
+    /// (step interval), `TERASEM_KEEP_LAST` (retention). Malformed
+    /// values warn once on stderr (naming the variable and the bad
+    /// token) and leave the configured value in place.
+    pub fn from_env(mut self) -> Self {
+        if let Ok(dir) = std::env::var("TERASEM_CHECKPOINT_DIR") {
+            if !dir.trim().is_empty() {
+                self.checkpoint_dir = Some(PathBuf::from(dir));
+                if self.checkpoint_every_steps.is_none() && self.checkpoint_every_secs.is_none() {
+                    self.checkpoint_every_steps = Some(5);
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("TERASEM_CHECKPOINT_EVERY") {
+            match v.trim().parse::<u64>() {
+                Ok(n) if n > 0 => self.checkpoint_every_steps = Some(n),
+                _ => {
+                    sem_obs::warn::invalid_env(
+                        "TERASEM_CHECKPOINT_EVERY",
+                        &v,
+                        "not a positive integer; keeping the configured interval",
+                    );
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("TERASEM_KEEP_LAST") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => self.keep_last = n,
+                _ => {
+                    sem_obs::warn::invalid_env(
+                        "TERASEM_KEEP_LAST",
+                        &v,
+                        "not a positive integer; keeping the configured retention",
+                    );
+                }
+            }
+        }
+        self
+    }
+}
+
+/// Why a supervised run gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GiveUpReason {
+    /// More step failures (ladder-exhausted errors + hard watchdog
+    /// trips) than `max_total_step_errors` allows.
+    StepErrorBudgetExhausted,
+    /// `max_consecutive_recovered_steps` successive steps each needed
+    /// recovery — the run is thrashing, not progressing.
+    RecoveryThrashing,
+}
+
+impl std::fmt::Display for GiveUpReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GiveUpReason::StepErrorBudgetExhausted => write!(f, "step-failure budget exhausted"),
+            GiveUpReason::RecoveryThrashing => {
+                write!(f, "recovery thrashing (too many consecutive recovered steps)")
+            }
+        }
+    }
+}
+
+/// Summary of a completed (or given-up) supervised run.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Per-step statistics of every committed step, in order.
+    pub steps: Vec<StepStats>,
+    /// Step the run was resumed from, when `resume_from_latest` found a
+    /// valid checkpoint.
+    pub resumed_from: Option<u64>,
+    /// Checkpoints committed to disk (atomic renames that completed).
+    pub checkpoints_written: usize,
+    /// Soft + hard watchdog trips.
+    pub watchdog_trips: usize,
+    /// Step failures the run tolerated and retried ([`StepError`]s plus
+    /// hard watchdog trips).
+    pub failures_tolerated: usize,
+    /// The final checkpoint written on exit, if checkpointing is on.
+    pub final_checkpoint: Option<PathBuf>,
+}
+
+/// A supervised run that gave up. The solver was left in a valid
+/// rolled-back state and (when checkpointing is on) a final checkpoint
+/// was written before returning.
+#[derive(Debug)]
+pub struct RunError {
+    /// Why the run stopped.
+    pub reason: GiveUpReason,
+    /// Every ladder-exhausted step error seen over the run, in order
+    /// (empty when the give-up came from hard watchdog trips alone).
+    pub history: Vec<StepError>,
+    /// Everything the run did before giving up.
+    pub report: RunReport,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "run gave up after {} committed step(s): {} ({} step error(s) on record)",
+            self.report.steps.len(),
+            self.reason,
+            self.history.len()
+        )
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Extract the step index from a checkpoint file name of the form
+/// `ckpt_NNNNNNNN.ckpt`. Anything else — including the `.tmp` staging
+/// names of in-flight writes — is not a checkpoint candidate.
+fn checkpoint_step_of(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt_")?
+        .strip_suffix(".ckpt")?
+        .parse()
+        .ok()
+}
+
+fn checkpoint_path(dir: &Path, step: u64) -> PathBuf {
+    dir.join(format!("ckpt_{step:08}.ckpt"))
+}
+
+/// List `(step, path)` of every well-named checkpoint in `dir`, sorted
+/// ascending by step. Missing directory reads as empty.
+fn list_checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if let Some(step) = name.to_str().and_then(checkpoint_step_of) {
+            out.push((step, entry.path()));
+        }
+    }
+    out.sort_by_key(|(s, _)| *s);
+    out
+}
+
+/// Drives an [`NsSolver`] with crash-only semantics. See the module
+/// docs for the full contract.
+pub struct RunSupervisor {
+    solver: NsSolver,
+    policy: RunPolicy,
+    resumed_from: Option<u64>,
+    last_ckpt_step: u64,
+    last_ckpt_wall: Instant,
+    failures: usize,
+    consecutive_recovered: usize,
+}
+
+impl RunSupervisor {
+    /// Wrap `solver`; the policy is taken from `solver.cfg.run`.
+    pub fn new(solver: NsSolver) -> Self {
+        let policy = solver.cfg.run.clone();
+        let start_step = solver.step_index as u64;
+        RunSupervisor {
+            solver,
+            policy,
+            resumed_from: None,
+            last_ckpt_step: start_step,
+            last_ckpt_wall: Instant::now(),
+            failures: 0,
+            consecutive_recovered: 0,
+        }
+    }
+
+    /// The supervised solver.
+    pub fn solver(&self) -> &NsSolver {
+        &self.solver
+    }
+
+    /// Mutable access (for initial conditions, BCs, scalars — set these
+    /// *before* `resume_from_latest`, exactly as for a fresh run).
+    pub fn solver_mut(&mut self) -> &mut NsSolver {
+        &mut self.solver
+    }
+
+    /// Unwrap the solver.
+    pub fn into_solver(self) -> NsSolver {
+        self.solver
+    }
+
+    /// Scan the policy's checkpoint directory for the newest *valid*
+    /// checkpoint and restore it. Torn or corrupt files (bad magic,
+    /// truncated payload, wrong discretization) are skipped with a
+    /// warning — an interrupted retention prune or a partial write must
+    /// never block a restart. Returns the restored step index, or
+    /// `Ok(None)` when there is nothing to resume from (no directory,
+    /// no candidates, or no valid candidate).
+    pub fn resume_from_latest(&mut self) -> io::Result<Option<u64>> {
+        let Some(dir) = self.policy.checkpoint_dir.clone() else {
+            return Ok(None);
+        };
+        let mut candidates = list_checkpoints(&dir);
+        candidates.reverse(); // newest first
+        for (step, path) in candidates {
+            let ck = match Checkpoint::load(&path) {
+                Ok(ck) => ck,
+                Err(e) => {
+                    eprintln!(
+                        "terasem: skipping torn/invalid checkpoint {}: {e}",
+                        path.display()
+                    );
+                    continue;
+                }
+            };
+            if let Err(e) = self.solver.restore_checkpoint(&ck) {
+                eprintln!(
+                    "terasem: skipping incompatible checkpoint {}: {e}",
+                    path.display()
+                );
+                continue;
+            }
+            counters::add(Counter::Resumes, 1);
+            sem_obs::trace::note("run_resumed", step as f64);
+            self.resumed_from = Some(step);
+            self.last_ckpt_step = step;
+            self.last_ckpt_wall = Instant::now();
+            return Ok(Some(step));
+        }
+        Ok(None)
+    }
+
+    /// Atomically write a checkpoint of the current solver state and
+    /// prune retention. Public so callers can force a checkpoint at
+    /// phase boundaries.
+    pub fn write_checkpoint_now(&mut self) -> io::Result<Option<PathBuf>> {
+        let Some(dir) = self.policy.checkpoint_dir.clone() else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(&dir)?;
+        let step = self.solver.step_index as u64;
+        let path = checkpoint_path(&dir, step);
+        let tmp = path.with_extension("ckpt.tmp");
+        self.solver.checkpoint().save(&tmp)?;
+        std::fs::rename(&tmp, &path)?;
+        counters::add(Counter::CheckpointsWritten, 1);
+        sem_obs::trace::note("checkpoint_written", step as f64);
+        self.last_ckpt_step = step;
+        self.last_ckpt_wall = Instant::now();
+        self.prune_retention(&dir);
+        Ok(Some(path))
+    }
+
+    fn prune_retention(&self, dir: &Path) {
+        let keep = self.policy.keep_last.max(1);
+        let files = list_checkpoints(dir);
+        if files.len() <= keep {
+            return;
+        }
+        for (_, path) in &files[..files.len() - keep] {
+            if let Err(e) = std::fs::remove_file(path) {
+                eprintln!(
+                    "terasem: could not prune old checkpoint {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    fn checkpoint_due(&self) -> bool {
+        if self.policy.checkpoint_dir.is_none() {
+            return false;
+        }
+        let step = self.solver.step_index as u64;
+        if let Some(every) = self.policy.checkpoint_every_steps {
+            if step.saturating_sub(self.last_ckpt_step) >= every.max(1) {
+                return true;
+            }
+        }
+        if let Some(secs) = self.policy.checkpoint_every_secs {
+            if self.last_ckpt_wall.elapsed().as_secs_f64() >= secs {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Watchdog evaluation for one committed/failed step attempt.
+    /// Returns whether the hard budget tripped.
+    fn watchdogs(&mut self, elapsed: f64, report: &mut RunReport) -> bool {
+        let mut hard_tripped = false;
+        if let Some(hard) = self.policy.hard_step_secs {
+            if elapsed > hard {
+                counters::add(Counter::WatchdogTrips, 1);
+                sem_obs::trace::note("watchdog_hard", elapsed);
+                report.watchdog_trips += 1;
+                eprintln!(
+                    "terasem: step {} exceeded hard wall-clock budget ({elapsed:.3}s > {hard:.3}s); \
+                     treating as a step failure",
+                    self.solver.step_index
+                );
+                hard_tripped = true;
+            }
+        }
+        if !hard_tripped {
+            if let Some(soft) = self.policy.soft_step_secs {
+                if elapsed > soft {
+                    counters::add(Counter::WatchdogTrips, 1);
+                    sem_obs::trace::note("watchdog_soft", elapsed);
+                    report.watchdog_trips += 1;
+                    eprintln!(
+                        "terasem: step {} exceeded soft wall-clock budget ({elapsed:.3}s > {soft:.3}s)",
+                        self.solver.step_index
+                    );
+                }
+            }
+        }
+        hard_tripped
+    }
+
+    fn emit_run_record(&self, report: &RunReport, outcome: &str, errors: usize) {
+        if !self.solver.cfg.metrics {
+            return;
+        }
+        let mut o = JsonObj::new();
+        o.str("type", RUN_RECORD_TYPE)
+            .u64("schema", sem_obs::record::SCHEMA_VERSION)
+            .str("outcome", outcome)
+            .u64("steps", self.solver.step_index as u64)
+            .u64("steps_this_run", report.steps.len() as u64)
+            .u64("step_errors", errors as u64)
+            .u64("watchdog_trips", report.watchdog_trips as u64)
+            .u64("checkpoints_written", report.checkpoints_written as u64)
+            .bool("resumed", report.resumed_from.is_some())
+            .u64("resumed_from", report.resumed_from.unwrap_or(0));
+        sem_obs::sink::emit(&o.finish());
+    }
+
+    /// Final-checkpoint-then-return helper shared by the success and
+    /// give-up exits ("the run always exits through a checkpoint").
+    fn exit_checkpoint(&mut self, report: &mut RunReport) {
+        match self.write_checkpoint_now() {
+            Ok(Some(path)) => {
+                report.checkpoints_written += 1;
+                report.final_checkpoint = Some(path);
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("terasem: final checkpoint failed: {e}"),
+        }
+    }
+
+    /// Drive the solver until `step_index == target_step` (run-until-
+    /// target semantics, so a resumed run finishes at exactly the same
+    /// step as an uninterrupted one). Already past the target is a
+    /// no-op success.
+    pub fn run_to(&mut self, target_step: u64) -> Result<RunReport, RunError> {
+        let mut report = RunReport {
+            resumed_from: self.resumed_from,
+            ..RunReport::default()
+        };
+        let mut history: Vec<StepError> = Vec::new();
+        while (self.solver.step_index as u64) < target_step {
+            let t0 = Instant::now();
+            let result = self.solver.step();
+            let elapsed = t0.elapsed().as_secs_f64();
+            let hard_tripped = self.watchdogs(elapsed, &mut report);
+            let failed = match result {
+                Ok(stats) => {
+                    if stats.recoveries > 0 {
+                        self.consecutive_recovered += 1;
+                    } else {
+                        self.consecutive_recovered = 0;
+                    }
+                    report.steps.push(stats);
+                    if let Some(max) = self.policy.max_consecutive_recovered_steps {
+                        if self.consecutive_recovered >= max.max(1) {
+                            self.exit_checkpoint(&mut report);
+                            self.emit_run_record(&report, "failed", history.len());
+                            return Err(RunError {
+                                reason: GiveUpReason::RecoveryThrashing,
+                                history,
+                                report,
+                            });
+                        }
+                    }
+                    hard_tripped
+                }
+                Err(e) => {
+                    // The solver is rolled back to its pre-step state;
+                    // a tolerated failure retries the same step.
+                    history.push(e);
+                    true
+                }
+            };
+            if failed {
+                self.failures += 1;
+                if self.failures > self.policy.max_total_step_errors {
+                    self.exit_checkpoint(&mut report);
+                    self.emit_run_record(&report, "failed", history.len());
+                    return Err(RunError {
+                        reason: GiveUpReason::StepErrorBudgetExhausted,
+                        history,
+                        report,
+                    });
+                }
+                report.failures_tolerated += 1;
+                // Cheapest remedy before the retry / next step: discard
+                // the projection basis (recovery ladder rung 1).
+                self.solver.clear_projection_history();
+                continue;
+            }
+            if self.checkpoint_due() {
+                match self.write_checkpoint_now() {
+                    Ok(Some(_)) => report.checkpoints_written += 1,
+                    Ok(None) => {}
+                    Err(e) => eprintln!("terasem: periodic checkpoint failed: {e}"),
+                }
+            }
+        }
+        self.exit_checkpoint(&mut report);
+        self.emit_run_record(&report, "completed", history.len());
+        report.resumed_from = self.resumed_from;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_disables_everything() {
+        let p = RunPolicy::default();
+        assert!(p.checkpoint_dir.is_none());
+        assert!(p.checkpoint_every_steps.is_none());
+        assert!(p.checkpoint_every_secs.is_none());
+        assert!(p.soft_step_secs.is_none());
+        assert!(p.hard_step_secs.is_none());
+        assert_eq!(p.max_total_step_errors, 0);
+        assert!(p.max_consecutive_recovered_steps.is_none());
+        assert_eq!(p.keep_last, 3);
+    }
+
+    #[test]
+    fn checkpoint_names_round_trip_and_reject_staging_files() {
+        assert_eq!(checkpoint_step_of("ckpt_00000017.ckpt"), Some(17));
+        assert_eq!(checkpoint_step_of("ckpt_00000017.ckpt.tmp"), None);
+        assert_eq!(checkpoint_step_of("ckpt_.ckpt"), None);
+        assert_eq!(checkpoint_step_of("other_00000017.ckpt"), None);
+        let p = checkpoint_path(Path::new("/tmp/x"), 17);
+        assert_eq!(
+            checkpoint_step_of(p.file_name().unwrap().to_str().unwrap()),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn listing_a_missing_directory_is_empty() {
+        assert!(list_checkpoints(Path::new("/nonexistent/terasem-ckpt-dir")).is_empty());
+    }
+
+    #[test]
+    fn give_up_reason_formats() {
+        let s = format!("{}", GiveUpReason::StepErrorBudgetExhausted);
+        assert!(s.contains("budget"), "{s}");
+        let t = format!("{}", GiveUpReason::RecoveryThrashing);
+        assert!(t.contains("thrashing"), "{t}");
+    }
+}

@@ -226,6 +226,65 @@ fn gs_drop_is_detected_via_the_letterbox_and_recovered() {
 }
 
 #[test]
+fn scalar_targeted_fault_poisons_the_passive_scalar_and_recovers() {
+    let _g = lock();
+    sem_obs::set_enabled(true);
+    let c0 = sem_obs::counters::snapshot();
+    // No Boussinesq coupling here, so `nan:t` must route to the first
+    // registered passive scalar — the species Helmholtz solve is what
+    // sees the poison.
+    let mut s = taylor_green("nan:t@3", RecoveryPolicy::enabled());
+    s.add_scalar("dye", 1e-3, |x, _, _| x.sin());
+    let stats = run(&mut s, 5);
+    assert_eq!(faults_injected_since(&c0), 1, "the scalar NaN must fire");
+    assert_eq!(stats[2].recoveries, 1);
+    assert_eq!(
+        stats[2].recovery_trail[0].stage,
+        Some(RecoveryStage::ClearProjection)
+    );
+    assert!(
+        s.scalar(0).iter().all(|v| v.is_finite()),
+        "passive scalar non-finite after recovery"
+    );
+    assert_healthy(&s);
+}
+
+#[test]
+fn scalar_targeted_fault_without_any_scalar_is_a_noop() {
+    let _g = lock();
+    sem_obs::set_enabled(true);
+    let c0 = sem_obs::counters::snapshot();
+    // Neither Boussinesq nor a passive scalar: the plan has nothing to
+    // poison; the run must proceed clean (with a stderr notice).
+    let mut s = taylor_green("nan:t@2", RecoveryPolicy::enabled());
+    let stats = run(&mut s, 3);
+    assert_eq!(faults_injected_since(&c0), 0);
+    assert!(stats.iter().all(|st| st.recoveries == 0));
+    assert_healthy(&s);
+}
+
+#[test]
+fn coarse_rhs_corruption_breaks_the_preconditioner_and_recovers() {
+    let _g = lock();
+    sem_obs::set_enabled(true);
+    let c0 = sem_obs::counters::snapshot();
+    // `coarse` poisons the restricted coarse-grid RHS inside the additive
+    // Schwarz preconditioner: the NaN rides through the Cholesky solve
+    // into the preconditioned residual and trips CG's r·z guard.
+    let mut s = taylor_green("coarse@2", RecoveryPolicy::enabled());
+    let stats = run(&mut s, 4);
+    assert_eq!(faults_injected_since(&c0), 1, "the coarse fault must fire");
+    assert_eq!(stats[1].recoveries, 1);
+    let trail = &stats[1].recovery_trail;
+    assert_eq!(trail[0].stage, Some(RecoveryStage::ClearProjection));
+    assert!(matches!(
+        trail[0].cause,
+        StepFailure::Breakdown { .. } | StepFailure::FieldHealth(_)
+    ));
+    assert_healthy(&s);
+}
+
+#[test]
 fn recovery_disabled_returns_structured_error_and_rolls_back() {
     let _g = lock();
     sem_obs::set_enabled(true);

@@ -39,10 +39,19 @@ pub enum Counter {
     /// Step rollback/retry attempts taken by the `NsSolver` recovery
     /// ladder (`sem_ns::recovery`).
     Recoveries,
+    /// Checkpoints committed to disk by the run supervisor
+    /// (`sem_ns::supervisor` — atomic tmp+rename writes only).
+    CheckpointsWritten,
+    /// Per-step wall-clock watchdog trips (soft or hard budget
+    /// exceeded) observed by the run supervisor.
+    WatchdogTrips,
+    /// Runs resumed from an on-disk checkpoint via
+    /// `resume_from_latest`.
+    Resumes,
 }
 
 /// Number of counters.
-pub const NUM_COUNTERS: usize = 9;
+pub const NUM_COUNTERS: usize = 12;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -56,6 +65,9 @@ impl Counter {
         Counter::CgBreakdowns,
         Counter::FaultsInjected,
         Counter::Recoveries,
+        Counter::CheckpointsWritten,
+        Counter::WatchdogTrips,
+        Counter::Resumes,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -70,6 +82,9 @@ impl Counter {
             Counter::CgBreakdowns => "cg_breakdowns",
             Counter::FaultsInjected => "faults_injected",
             Counter::Recoveries => "recoveries",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::WatchdogTrips => "watchdog_trips",
+            Counter::Resumes => "resumes",
         }
     }
 }

@@ -37,10 +37,15 @@ pub enum FaultSite {
     /// Skip one gather-scatter exchange (finite but wrong values; only
     /// the sticky fired flag makes this detectable).
     GsExchange,
+    /// Poison the restricted coarse-solve RHS inside the Schwarz
+    /// preconditioner's vertex coarse grid — the NaN propagates through
+    /// the Cholesky solve into the preconditioner output and trips the
+    /// CG `r·z` breakdown guard.
+    CoarseRhs,
 }
 
 /// Number of fault sites.
-pub const NUM_SITES: usize = 4;
+pub const NUM_SITES: usize = 5;
 
 impl FaultSite {
     /// All sites, in declaration order.
@@ -49,6 +54,7 @@ impl FaultSite {
         FaultSite::PressurePrecond,
         FaultSite::ProjectionUpdate,
         FaultSite::GsExchange,
+        FaultSite::CoarseRhs,
     ];
 
     /// Stable snake_case name (trace annotation / test diagnostics).
@@ -58,6 +64,7 @@ impl FaultSite {
             FaultSite::PressurePrecond => "pressure_precond",
             FaultSite::ProjectionUpdate => "projection_update",
             FaultSite::GsExchange => "gs_exchange",
+            FaultSite::CoarseRhs => "coarse_rhs",
         }
     }
 }

@@ -110,6 +110,18 @@ impl JsonObj {
         self
     }
 
+    /// Add an array of strings (each escaped).
+    pub fn arr_str(&mut self, k: &str, vs: &[String]) -> &mut Self {
+        let body = vs
+            .iter()
+            .map(|v| format!("\"{}\"", escape(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let s = format!("[{body}]");
+        self.key(k).push_str(&s);
+        self
+    }
+
     /// Add a field whose value is pre-rendered JSON (e.g. `"null"`).
     /// The caller is responsible for `v` being valid JSON.
     pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {

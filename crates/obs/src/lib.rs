@@ -59,6 +59,7 @@ pub mod record;
 pub mod sink;
 pub mod spans;
 pub mod trace;
+pub mod warn;
 
 pub use counters::Counter;
 pub use fault::FaultSite;

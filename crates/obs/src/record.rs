@@ -21,7 +21,9 @@ use crate::spans::{self, Phase, SpanSnapshot};
 /// v2: adds per-step `latency` quantiles and `latency_hist` buckets.
 /// v3: adds the per-step `recoveries` rollback-attempt count and the
 ///     `faults_injected`/`recoveries` counters.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: adds the per-step `recovery_trail` ladder-stage list and the
+///     `checkpoints_written`/`watchdog_trips`/`resumes` counters.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The `"type"` tag of a per-timestep record.
 pub const STEP_RECORD_TYPE: &str = "terasem.step";
@@ -56,6 +58,10 @@ pub struct StepRecord {
     /// Rollback/retry attempts the recovery ladder needed before this
     /// step committed (0 on a clean step).
     pub recoveries: u64,
+    /// Ladder stages taken by those attempts, in order (e.g.
+    /// `["clear_projection", "jacobi_fallback"]`; `"give_up"` closes a
+    /// failed trail). Empty on a clean step.
+    pub recovery_trail: Vec<String>,
     /// Counter totals at the end of the step (cumulative since process
     /// start or the last [`crate::reset`]).
     pub counters: CounterSnapshot,
@@ -118,6 +124,7 @@ impl StepRecord {
         };
         o.f64("seconds", self.seconds)
             .u64("recoveries", self.recoveries)
+            .arr_str("recovery_trail", &self.recovery_trail)
             .obj("counters", counters_obj(&self.counters))
             .obj("counters_delta", counters_obj(&self.counters_delta))
             .obj("spans", spans_obj(&self.spans))
@@ -194,7 +201,7 @@ fn latency_hist_obj(hist: &HistSnapshot) -> JsonObj {
     o
 }
 
-/// Field names every `terasem.step` record must carry (schema v3). Used
+/// Field names every `terasem.step` record must carry (schema v4). Used
 /// by the schema tests and mirrored by `scripts/metrics_smoke.sh`.
 pub const REQUIRED_FIELDS: &[&str] = &[
     "type",
@@ -212,6 +219,7 @@ pub const REQUIRED_FIELDS: &[&str] = &[
     "scalar_iterations",
     "seconds",
     "recoveries",
+    "recovery_trail",
     "counters",
     "counters_delta",
     "spans",
@@ -260,11 +268,16 @@ mod tests {
             );
         }
         assert!(line.contains("\"scalar_iterations\":null"));
+        assert!(line.contains("\"recovery_trail\":[]"));
         let mut with_scalar = sample();
         with_scalar.scalar_iterations = Some(4);
-        assert!(with_scalar
-            .to_json_line()
-            .contains("\"scalar_iterations\":4"));
+        with_scalar.recovery_trail =
+            vec!["clear_projection".to_string(), "jacobi_fallback".to_string()];
+        let line = with_scalar.to_json_line();
+        assert!(line.contains("\"scalar_iterations\":4"));
+        assert!(line
+            .contains("\"recovery_trail\":[\"clear_projection\",\"jacobi_fallback\"]"));
+        assert!(is_valid(&line["JSON ".len()..]));
     }
 
     #[test]

@@ -173,13 +173,16 @@ pub fn parse_phase_list(s: &str) -> Result<u64, String> {
 }
 
 /// Apply the `TERASEM_METRICS_PHASES` environment variable to the phase
-/// mask (no-op when unset; a warning on stderr and no change when the
-/// list fails to parse). Returns the resulting mask.
+/// mask (no-op when unset; one warning per process on stderr — naming
+/// the variable and the bad token — and no change when the list fails
+/// to parse). Returns the resulting mask.
 pub fn init_phases_from_env() -> u64 {
     if let Ok(v) = std::env::var("TERASEM_METRICS_PHASES") {
         match parse_phase_list(&v) {
             Ok(mask) => set_phase_mask(mask),
-            Err(e) => eprintln!("warning: TERASEM_METRICS_PHASES: {e}; mask unchanged"),
+            Err(e) => {
+                crate::warn::invalid_env("TERASEM_METRICS_PHASES", &v, &format!("{e}; mask unchanged"));
+            }
         }
     }
     phase_mask()

@@ -190,6 +190,14 @@ impl CoarseSolver {
     /// The full coarse component `z = R₀ᵀ A₀⁻¹ R₀ r`.
     pub fn apply(&self, r: &[f64], z: &mut [f64]) {
         let mut v = self.restrict(r);
+        if sem_obs::fault::fire(sem_obs::FaultSite::CoarseRhs) {
+            // `sem-guard` coarse-solve fault: the poisoned RHS flows
+            // through the Cholesky solve into every preconditioner
+            // output node, and PCG trips its NaN r·z breakdown guard.
+            for x in v.iter_mut() {
+                *x = f64::NAN;
+            }
+        }
         v[0] = 0.0; // pinned dof
         self.chol.solve_in_place(&mut v);
         self.prolong(&v, z);

@@ -4,7 +4,8 @@
 # Stage 1: run the fig3 metrics smoke under a TERASEM_FAULT plan that
 # exercises every fault kind (field NaN/Inf, indefinite operator,
 # indefinite preconditioner, projection corruption, gather-scatter
-# drop). The run must complete (every fault recovered — an unrecovered
+# drop, coarse-solve corruption). The run must complete (every fault
+# recovered — an unrecovered
 # step exits 3) and its summary must report the injections and
 # recoveries.
 #
@@ -29,8 +30,9 @@ SEMREPORT=target/release/sem-report
 
 # One event per fault kind, on distinct steps of the 20-step smoke;
 # indef_pc fires on two attempts so the ladder must reach the Jacobi
-# rung. Seeded, so the injected nodes are reproducible.
-PLAN='nan:u@3;inf:v@5;indef_op@7;indef_pc@9x2;proj@11;gs@13;seed=42'
+# rung; coarse corrupts the coarse-grid RHS inside the pressure
+# preconditioner. Seeded, so the injected nodes are reproducible.
+PLAN='nan:u@3;inf:v@5;indef_op@7;indef_pc@9x2;proj@11;gs@13;coarse@15;seed=42'
 
 # ---- stage 1: every fault kind recovers ------------------------------
 if ! TERASEM_FAULT="$PLAN" TERASEM_METRICS_SINK="file:$SINKFILE" \
@@ -39,7 +41,7 @@ if ! TERASEM_FAULT="$PLAN" TERASEM_METRICS_SINK="file:$SINKFILE" \
     cat "$ERR" >&2
     exit 1
 fi
-grep -q "fault plan active (6 event(s), seed 42)" "$ERR" || {
+grep -q "fault plan active (7 event(s), seed 42)" "$ERR" || {
     echo "fault_smoke: FAIL — fault plan was not picked up from TERASEM_FAULT" >&2
     cat "$ERR" >&2
     exit 1
@@ -51,13 +53,13 @@ if [ -z "$SUMMARY" ]; then
     exit 1
 fi
 read -r INJECTED ROLLBACKS RECOVERED <<< "$SUMMARY"
-# 7 firings: one per event, plus the extra indef_pc attempt.
-if [ "$INJECTED" -ne 7 ]; then
-    echo "fault_smoke: FAIL — $INJECTED faults injected, want 7" >&2
+# 8 firings: one per event, plus the extra indef_pc attempt.
+if [ "$INJECTED" -ne 8 ]; then
+    echo "fault_smoke: FAIL — $INJECTED faults injected, want 8" >&2
     exit 1
 fi
-if [ "$ROLLBACKS" -lt 7 ] || [ "$RECOVERED" -lt 6 ]; then
-    echo "fault_smoke: FAIL — $ROLLBACKS rollbacks / $RECOVERED recovered steps (want >=7 / >=6)" >&2
+if [ "$ROLLBACKS" -lt 8 ] || [ "$RECOVERED" -lt 7 ]; then
+    echo "fault_smoke: FAIL — $ROLLBACKS rollbacks / $RECOVERED recovered steps (want >=8 / >=7)" >&2
     exit 1
 fi
 echo "fault_smoke: $INJECTED faults injected, $ROLLBACKS rollbacks, $RECOVERED steps recovered"

@@ -4,8 +4,10 @@
 # Stage 1: run a short shear-layer solve with metrics enabled
 # (fig3_shear_layer --smoke) on the default stdout sink and validate the
 # emitted per-timestep JSON records — one `JSON {...}` line per step,
-# each carrying the required schema-v3 fields, including the latency
-# histogram objects (see crates/obs/src/record.rs).
+# each carrying the required schema-v4 fields, including the latency
+# histogram objects and the recovery trail (see crates/obs/src/record.rs)
+# — plus exactly one end-of-run `terasem.run` summary record from the
+# sem-run supervisor.
 #
 # Stage 2: re-run with a file sink (TERASEM_METRICS_SINK=file:<path>) and
 # a Chrome trace export (TERASEM_TRACE=<path>), replay the file through
@@ -29,9 +31,14 @@ SEMREPORT=target/release/sem-report
 # ---- stage 1: default stdout sink ------------------------------------
 "$FIG3" --smoke 2>/dev/null | grep '^JSON ' | sed 's/^JSON //' > "$OUT"
 
-LINES=$(wc -l < "$OUT")
+LINES=$(grep -c '"type":"terasem.step"' "$OUT" || true)
 if [ "$LINES" -ne "$STEPS" ]; then
-    echo "metrics_smoke: FAIL — expected $STEPS JSON records, got $LINES" >&2
+    echo "metrics_smoke: FAIL — expected $STEPS step records, got $LINES" >&2
+    exit 1
+fi
+RUNRECS=$(grep -c '"type":"terasem.run"' "$OUT" || true)
+if [ "$RUNRECS" -ne 1 ]; then
+    echo "metrics_smoke: FAIL — expected 1 terasem.run record, got $RUNRECS" >&2
     exit 1
 fi
 
@@ -43,22 +50,33 @@ REQUIRED = [
     "type", "schema", "step", "time", "dt", "cfl",
     "pressure_iterations", "pressure_initial_residual",
     "pressure_final_residual", "projection_depth", "pressure_converged",
-    "helmholtz_iterations", "scalar_iterations", "recoveries", "seconds",
+    "helmholtz_iterations", "scalar_iterations", "recoveries",
+    "recovery_trail", "seconds",
     "counters", "counters_delta", "spans", "spans_delta",
     "latency", "latency_hist",
 ]
 
 with open(sys.argv[1]) as f:
-    records = [json.loads(line) for line in f]
+    everything = [json.loads(line) for line in f]
+
+records = [r for r in everything if r.get("type") == "terasem.step"]
+runs = [r for r in everything if r.get("type") == "terasem.run"]
+assert len(runs) == 1, f"want 1 terasem.run record, got {len(runs)}"
+run = runs[0]
+assert run["outcome"] == "completed", f"run outcome {run['outcome']!r}"
+assert run["steps"] == len(records), f"run steps {run['steps']}"
+assert run["resumed"] is False and run["step_errors"] == 0
 
 for i, r in enumerate(records):
     missing = [k for k in REQUIRED if k not in r]
     assert not missing, f"record {i}: missing fields {missing}"
     assert r["type"] == "terasem.step", f"record {i}: type {r['type']!r}"
-    assert r["schema"] == 3, f"record {i}: schema {r['schema']}"
+    assert r["schema"] == 4, f"record {i}: schema {r['schema']}"
     assert r["step"] == i + 1, f"record {i}: step {r['step']}"
     assert r["pressure_iterations"] >= 0
     assert r["recoveries"] >= 0
+    assert isinstance(r["recovery_trail"], list)
+    assert len(r["recovery_trail"]) == r["recoveries"], f"record {i}: trail length"
     assert isinstance(r["helmholtz_iterations"], list)
     for reg in ("counters", "counters_delta"):
         assert r[reg]["mxm_flops"] >= 0, f"record {i}: {reg} missing mxm_flops"
@@ -82,11 +100,13 @@ for a, b in zip(records, records[1:]):
         assert b["counters"][key] - a["counters"][key] == b["counters_delta"][key], \
             f"{key} delta mismatch at step {b['step']}"
 
-print(f"metrics_smoke: {len(records)} records validated (schema 3)")
+print(f"metrics_smoke: {len(records)} step records + 1 run record validated (schema 4)")
 EOF
 elif command -v jq >/dev/null 2>&1; then
-    jq -e 'select(.type != "terasem.step" or .schema != 3
+    jq -e 'select(.type == "terasem.step")
+           | select(.schema != 4
                   or (.counters.mxm_flops < 0) or (has("cfl") | not)
+                  or (has("recovery_trail") | not)
                   or (has("latency") | not))' \
         "$OUT" >/dev/null && { echo "metrics_smoke: FAIL — bad record" >&2; exit 1; }
     echo "metrics_smoke: $LINES records validated (jq)"
@@ -100,11 +120,15 @@ fi
 TERASEM_METRICS_SINK="file:$SINKFILE" TERASEM_TRACE="$TRACEFILE" \
     "$FIG3" --smoke >/dev/null 2>&1
 
-SINKLINES=$(wc -l < "$SINKFILE")
+SINKLINES=$(grep -c '"type":"terasem.step"' "$SINKFILE" || true)
 if [ "$SINKLINES" -ne "$STEPS" ]; then
-    echo "metrics_smoke: FAIL — file sink wrote $SINKLINES lines, want $STEPS" >&2
+    echo "metrics_smoke: FAIL — file sink wrote $SINKLINES step records, want $STEPS" >&2
     exit 1
 fi
+grep -q '"type":"terasem.run"' "$SINKFILE" || {
+    echo "metrics_smoke: FAIL — file sink is missing the terasem.run record" >&2
+    exit 1
+}
 # File-sink lines are bare JSON (no 'JSON ' prefix).
 if grep -q '^JSON ' "$SINKFILE"; then
     echo "metrics_smoke: FAIL — file sink lines carry the stdout prefix" >&2

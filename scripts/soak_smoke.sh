@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# sem-run smoke test: the crash-only invariant, across real processes.
+#
+# Stage 1: generate a seeded fault storm (every fault kind, including
+# the scalar-targeted and coarse-solve kinds) and run it uninterrupted
+# to completion under the supervisor (TERASEM_THREADS=1).
+#
+# Stage 2: run the same storm again, but kill the process hard (exit 9)
+# right after step 7 commits — the kill leaves a deliberately torn
+# checkpoint and a stray .tmp staging file behind. Restart the run in a
+# fresh process at a different thread count (TERASEM_THREADS=3): it
+# must skip the torn file, resume from the newest valid checkpoint, and
+# run to the same target step.
+#
+# Stage 3: the final checkpoints of the uninterrupted and the
+# killed+resumed runs must be bitwise identical (`cmp`), despite the
+# kill, the torn file, and the different thread counts.
+#
+# Stage 4: one in-process chaos round (`soak auto`) with a different
+# seed, which additionally validates that no file the storm left on
+# disk is torn.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STEPS=14
+KILL_AT=7
+SEED="${SOAK_SEED:-42}"
+REFDIR=$(mktemp -d)
+CHAOSDIR=$(mktemp -d)
+trap 'rm -rf "$REFDIR" "$CHAOSDIR"' EXIT
+
+cargo build -q --release --offline -p sem-bench --bin soak
+SOAK=target/release/soak
+
+PLAN=$("$SOAK" plan --seed "$SEED" --steps "$STEPS")
+echo "soak_smoke: storm (seed $SEED): $PLAN"
+
+# ---- stage 1: uninterrupted reference --------------------------------
+TERASEM_THREADS=1 "$SOAK" run --dir "$REFDIR" --steps "$STEPS" \
+    --spec "$PLAN" 2>/dev/null
+FINAL=$(printf 'ckpt_%08d.ckpt' "$STEPS")
+[ -f "$REFDIR/$FINAL" ] || {
+    echo "soak_smoke: FAIL — reference run left no final checkpoint" >&2
+    exit 1
+}
+
+# ---- stage 2: kill hard mid-run, resume in a fresh process -----------
+set +e
+TERASEM_THREADS=3 "$SOAK" run --dir "$CHAOSDIR" --steps "$STEPS" \
+    --spec "$PLAN" --kill-at "$KILL_AT" >/dev/null 2>&1
+RC=$?
+set -e
+if [ "$RC" -ne 9 ]; then
+    echo "soak_smoke: FAIL — kill leg exited $RC, want 9" >&2
+    exit 1
+fi
+RESUME_ERR=$(mktemp)
+TERASEM_THREADS=3 "$SOAK" run --dir "$CHAOSDIR" --steps "$STEPS" \
+    --spec "$PLAN" 2>"$RESUME_ERR" >/dev/null
+grep -q "skipping torn/invalid checkpoint" "$RESUME_ERR" || {
+    echo "soak_smoke: FAIL — restart did not skip the torn checkpoint" >&2
+    cat "$RESUME_ERR" >&2; rm -f "$RESUME_ERR"
+    exit 1
+}
+grep -q "resumed from checkpoint at step $KILL_AT" "$RESUME_ERR" || {
+    echo "soak_smoke: FAIL — restart did not resume from step $KILL_AT" >&2
+    cat "$RESUME_ERR" >&2; rm -f "$RESUME_ERR"
+    exit 1
+}
+rm -f "$RESUME_ERR"
+echo "soak_smoke: killed at step $KILL_AT, resumed past the torn checkpoint"
+
+# ---- stage 3: bitwise-identical final state --------------------------
+cmp "$REFDIR/$FINAL" "$CHAOSDIR/$FINAL" || {
+    echo "soak_smoke: FAIL — resumed final checkpoint differs from the" \
+         "uninterrupted run (crash-only invariant violated)" >&2
+    exit 1
+}
+echo "soak_smoke: final checkpoints bitwise identical (threads 1 vs 3)"
+
+# ---- stage 4: one in-process chaos round, different seed -------------
+"$SOAK" auto --rounds 1 --seed $((SEED + 1)) --steps 12 2>/dev/null | \
+    grep -q "soak: OK" || {
+    echo "soak_smoke: FAIL — in-process chaos round failed" >&2
+    exit 1
+}
+
+echo "soak_smoke: OK (kill/resume bitwise identical; no torn checkpoints survive)"

@@ -11,5 +11,6 @@ cargo test -q --offline -p sem-obs
 cargo bench --no-run --offline -p sem-bench
 scripts/metrics_smoke.sh
 scripts/fault_smoke.sh
+scripts/soak_smoke.sh
 
 echo "verify: OK"
