@@ -2,8 +2,17 @@
 //! deformed-element Laplacian (Eq. 4 — `12N⁴ + 15N³` work per element),
 //! the Helmholtz operator, and the consistent Poisson operator `E`.
 //! Runs on the in-repo harness ([`sem_bench::timing`]).
+//!
+//! Each operator is measured under both operator backends — `scalar`
+//! (the paper's "std.": reference kernels, unfused Helmholtz) and `simd`
+//! (the "perf.": explicit-SIMD mxm + fused element-resident kernels) —
+//! the two produce bitwise-identical fields, so the delta is pure speed.
+//! Set `TERASEM_BENCH_JSON=<path>` to also write a `terasem-bench-v1`
+//! snapshot (the committed `results/BENCH_operators.json`).
 
+use sem_bench::snapshot::Snapshot;
 use sem_bench::timing::BenchGroup;
+use sem_linalg::backend::{set_backend, Backend};
 use sem_mesh::generators::{box2d, box3d};
 use sem_ops::laplace::{helmholtz_local, stiffness_flops_per_elem, stiffness_local};
 use sem_ops::pressure::EOperator;
@@ -17,28 +26,67 @@ fn main() {
         box3d(3, 3, 3, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0], [false; 3]),
         7,
     );
+    let mut snap = Snapshot::new("operators");
+    snap.threads(sem_comm::par::current_threads() as u64);
     for (label, ops) in [("2d_k64_n8", &ops2), ("3d_k27_n7", &ops3)] {
         let n = ops.n_velocity();
         let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
         let mut out = vec![0.0; n];
-        let mut group = BenchGroup::new(&format!("operators_{label}"));
-        group.sample_size(20);
         let flops = ops.k() as u64 * stiffness_flops_per_elem(ops.geo.dim, ops.geo.n);
-        group.throughput("stiffness", flops, || {
-            stiffness_local(ops, &u, &mut out);
-            std::hint::black_box(&mut out);
-        });
-        group.throughput("helmholtz", flops, || {
-            helmholtz_local(ops, &u, &mut out, 0.01, 100.0);
-            std::hint::black_box(&mut out);
-        });
-        let np = ops.n_pressure();
-        let p: Vec<f64> = (0..np).map(|i| (i as f64 * 0.29).cos()).collect();
-        let mut ep = vec![0.0; np];
-        let mut e = EOperator::new(ops);
-        group.bench("consistent_poisson_e", || {
-            e.apply(ops, &p, &mut ep);
-            std::hint::black_box(&mut ep);
-        });
+        // std. = scalar backend (reference kernels), perf. = simd backend
+        // (explicit-SIMD mxm + fused Helmholtz). set_backend is process-
+        // wide, so the choice reaches the par worker threads too.
+        let mut medians: Vec<(&str, &str, f64)> = Vec::new();
+        for (bname, b) in [("std", Backend::Scalar), ("perf", Backend::Simd)] {
+            set_backend(b);
+            let mut group = BenchGroup::new(&format!("operators_{label}_{bname}"));
+            group.sample_size(20);
+            let s = group.throughput("stiffness", flops, || {
+                stiffness_local(ops, &u, &mut out);
+                std::hint::black_box(&mut out);
+            });
+            medians.push(("stiffness", bname, s.median));
+            let s = group.throughput("helmholtz", flops, || {
+                helmholtz_local(ops, &u, &mut out, 0.01, 100.0);
+                std::hint::black_box(&mut out);
+            });
+            medians.push(("helmholtz", bname, s.median));
+            let np = ops.n_pressure();
+            let p: Vec<f64> = (0..np).map(|i| (i as f64 * 0.29).cos()).collect();
+            let mut ep = vec![0.0; np];
+            let mut e = EOperator::new(ops);
+            let s = group.bench("consistent_poisson_e", || {
+                e.apply(ops, &p, &mut ep);
+                std::hint::black_box(&mut ep);
+            });
+            medians.push(("consistent_poisson_e", bname, s.median));
+        }
+        set_backend(Backend::Auto);
+        for op in ["stiffness", "helmholtz", "consistent_poisson_e"] {
+            let get = |bname: &str| {
+                medians
+                    .iter()
+                    .find(|(o, b, _)| *o == op && *b == bname)
+                    .map(|(_, _, m)| *m)
+                    .unwrap()
+            };
+            let (std_s, perf_s) = (get("std"), get("perf"));
+            let e = snap.entry(&format!("{label}/{op}"));
+            e.num("std_median_s", std_s).num("perf_median_s", perf_s);
+            e.num("speedup", std_s / perf_s);
+            if op != "consistent_poisson_e" {
+                e.num("std_gflops", flops as f64 / std_s / 1e9);
+                e.num("perf_gflops", flops as f64 / perf_s / 1e9);
+            }
+            println!(
+                "{label}/{op}: perf/std speedup {:.2}x",
+                std_s / perf_s
+            );
+        }
+    }
+    if let Ok(path) = std::env::var("TERASEM_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        snap.write(&path).expect("write snapshot");
+        println!("snapshot: {}", path.display());
     }
 }

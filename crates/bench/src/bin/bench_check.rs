@@ -1,0 +1,35 @@
+//! Validate `BENCH_*.json` snapshot files against the
+//! `terasem-bench-v1` schema (see `sem_bench::snapshot`). Exits nonzero
+//! on the first malformed file — `scripts/bench_snapshot.sh` runs this
+//! over both freshly produced and committed snapshots so a bad writer
+//! (or a hand-edited baseline) fails CI instead of silently corrupting
+//! the perf trajectory.
+
+use sem_bench::snapshot;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_check <BENCH_topic.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match snapshot::validate(&text) {
+                Ok(n) => println!("{path}: ok ({n} entries)"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,9 @@
 //!   kill/resume.
 //! * `soak auto [--rounds R] [--seed S] [--steps N]` — self-contained
 //!   in-process rounds: for each round, run a fresh storm
-//!   uninterrupted and killed+resumed, compare the final checkpoints
+//!   uninterrupted and killed+resumed — each leg at its own seeded
+//!   random `TERASEM_THREADS` override, the resume leg forced onto a
+//!   different count than the kill leg — compare the final checkpoints
 //!   byte-for-byte, and structurally validate every file the storm
 //!   left on disk.
 
@@ -173,32 +175,51 @@ fn run_auto(rounds: u64, seed: u64, steps: u64) {
         let mut rng = seed.wrapping_add(round) ^ 0xc4a0_5c4a_05c4_a05c;
         let every = 2 + splitmix64(&mut rng) % 3;
         let kill = 2 + splitmix64(&mut rng) % (steps - 3);
-        eprintln!("soak: round {round}: storm {plan:?}, checkpoint every {every}, kill at {kill}");
+        // Randomize parallelism per leg (ROADMAP carry-over): every leg
+        // runs at its own seeded TERASEM_THREADS override, and the
+        // resume leg is forced onto a *different* count than the kill
+        // leg — the crash-only byte-compare below then also pins that
+        // results are thread-count independent across a restart.
+        let t_ref = 1 + (splitmix64(&mut rng) % 4) as usize;
+        let t_kill = 1 + (splitmix64(&mut rng) % 4) as usize;
+        let mut t_resume = 1 + (splitmix64(&mut rng) % 4) as usize;
+        if t_resume == t_kill {
+            t_resume = t_kill % 4 + 1;
+        }
+        eprintln!(
+            "soak: round {round}: storm {plan:?}, checkpoint every {every}, kill at {kill}, \
+             threads ref/kill/resume = {t_ref}/{t_kill}/{t_resume}"
+        );
         let ref_dir = scratch(&format!("ref_{round}"));
         let chaos_dir = scratch(&format!("chaos_{round}"));
         // Uninterrupted reference.
-        let mut reference = RunSupervisor::new(build_solver(Some(&plan), &ref_dir, every));
-        reference
-            .run_to(steps)
-            .unwrap_or_else(|e| panic!("round {round}: reference run gave up: {e}"));
+        sem_comm::par::with_threads(t_ref, || {
+            let mut reference = RunSupervisor::new(build_solver(Some(&plan), &ref_dir, every));
+            reference
+                .run_to(steps)
+                .unwrap_or_else(|e| panic!("round {round}: reference run gave up: {e}"));
+        });
         // Killed + resumed chaos leg.
-        let mut first = RunSupervisor::new(build_solver(Some(&plan), &chaos_dir, every));
-        first
-            .run_to(kill)
-            .unwrap_or_else(|e| panic!("round {round}: pre-kill leg gave up: {e}"));
-        drop(first);
+        sem_comm::par::with_threads(t_kill, || {
+            let mut first = RunSupervisor::new(build_solver(Some(&plan), &chaos_dir, every));
+            first
+                .run_to(kill)
+                .unwrap_or_else(|e| panic!("round {round}: pre-kill leg gave up: {e}"));
+        });
         let intact = std::fs::read(final_checkpoint_path(&chaos_dir, kill)).unwrap();
         std::fs::write(
             final_checkpoint_path(&chaos_dir, kill + 1),
             &intact[..intact.len() / 3],
         )
         .unwrap();
-        let mut second = RunSupervisor::new(build_solver(Some(&plan), &chaos_dir, every));
-        let at = second.resume_from_latest().expect("scan ok");
-        assert_eq!(at, Some(kill), "round {round}: must skip the torn decoy");
-        second
-            .run_to(steps)
-            .unwrap_or_else(|e| panic!("round {round}: resumed leg gave up: {e}"));
+        sem_comm::par::with_threads(t_resume, || {
+            let mut second = RunSupervisor::new(build_solver(Some(&plan), &chaos_dir, every));
+            let at = second.resume_from_latest().expect("scan ok");
+            assert_eq!(at, Some(kill), "round {round}: must skip the torn decoy");
+            second
+                .run_to(steps)
+                .unwrap_or_else(|e| panic!("round {round}: resumed leg gave up: {e}"));
+        });
         // The crash-only invariant, byte for byte.
         let a = std::fs::read(final_checkpoint_path(&ref_dir, steps)).unwrap();
         let b = std::fs::read(final_checkpoint_path(&chaos_dir, steps)).unwrap();

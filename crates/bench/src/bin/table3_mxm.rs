@@ -2,10 +2,22 @@
 //! product kernels on the shapes of an order `N = 15` simulation.
 //!
 //! Paper columns `lkm / ghm / csm / f3 / f2` map to our kernel menu
-//! `naive / blocked / unroll4 / f3 / f2` (see `sem-linalg::mxm`). The
-//! paper's finding to reproduce: **no single kernel wins across shapes**,
+//! `naive / blocked / unroll4 / f3 / f2` (see `sem-linalg::mxm`), plus
+//! the explicit-SIMD kernel of the pluggable backend. The paper's
+//! finding to reproduce: **no single kernel wins across shapes**,
 //! motivating the per-shape "perf." dispatch.
+//!
+//! Flags beyond the usual `--full`:
+//!
+//! * `--smoke` — minimal timing budget; for CI schema checks, numbers
+//!   are not meaningful.
+//! * `--json <path>` — write a `terasem-bench-v1` snapshot (the
+//!   committed `results/BENCH_mxm.json`).
+//! * `--emit-table` — print measured `select_scalar`/`select_simd`
+//!   match arms for `sem-linalg::backend` (order-preserving kernels
+//!   only, so backend choice never changes results bitwise).
 
+use sem_bench::snapshot::Snapshot;
 use sem_bench::{fmt_secs, header, parse_scale, Scale};
 use sem_linalg::mxm::{mxm_flops, mxm_with, MxmKernel};
 use std::time::Instant;
@@ -38,13 +50,63 @@ fn bench_kernel(k: MxmKernel, n1: usize, n2: usize, n3: usize, min_time: f64) ->
     }
 }
 
+/// The order-preserving menu the `Auto` dispatch may select from (no
+/// `unroll4`: it reorders the reduction). `with_simd = false` restricts
+/// further to the scalar family.
+fn dispatchable(with_simd: bool) -> Vec<MxmKernel> {
+    let mut v = vec![
+        MxmKernel::Naive,
+        MxmKernel::Blocked,
+        MxmKernel::F3,
+        MxmKernel::F2,
+    ];
+    if with_simd {
+        v.push(MxmKernel::Simd);
+    }
+    v
+}
+
+fn winner(row: &[(MxmKernel, f64)], candidates: &[MxmKernel]) -> (MxmKernel, f64) {
+    let mut best = (candidates[0], f64::MIN);
+    for &(k, mf) in row {
+        if candidates.contains(&k) && mf > best.1 {
+            best = (k, mf);
+        }
+    }
+    best
+}
+
+fn variant_name(k: MxmKernel) -> &'static str {
+    match k {
+        MxmKernel::Naive => "Naive",
+        MxmKernel::Blocked => "Blocked",
+        MxmKernel::Unroll4 => "Unroll4",
+        MxmKernel::F3 => "F3",
+        MxmKernel::F2 => "F2",
+        MxmKernel::Simd => "Simd",
+        MxmKernel::Auto => "Auto",
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale();
-    let min_time = match scale {
-        Scale::Quick => 0.02,
-        Scale::Full => 0.25,
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let emit_table = args.iter().any(|a| a == "--emit-table");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let min_time = if smoke {
+        0.001
+    } else {
+        match scale {
+            Scale::Quick => 0.02,
+            Scale::Full => 0.25,
+        }
     };
     header("Table 3: MFLOPS for (n1 x n2) x (n2 x n3) mxm kernels (N = 15 shapes)");
+    println!("backend: {}", sem_linalg::backend::describe());
     let shapes = [
         (14usize, 2usize, 14usize),
         (2, 14, 2),
@@ -63,6 +125,7 @@ fn main() {
         MxmKernel::Unroll4,
         MxmKernel::F3,
         MxmKernel::F2,
+        MxmKernel::Simd,
         MxmKernel::Auto,
     ];
     print!("{:>5} {:>5} {:>5} |", "n1", "n2", "n3");
@@ -71,19 +134,23 @@ fn main() {
     }
     println!("  | winner");
     let mut winner_counts = std::collections::HashMap::new();
+    let mut rows: Vec<((usize, usize, usize), Vec<(MxmKernel, f64)>)> = Vec::new();
     let t0 = Instant::now();
     for (n1, n2, n3) in shapes {
         print!("{n1:>5} {n2:>5} {n3:>5} |");
-        let mut best = (MxmKernel::Naive, 0.0);
+        let mut row = Vec::new();
         for k in kernels {
             let mf = bench_kernel(k, n1, n2, n3, min_time);
             print!("{mf:>9.0}");
-            if k != MxmKernel::Auto && mf > best.1 {
-                best = (k, mf);
-            }
+            row.push((k, mf));
         }
+        let best = winner(
+            &row,
+            &kernels[..kernels.len() - 1], // all explicit kernels, not Auto
+        );
         println!("  | {}", best.0.name());
         *winner_counts.entry(best.0.name()).or_insert(0) += 1;
+        rows.push(((n1, n2, n3), row));
     }
     println!();
     println!("winners by shape: {winner_counts:?}");
@@ -92,5 +159,39 @@ fn main() {
          (paper: no single method superior)",
         winner_counts.len()
     );
+
+    if emit_table {
+        // Measured selection arms for sem-linalg::backend — restricted
+        // to the order-preserving family so `Auto` stays bitwise
+        // backend-independent.
+        println!();
+        println!("// --- measured selection table (paste into crates/linalg/src/backend.rs) ---");
+        for (with_simd, func) in [(false, "select_scalar"), (true, "select_simd")] {
+            println!("// {func}:");
+            for ((n1, n2, n3), row) in &rows {
+                let (k, mf) = winner(row, &dispatchable(with_simd));
+                println!(
+                    "//   ({n1:>3}, {n2:>2}, {n3:>3}) => MxmKernel::{:<7} // {mf:>6.0} MFLOPS",
+                    variant_name(k),
+                );
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut snap = Snapshot::new("mxm");
+        snap.threads(1);
+        for ((n1, n2, n3), row) in &rows {
+            let e = snap.entry(&format!("{n1}x{n2}x{n3}"));
+            for (k, mf) in row {
+                e.num(k.name(), *mf);
+            }
+            let best = winner(row, &kernels[..kernels.len() - 1]);
+            e.label(best.0.name());
+        }
+        let path = std::path::PathBuf::from(path);
+        snap.write(&path).expect("write snapshot");
+        println!("snapshot: {}", path.display());
+    }
     println!("elapsed: {}", fmt_secs(t0.elapsed().as_secs_f64()));
 }

@@ -8,6 +8,10 @@
 //! Every binary accepts `--full` for paper-scale parameters; the default
 //! "quick" scale runs in seconds-to-minutes on a laptop and reproduces
 //! the qualitative shape of each result.
+//!
+//! Perf-tracking producers additionally emit committed [`snapshot`]
+//! files (`results/BENCH_<topic>.json`) so each PR diffs its kernel and
+//! operator throughput against the previous baseline.
 
 use std::time::Instant;
 
@@ -88,6 +92,7 @@ pub fn fmt_secs(v: f64) -> String {
     }
 }
 
+pub mod snapshot;
 pub mod timing;
 pub mod workloads;
 

@@ -64,6 +64,7 @@ pub fn orr_sommerfeld_channel(
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
+        backend: None,
     };
     let mut s = NsSolver::new(ops, cfg);
     // Base flow plus scaled TS eigenfunction, sampled per node through the
@@ -123,6 +124,7 @@ pub fn shear_layer(
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
+        backend: None,
     };
     let mut s = NsSolver::new(ops, cfg);
     s.set_velocity(|x, y, _| {
@@ -177,6 +179,7 @@ pub fn rayleigh_benard(
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
+        backend: None,
     };
     let mut s = NsSolver::new(ops, cfg);
     // Conduction profile + small perturbation to trigger convection.
@@ -223,6 +226,7 @@ pub fn cylinder_startup(
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
+        backend: None,
     };
     let mut s = NsSolver::new(ops, cfg);
     let ri = params.r_inner;
@@ -279,6 +283,7 @@ pub fn hairpin_channel(k: [usize; 3], n: usize, dt: f64, lmax: usize) -> NsSolve
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
+        backend: None,
     };
     let delta = 0.5;
     let profile = move |y: f64| (1.0 - (-y / delta).exp()).clamp(0.0, 1.0);

@@ -18,9 +18,19 @@
 //! | `lkm` | [`mxm_naive`] | straightforward triple loop (the "standard library" baseline) |
 //! | `csm` | [`mxm_unroll4`] | SAXPY (`i-k-j`) form with 4-way unrolling over `k` |
 //! | `ghm` | [`mxm_blocked`] | register/cache blocked for small `n₂` |
+//! |  —    | [`MxmKernel::Simd`] | explicit-SIMD column vectorization ([`crate::simd`]; AVX2/SSE2/NEON with a bitwise-identical scalar fallback) |
 //!
 //! All kernels compute `C = A · B` with row-major `A (n₁×n₂)`,
-//! `B (n₂×n₃)`, `C (n₁×n₃)`; `C` is overwritten.
+//! `B (n₂×n₃)`, `C (n₁×n₃)`; `C` is overwritten. The accumulating entry
+//! point [`mxm_acc_with`] computes `C += A·B` instead (same per-element
+//! dot order, one extra add) — the fused sum-factorized operators in
+//! `sem-ops` use it to chain `Dᵀ` applications without intermediate
+//! buffers.
+//!
+//! [`MxmKernel::Auto`] consults the backend dispatch
+//! ([`crate::backend::select_kernel`]): per-shape winners measured by
+//! `table3_mxm --emit-table`, restricted to kernels with identical
+//! reduction order so results never depend on the backend in use.
 
 /// Kernel selector, mirroring the paper's per-shape DGEMM choice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -35,18 +45,23 @@ pub enum MxmKernel {
     Unroll4,
     /// Register-blocked kernel (paper's `ghm` stand-in).
     Blocked,
+    /// Explicit-SIMD column vectorization with runtime ISA dispatch and
+    /// a bitwise-identical scalar fallback ([`crate::simd`]).
+    Simd,
     /// Per-shape dispatch over the menu above (the paper's "perf." build).
     Auto,
 }
 
 impl MxmKernel {
-    /// All concrete (non-Auto) kernels, in Table 3 column order.
-    pub const ALL: [MxmKernel; 5] = [
+    /// All concrete (non-Auto) kernels, in Table 3 column order (the
+    /// SIMD family appended after the paper's five).
+    pub const ALL: [MxmKernel; 6] = [
         MxmKernel::Naive,
         MxmKernel::Blocked,
         MxmKernel::Unroll4,
         MxmKernel::F3,
         MxmKernel::F2,
+        MxmKernel::Simd,
     ];
 
     /// Short display name (matches the Table 3 column headers).
@@ -57,6 +72,7 @@ impl MxmKernel {
             MxmKernel::F3 => "f3",
             MxmKernel::Unroll4 => "unroll4",
             MxmKernel::Blocked => "blocked",
+            MxmKernel::Simd => "simd",
             MxmKernel::Auto => "auto",
         }
     }
@@ -97,43 +113,83 @@ pub fn mxm_with(
     // below are deliberately not instrumented to avoid double counting.
     sem_obs::counters::add(sem_obs::Counter::MxmFlops, mxm_flops(n1, n2, n3));
     sem_obs::counters::add(sem_obs::Counter::MxmCalls, 1);
-    match kernel {
-        MxmKernel::Naive => mxm_naive(a, n1, n2, b, n3, c),
-        MxmKernel::F2 => mxm_f2(a, n1, n2, b, n3, c),
-        MxmKernel::F3 => mxm_f3(a, n1, n2, b, n3, c),
-        MxmKernel::Unroll4 => mxm_unroll4(a, n1, n2, b, n3, c),
-        MxmKernel::Blocked => mxm_blocked(a, n1, n2, b, n3, c),
-        MxmKernel::Auto => mxm_auto(a, n1, n2, b, n3, c),
-    }
+    dispatch::<false>(kernel, a, n1, n2, b, n3, c);
 }
 
-/// Per-shape dispatch: the "perf." configuration of the paper.
+/// `C += A·B` with an explicitly chosen kernel.
 ///
-/// The selection table was derived from the Table 3 reproduction
-/// (`sem-bench`, `table3_mxm`): SAXPY-style kernels win when rows of `B`
-/// are long; unrolled dot-product kernels win for the skinny shapes.
-fn mxm_auto(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f64]) {
-    if n2 <= 4 {
-        // Coarse-grid interpolation shapes (2 × N₂)·(N₂ × 2) etc.
-        mxm_f2(a, n1, n2, b, n3, c)
-    } else if n3 >= 4 * n2 {
-        // Long rows of C: SAXPY form streams B and C rows.
-        mxm_unroll4(a, n1, n2, b, n3, c)
-    } else {
-        mxm_f3(a, n1, n2, b, n3, c)
+/// Each output element gets the product dot-sum in the same order as
+/// [`mxm_with`] would produce it, followed by one add onto the existing
+/// entry — so `mxm_acc_with(k, …)` is bitwise-equal to `mxm_with(k, …)`
+/// into scratch plus an elementwise `c[i] += scratch[i]`. Metered like
+/// [`mxm_with`] (the `n₁·n₃` accumulation adds are charged by the
+/// operator-level formulas, as the reference paths' explicit sum loops
+/// are).
+pub fn mxm_acc_with(
+    kernel: MxmKernel,
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    check_dims(a, n1, n2, b, n3, c);
+    sem_obs::counters::add(sem_obs::Counter::MxmFlops, mxm_flops(n1, n2, n3));
+    sem_obs::counters::add(sem_obs::Counter::MxmCalls, 1);
+    dispatch::<true>(kernel, a, n1, n2, b, n3, c);
+}
+
+fn dispatch<const ACC: bool>(
+    kernel: MxmKernel,
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    match kernel {
+        MxmKernel::Naive => mxm_naive_impl::<ACC>(a, n1, n2, b, n3, c),
+        MxmKernel::F2 => mxm_f2_impl::<ACC>(a, n1, n2, b, n3, c),
+        MxmKernel::F3 => mxm_f3_impl::<ACC>(a, n1, n2, b, n3, c),
+        MxmKernel::Unroll4 => mxm_unroll4_impl::<ACC>(a, n1, n2, b, n3, c),
+        MxmKernel::Blocked => mxm_blocked_impl::<ACC>(a, n1, n2, b, n3, c),
+        MxmKernel::Simd => crate::simd::mxm_simd_impl::<ACC>(a, n1, n2, b, n3, c),
+        MxmKernel::Auto => {
+            // Per-shape dispatch: the "perf." configuration of the paper,
+            // tuned per backend/ISA by `table3_mxm --emit-table`.
+            let k = crate::backend::select_kernel(n1, n2, n3);
+            dispatch::<ACC>(k, a, n1, n2, b, n3, c)
+        }
     }
 }
 
 /// Straightforward triple loop, dot-product form (`lkm` stand-in).
 pub fn mxm_naive(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f64]) {
     check_dims(a, n1, n2, b, n3, c);
+    mxm_naive_impl::<false>(a, n1, n2, b, n3, c);
+}
+
+fn mxm_naive_impl<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
     for l in 0..n1 {
         for m in 0..n3 {
             let mut acc = 0.0;
             for i in 0..n2 {
                 acc += a[l * n2 + i] * b[i * n3 + m];
             }
-            c[l * n3 + m] = acc;
+            if ACC {
+                c[l * n3 + m] += acc;
+            } else {
+                c[l * n3 + m] = acc;
+            }
         }
     }
 }
@@ -142,6 +198,30 @@ pub fn mxm_naive(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut 
 /// (`csm` stand-in). Streams rows of `B` and `C`; strong when `n3` is large.
 pub fn mxm_unroll4(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f64]) {
     check_dims(a, n1, n2, b, n3, c);
+    mxm_unroll4_impl::<false>(a, n1, n2, b, n3, c);
+}
+
+fn mxm_unroll4_impl<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    if ACC {
+        // The SAXPY form accumulates k-blocks directly into C, which
+        // would interleave the reduction with the existing entries and
+        // break the dot-then-one-add contract of `mxm_acc_with`; form
+        // the product separately, then add. (Never on a fused hot path:
+        // the Auto table excludes this reordering kernel.)
+        let mut tmp = vec![0.0; n1 * n3];
+        mxm_unroll4_impl::<false>(a, n1, n2, b, n3, &mut tmp);
+        for (cv, tv) in c.iter_mut().zip(tmp) {
+            *cv += tv;
+        }
+        return;
+    }
     c.fill(0.0);
     for l in 0..n1 {
         let crow = &mut c[l * n3..(l + 1) * n3];
@@ -172,6 +252,27 @@ pub fn mxm_unroll4(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mu
 /// Cache/register blocked kernel (`ghm` stand-in): 2×2 register tiles of `C`.
 pub fn mxm_blocked(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f64]) {
     check_dims(a, n1, n2, b, n3, c);
+    mxm_blocked_impl::<false>(a, n1, n2, b, n3, c);
+}
+
+fn mxm_blocked_impl<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    // Each tile entry is a complete dot product held in a register, so
+    // the ACC variant is a single add onto the existing C entry.
+    #[inline(always)]
+    fn store<const ACC: bool>(slot: &mut f64, dot: f64) {
+        if ACC {
+            *slot += dot;
+        } else {
+            *slot = dot;
+        }
+    }
     let l2 = n1 / 2 * 2;
     let m2 = n3 / 2 * 2;
     let mut l = 0;
@@ -189,10 +290,10 @@ pub fn mxm_blocked(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mu
                 c10 += a1 * b0;
                 c11 += a1 * b1;
             }
-            c[l * n3 + m] = c00;
-            c[l * n3 + m + 1] = c01;
-            c[(l + 1) * n3 + m] = c10;
-            c[(l + 1) * n3 + m + 1] = c11;
+            store::<ACC>(&mut c[l * n3 + m], c00);
+            store::<ACC>(&mut c[l * n3 + m + 1], c01);
+            store::<ACC>(&mut c[(l + 1) * n3 + m], c10);
+            store::<ACC>(&mut c[(l + 1) * n3 + m + 1], c11);
             m += 2;
         }
         // Remainder column.
@@ -203,8 +304,8 @@ pub fn mxm_blocked(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mu
                 c0 += a[l * n2 + i] * bv;
                 c1 += a[(l + 1) * n2 + i] * bv;
             }
-            c[l * n3 + m] = c0;
-            c[(l + 1) * n3 + m] = c1;
+            store::<ACC>(&mut c[l * n3 + m], c0);
+            store::<ACC>(&mut c[(l + 1) * n3 + m], c1);
         }
         l += 2;
     }
@@ -215,7 +316,7 @@ pub fn mxm_blocked(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mu
             for i in 0..n2 {
                 acc += a[l * n2 + i] * b[i * n3 + m];
             }
-            c[l * n3 + m] = acc;
+            store::<ACC>(&mut c[l * n3 + m], acc);
         }
     }
 }
@@ -224,7 +325,13 @@ pub fn mxm_blocked(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mu
 /// is a compile-time constant so the optimizer unrolls it completely,
 /// mirroring the paper's hand-unrolled Fortran.
 #[inline]
-fn mxm_f2_const<const N2: usize>(a: &[f64], n1: usize, b: &[f64], n3: usize, c: &mut [f64]) {
+fn mxm_f2_const<const N2: usize, const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
     // f2: n3 controls the outer loop.
     for m in 0..n3 {
         for l in 0..n1 {
@@ -233,13 +340,23 @@ fn mxm_f2_const<const N2: usize>(a: &[f64], n1: usize, b: &[f64], n3: usize, c: 
             for i in 0..N2 {
                 acc += arow[i] * b[i * n3 + m];
             }
-            c[l * n3 + m] = acc;
+            if ACC {
+                c[l * n3 + m] += acc;
+            } else {
+                c[l * n3 + m] = acc;
+            }
         }
     }
 }
 
 #[inline]
-fn mxm_f3_const<const N2: usize>(a: &[f64], n1: usize, b: &[f64], n3: usize, c: &mut [f64]) {
+fn mxm_f3_const<const N2: usize, const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
     // f3: n1 controls the outer loop.
     for l in 0..n1 {
         let arow = &a[l * N2..(l + 1) * N2];
@@ -248,7 +365,11 @@ fn mxm_f3_const<const N2: usize>(a: &[f64], n1: usize, b: &[f64], n3: usize, c: 
             for i in 0..N2 {
                 acc += arow[i] * b[i * n3 + m];
             }
-            c[l * n3 + m] = acc;
+            if ACC {
+                c[l * n3 + m] += acc;
+            } else {
+                c[l * n3 + m] = acc;
+            }
         }
     }
 }
@@ -256,26 +377,26 @@ fn mxm_f3_const<const N2: usize>(a: &[f64], n1: usize, b: &[f64], n3: usize, c: 
 macro_rules! dispatch_const_n2 {
     ($func:ident, $n2:expr, $a:expr, $n1:expr, $b:expr, $n3:expr, $c:expr, $fallback:expr) => {
         match $n2 {
-            1 => $func::<1>($a, $n1, $b, $n3, $c),
-            2 => $func::<2>($a, $n1, $b, $n3, $c),
-            3 => $func::<3>($a, $n1, $b, $n3, $c),
-            4 => $func::<4>($a, $n1, $b, $n3, $c),
-            5 => $func::<5>($a, $n1, $b, $n3, $c),
-            6 => $func::<6>($a, $n1, $b, $n3, $c),
-            7 => $func::<7>($a, $n1, $b, $n3, $c),
-            8 => $func::<8>($a, $n1, $b, $n3, $c),
-            9 => $func::<9>($a, $n1, $b, $n3, $c),
-            10 => $func::<10>($a, $n1, $b, $n3, $c),
-            11 => $func::<11>($a, $n1, $b, $n3, $c),
-            12 => $func::<12>($a, $n1, $b, $n3, $c),
-            13 => $func::<13>($a, $n1, $b, $n3, $c),
-            14 => $func::<14>($a, $n1, $b, $n3, $c),
-            15 => $func::<15>($a, $n1, $b, $n3, $c),
-            16 => $func::<16>($a, $n1, $b, $n3, $c),
-            17 => $func::<17>($a, $n1, $b, $n3, $c),
-            18 => $func::<18>($a, $n1, $b, $n3, $c),
-            19 => $func::<19>($a, $n1, $b, $n3, $c),
-            20 => $func::<20>($a, $n1, $b, $n3, $c),
+            1 => $func::<1, ACC>($a, $n1, $b, $n3, $c),
+            2 => $func::<2, ACC>($a, $n1, $b, $n3, $c),
+            3 => $func::<3, ACC>($a, $n1, $b, $n3, $c),
+            4 => $func::<4, ACC>($a, $n1, $b, $n3, $c),
+            5 => $func::<5, ACC>($a, $n1, $b, $n3, $c),
+            6 => $func::<6, ACC>($a, $n1, $b, $n3, $c),
+            7 => $func::<7, ACC>($a, $n1, $b, $n3, $c),
+            8 => $func::<8, ACC>($a, $n1, $b, $n3, $c),
+            9 => $func::<9, ACC>($a, $n1, $b, $n3, $c),
+            10 => $func::<10, ACC>($a, $n1, $b, $n3, $c),
+            11 => $func::<11, ACC>($a, $n1, $b, $n3, $c),
+            12 => $func::<12, ACC>($a, $n1, $b, $n3, $c),
+            13 => $func::<13, ACC>($a, $n1, $b, $n3, $c),
+            14 => $func::<14, ACC>($a, $n1, $b, $n3, $c),
+            15 => $func::<15, ACC>($a, $n1, $b, $n3, $c),
+            16 => $func::<16, ACC>($a, $n1, $b, $n3, $c),
+            17 => $func::<17, ACC>($a, $n1, $b, $n3, $c),
+            18 => $func::<18, ACC>($a, $n1, $b, $n3, $c),
+            19 => $func::<19, ACC>($a, $n1, $b, $n3, $c),
+            20 => $func::<20, ACC>($a, $n1, $b, $n3, $c),
             _ => $fallback,
         }
     };
@@ -286,6 +407,17 @@ macro_rules! dispatch_const_n2 {
 /// library had the same `n₂ ≤ 20` restriction).
 pub fn mxm_f2(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f64]) {
     check_dims(a, n1, n2, b, n3, c);
+    mxm_f2_impl::<false>(a, n1, n2, b, n3, c);
+}
+
+fn mxm_f2_impl<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
     dispatch_const_n2!(
         mxm_f2_const,
         n2,
@@ -294,7 +426,7 @@ pub fn mxm_f2(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f6
         b,
         n3,
         c,
-        mxm_naive(a, n1, n2, b, n3, c)
+        mxm_naive_impl::<ACC>(a, n1, n2, b, n3, c)
     );
 }
 
@@ -302,6 +434,17 @@ pub fn mxm_f2(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f6
 /// loop. Falls back to the naive kernel for `n₂ > 20`.
 pub fn mxm_f3(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f64]) {
     check_dims(a, n1, n2, b, n3, c);
+    mxm_f3_impl::<false>(a, n1, n2, b, n3, c);
+}
+
+fn mxm_f3_impl<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
     dispatch_const_n2!(
         mxm_f3_const,
         n2,
@@ -310,7 +453,7 @@ pub fn mxm_f3(a: &[f64], n1: usize, n2: usize, b: &[f64], n3: usize, c: &mut [f6
         b,
         n3,
         c,
-        mxm_naive(a, n1, n2, b, n3, c)
+        mxm_naive_impl::<ACC>(a, n1, n2, b, n3, c)
     );
 }
 

@@ -1,0 +1,371 @@
+//! Explicit-SIMD `mxm` kernels (`std::arch` intrinsics, zero-dependency).
+//!
+//! The paper's Table 3 point is that the right `mxm` kernel per shape is
+//! worth most of the flops in an SEM code; the modern corollary (NekRS)
+//! is that the same algorithm re-kerneled for the vector units is worth
+//! another large factor. This module supplies that family:
+//!
+//! * **AVX2** (4 × f64) and **SSE2** (2 × f64) on `x86_64`,
+//! * **NEON** (2 × f64) on `aarch64`,
+//! * a **guaranteed-identical scalar fallback** everywhere else.
+//!
+//! The ISA is picked once per process by runtime feature detection
+//! (`is_x86_feature_detected!`); `TERASEM_BACKEND=scalar` (or
+//! [`crate::backend::with_backend`]) forces the fallback.
+//!
+//! ## Bitwise determinism
+//!
+//! Every variant vectorizes over the *columns* of `C` and accumulates
+//! over the reduction index `i = 0..n₂` in ascending order with separate
+//! multiply and add (no FMA contraction). Each output element therefore
+//! sees exactly the arithmetic sequence
+//!
+//! ```text
+//! c[l][m] = ((a[l][0]·b[0][m] + a[l][1]·b[1][m]) + …) + a[l][n₂−1]·b[n₂−1][m]
+//! ```
+//!
+//! — the same sequence the scalar fallback (and [`crate::mxm::mxm_naive`])
+//! performs. SIMD lanes are independent IEEE-754 operations, so the AVX2,
+//! SSE2, NEON and scalar variants are **bitwise identical** on every
+//! input, including remainder lanes and unaligned sizes (all loads are
+//! unaligned loads). This is pinned by `tests/simd_bitwise.rs` and is
+//! what lets `TERASEM_BACKEND` stay a pure performance knob: switching
+//! backends never changes solver results.
+
+use crate::backend;
+
+/// The SIMD instruction set the kernel family can run on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdIsa {
+    /// x86_64 AVX2: 4 lanes of f64.
+    Avx2,
+    /// x86_64 SSE2: 2 lanes of f64.
+    Sse2,
+    /// aarch64 NEON: 2 lanes of f64.
+    Neon,
+    /// No vector unit (or forced scalar): the identical fallback.
+    None,
+}
+
+impl SimdIsa {
+    /// Short display name (`avx2`, `sse2`, `neon`, `scalar`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdIsa::Avx2 => "avx2",
+            SimdIsa::Sse2 => "sse2",
+            SimdIsa::Neon => "neon",
+            SimdIsa::None => "scalar",
+        }
+    }
+}
+
+/// The guaranteed-identical scalar fallback: dot-product form with the
+/// exact accumulation order of the vector variants (also the order of
+/// [`crate::mxm::mxm_naive`]). Public so the property tests can compare
+/// the runtime-dispatched kernel against it on any host.
+pub fn mxm_simd_reference<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    for l in 0..n1 {
+        let arow = &a[l * n2..(l + 1) * n2];
+        let crow = &mut c[l * n3..(l + 1) * n3];
+        for m in 0..n3 {
+            let mut acc = 0.0;
+            for i in 0..n2 {
+                acc += arow[i] * b[i * n3 + m];
+            }
+            if ACC {
+                crow[m] += acc;
+            } else {
+                crow[m] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mxm_avx2<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let bp = b.as_ptr();
+    for l in 0..n1 {
+        let arow = &a[l * n2..(l + 1) * n2];
+        let crow = &mut c[l * n3..(l + 1) * n3];
+        let cp = crow.as_mut_ptr();
+        let mut m = 0;
+        // 8 columns per step: two independent 4-lane accumulators.
+        while m + 8 <= n3 {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            for (i, &ai) in arow.iter().enumerate() {
+                let av = _mm256_set1_pd(ai);
+                let brow = bp.add(i * n3 + m);
+                acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(av, _mm256_loadu_pd(brow)));
+                acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(av, _mm256_loadu_pd(brow.add(4))));
+            }
+            if ACC {
+                acc0 = _mm256_add_pd(_mm256_loadu_pd(cp.add(m)), acc0);
+                acc1 = _mm256_add_pd(_mm256_loadu_pd(cp.add(m + 4)), acc1);
+            }
+            _mm256_storeu_pd(cp.add(m), acc0);
+            _mm256_storeu_pd(cp.add(m + 4), acc1);
+            m += 8;
+        }
+        if m + 4 <= n3 {
+            let mut acc = _mm256_setzero_pd();
+            for (i, &ai) in arow.iter().enumerate() {
+                let av = _mm256_set1_pd(ai);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(av, _mm256_loadu_pd(bp.add(i * n3 + m))));
+            }
+            if ACC {
+                acc = _mm256_add_pd(_mm256_loadu_pd(cp.add(m)), acc);
+            }
+            _mm256_storeu_pd(cp.add(m), acc);
+            m += 4;
+        }
+        if m + 2 <= n3 {
+            let mut acc = _mm_setzero_pd();
+            for (i, &ai) in arow.iter().enumerate() {
+                let av = _mm_set1_pd(ai);
+                acc = _mm_add_pd(acc, _mm_mul_pd(av, _mm_loadu_pd(bp.add(i * n3 + m))));
+            }
+            if ACC {
+                acc = _mm_add_pd(_mm_loadu_pd(cp.add(m)), acc);
+            }
+            _mm_storeu_pd(cp.add(m), acc);
+            m += 2;
+        }
+        // Remainder column: scalar, same ascending-i order.
+        while m < n3 {
+            let mut acc = 0.0;
+            for (i, &ai) in arow.iter().enumerate() {
+                acc += ai * b[i * n3 + m];
+            }
+            if ACC {
+                crow[m] += acc;
+            } else {
+                crow[m] = acc;
+            }
+            m += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn mxm_sse2<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let bp = b.as_ptr();
+    for l in 0..n1 {
+        let arow = &a[l * n2..(l + 1) * n2];
+        let crow = &mut c[l * n3..(l + 1) * n3];
+        let cp = crow.as_mut_ptr();
+        let mut m = 0;
+        // 4 columns per step: two independent 2-lane accumulators.
+        while m + 4 <= n3 {
+            let mut acc0 = _mm_setzero_pd();
+            let mut acc1 = _mm_setzero_pd();
+            for (i, &ai) in arow.iter().enumerate() {
+                let av = _mm_set1_pd(ai);
+                let brow = bp.add(i * n3 + m);
+                acc0 = _mm_add_pd(acc0, _mm_mul_pd(av, _mm_loadu_pd(brow)));
+                acc1 = _mm_add_pd(acc1, _mm_mul_pd(av, _mm_loadu_pd(brow.add(2))));
+            }
+            if ACC {
+                acc0 = _mm_add_pd(_mm_loadu_pd(cp.add(m)), acc0);
+                acc1 = _mm_add_pd(_mm_loadu_pd(cp.add(m + 2)), acc1);
+            }
+            _mm_storeu_pd(cp.add(m), acc0);
+            _mm_storeu_pd(cp.add(m + 2), acc1);
+            m += 4;
+        }
+        if m + 2 <= n3 {
+            let mut acc = _mm_setzero_pd();
+            for (i, &ai) in arow.iter().enumerate() {
+                let av = _mm_set1_pd(ai);
+                acc = _mm_add_pd(acc, _mm_mul_pd(av, _mm_loadu_pd(bp.add(i * n3 + m))));
+            }
+            if ACC {
+                acc = _mm_add_pd(_mm_loadu_pd(cp.add(m)), acc);
+            }
+            _mm_storeu_pd(cp.add(m), acc);
+            m += 2;
+        }
+        while m < n3 {
+            let mut acc = 0.0;
+            for (i, &ai) in arow.iter().enumerate() {
+                acc += ai * b[i * n3 + m];
+            }
+            if ACC {
+                crow[m] += acc;
+            } else {
+                crow[m] = acc;
+            }
+            m += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn mxm_neon<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    use std::arch::aarch64::*;
+    let bp = b.as_ptr();
+    for l in 0..n1 {
+        let arow = &a[l * n2..(l + 1) * n2];
+        let crow = &mut c[l * n3..(l + 1) * n3];
+        let cp = crow.as_mut_ptr();
+        let mut m = 0;
+        // 4 columns per step: two independent 2-lane accumulators.
+        while m + 4 <= n3 {
+            let mut acc0 = vdupq_n_f64(0.0);
+            let mut acc1 = vdupq_n_f64(0.0);
+            for (i, &ai) in arow.iter().enumerate() {
+                let av = vdupq_n_f64(ai);
+                let brow = bp.add(i * n3 + m);
+                acc0 = vaddq_f64(acc0, vmulq_f64(av, vld1q_f64(brow)));
+                acc1 = vaddq_f64(acc1, vmulq_f64(av, vld1q_f64(brow.add(2))));
+            }
+            if ACC {
+                acc0 = vaddq_f64(vld1q_f64(cp.add(m)), acc0);
+                acc1 = vaddq_f64(vld1q_f64(cp.add(m + 2)), acc1);
+            }
+            vst1q_f64(cp.add(m), acc0);
+            vst1q_f64(cp.add(m + 2), acc1);
+            m += 4;
+        }
+        if m + 2 <= n3 {
+            let mut acc = vdupq_n_f64(0.0);
+            for (i, &ai) in arow.iter().enumerate() {
+                let av = vdupq_n_f64(ai);
+                acc = vaddq_f64(acc, vmulq_f64(av, vld1q_f64(bp.add(i * n3 + m))));
+            }
+            if ACC {
+                acc = vaddq_f64(vld1q_f64(cp.add(m)), acc);
+            }
+            vst1q_f64(cp.add(m), acc);
+            m += 2;
+        }
+        while m < n3 {
+            let mut acc = 0.0;
+            for (i, &ai) in arow.iter().enumerate() {
+                acc += ai * b[i * n3 + m];
+            }
+            if ACC {
+                crow[m] += acc;
+            } else {
+                crow[m] = acc;
+            }
+            m += 1;
+        }
+    }
+}
+
+/// `C = A·B` (or `C += A·B` with `ACC`) through the best vector unit the
+/// active backend allows. Dimensions must already be validated by the
+/// caller ([`crate::mxm::mxm_with`] does).
+pub(crate) fn mxm_simd_impl<const ACC: bool>(
+    a: &[f64],
+    n1: usize,
+    n2: usize,
+    b: &[f64],
+    n3: usize,
+    c: &mut [f64],
+) {
+    match backend::active_isa() {
+        // SAFETY: active_isa() only reports an ISA after runtime feature
+        // detection confirmed the host supports it; slice bounds are
+        // checked by the caller's check_dims.
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Avx2 => unsafe { mxm_avx2::<ACC>(a, n1, n2, b, n3, c) },
+        #[cfg(target_arch = "x86_64")]
+        SimdIsa::Sse2 => unsafe { mxm_sse2::<ACC>(a, n1, n2, b, n3, c) },
+        #[cfg(target_arch = "aarch64")]
+        SimdIsa::Neon => unsafe { mxm_neon::<ACC>(a, n1, n2, b, n3, c) },
+        _ => mxm_simd_reference::<ACC>(a, n1, n2, b, n3, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn check_bitwise(n1: usize, n2: usize, n3: usize, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        let a = rng.vec(n1 * n2, -1.0, 1.0);
+        let b = rng.vec(n2 * n3, -1.0, 1.0);
+        let mut want = vec![0.0; n1 * n3];
+        mxm_simd_reference::<false>(&a, n1, n2, &b, n3, &mut want);
+        let mut got = vec![f64::NAN; n1 * n3];
+        mxm_simd_impl::<false>(&a, n1, n2, &b, n3, &mut got);
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "({n1},{n2},{n3}) entry {i}: simd {g} != scalar {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatched_kernel_is_bitwise_identical_to_reference() {
+        // Cover every remainder-lane path: n3 mod 8 in 0..=7.
+        for n3 in 1..=17 {
+            check_bitwise(5, 7, n3, 42 + n3 as u64);
+        }
+        check_bitwise(16, 16, 16, 1);
+        check_bitwise(256, 16, 16, 2);
+        check_bitwise(16, 14, 196, 3);
+        check_bitwise(2, 14, 2, 4);
+    }
+
+    #[test]
+    fn acc_adds_onto_existing_c() {
+        let (n1, n2, n3) = (6, 5, 11);
+        let mut rng = SplitMix64::new(7);
+        let a = rng.vec(n1 * n2, -1.0, 1.0);
+        let b = rng.vec(n2 * n3, -1.0, 1.0);
+        let c0 = rng.vec(n1 * n3, -1.0, 1.0);
+        let mut prod = vec![0.0; n1 * n3];
+        mxm_simd_reference::<false>(&a, n1, n2, &b, n3, &mut prod);
+        let mut got = c0.clone();
+        mxm_simd_impl::<true>(&a, n1, n2, &b, n3, &mut got);
+        for i in 0..n1 * n3 {
+            let want = c0[i] + prod[i];
+            assert_eq!(got[i].to_bits(), want.to_bits(), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn isa_names() {
+        assert_eq!(SimdIsa::Avx2.name(), "avx2");
+        assert_eq!(SimdIsa::None.name(), "scalar");
+    }
+}

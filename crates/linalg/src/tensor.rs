@@ -17,7 +17,7 @@
 //! `sem-ops` precompute both orientations once.
 
 use crate::matrix::Matrix;
-use crate::mxm::{mxm_flops, mxm_with, MxmKernel};
+use crate::mxm::{mxm_acc_with, mxm_flops, mxm_with, MxmKernel};
 
 /// `out = (A_y ⊗ A_x) u` for a 2D field.
 ///
@@ -150,6 +150,23 @@ pub fn apply_x_with(kernel: MxmKernel, axt: &Matrix, planes: usize, u: &[f64], o
     mxm_with(kernel, u, planes, nx_in, axt.as_slice(), nx_out, out);
 }
 
+/// `out += (I ⊗ … ⊗ A_x) u`: accumulating form of [`apply_x`]. Each
+/// output element receives one full-dot add (bitwise equal to forming
+/// the product in scratch and adding elementwise — see
+/// [`crate::mxm::mxm_acc_with`]).
+pub fn apply_x_acc_with(
+    kernel: MxmKernel,
+    axt: &Matrix,
+    planes: usize,
+    u: &[f64],
+    out: &mut [f64],
+) {
+    let (nx_in, nx_out) = (axt.rows(), axt.cols());
+    assert_eq!(u.len(), planes * nx_in, "apply_x_acc: u length");
+    assert_eq!(out.len(), planes * nx_out, "apply_x_acc: out length");
+    mxm_acc_with(kernel, u, planes, nx_in, axt.as_slice(), nx_out, out);
+}
+
 /// `out = (A_y ⊗ I) u` for a 2D field with row length `nx`.
 pub fn apply_y_2d(ay: &Matrix, nx: usize, u: &[f64], out: &mut [f64]) {
     apply_y_2d_with(MxmKernel::Auto, ay, nx, u, out)
@@ -161,6 +178,14 @@ pub fn apply_y_2d_with(kernel: MxmKernel, ay: &Matrix, nx: usize, u: &[f64], out
     assert_eq!(u.len(), ny_in * nx, "apply_y_2d: u length");
     assert_eq!(out.len(), ny_out * nx, "apply_y_2d: out length");
     mxm_with(kernel, ay.as_slice(), ny_out, ny_in, u, nx, out);
+}
+
+/// `out += (A_y ⊗ I) u`: accumulating form of [`apply_y_2d`].
+pub fn apply_y_2d_acc_with(kernel: MxmKernel, ay: &Matrix, nx: usize, u: &[f64], out: &mut [f64]) {
+    let (ny_in, ny_out) = (ay.cols(), ay.rows());
+    assert_eq!(u.len(), ny_in * nx, "apply_y_2d_acc: u length");
+    assert_eq!(out.len(), ny_out * nx, "apply_y_2d_acc: out length");
+    mxm_acc_with(kernel, ay.as_slice(), ny_out, ny_in, u, nx, out);
 }
 
 /// `out = (I ⊗ A_y ⊗ I) u` for a 3D field (`nz` slabs of `ny_in × nx`).
@@ -187,6 +212,25 @@ pub fn apply_y_3d_with(
     }
 }
 
+/// `out += (I ⊗ A_y ⊗ I) u`: accumulating form of [`apply_y_3d`].
+pub fn apply_y_3d_acc_with(
+    kernel: MxmKernel,
+    ay: &Matrix,
+    nx: usize,
+    nz: usize,
+    u: &[f64],
+    out: &mut [f64],
+) {
+    let (ny_in, ny_out) = (ay.cols(), ay.rows());
+    assert_eq!(u.len(), nz * ny_in * nx, "apply_y_3d_acc: u length");
+    assert_eq!(out.len(), nz * ny_out * nx, "apply_y_3d_acc: out length");
+    for k in 0..nz {
+        let src = &u[k * ny_in * nx..(k + 1) * ny_in * nx];
+        let dst = &mut out[k * ny_out * nx..(k + 1) * ny_out * nx];
+        mxm_acc_with(kernel, ay.as_slice(), ny_out, ny_in, src, nx, dst);
+    }
+}
+
 /// `out = (A_z ⊗ I ⊗ I) u` for a 3D field with plane size `nx*ny`.
 pub fn apply_z_3d(az: &Matrix, plane: usize, u: &[f64], out: &mut [f64]) {
     apply_z_3d_with(MxmKernel::Auto, az, plane, u, out)
@@ -198,6 +242,20 @@ pub fn apply_z_3d_with(kernel: MxmKernel, az: &Matrix, plane: usize, u: &[f64], 
     assert_eq!(u.len(), nz_in * plane, "apply_z_3d: u length");
     assert_eq!(out.len(), nz_out * plane, "apply_z_3d: out length");
     mxm_with(kernel, az.as_slice(), nz_out, nz_in, u, plane, out);
+}
+
+/// `out += (A_z ⊗ I ⊗ I) u`: accumulating form of [`apply_z_3d`].
+pub fn apply_z_3d_acc_with(
+    kernel: MxmKernel,
+    az: &Matrix,
+    plane: usize,
+    u: &[f64],
+    out: &mut [f64],
+) {
+    let (nz_in, nz_out) = (az.cols(), az.rows());
+    assert_eq!(u.len(), nz_in * plane, "apply_z_3d_acc: u length");
+    assert_eq!(out.len(), nz_out * plane, "apply_z_3d_acc: out length");
+    mxm_acc_with(kernel, az.as_slice(), nz_out, nz_in, u, plane, out);
 }
 
 /// Explicitly form the Kronecker product `A ⊗ B` (test/setup use only —
@@ -338,6 +396,49 @@ mod tests {
         for (g, w) in out.iter().zip(want.iter()) {
             assert!((g - w).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn acc_applies_match_overwrite_plus_add() {
+        let (nz, ny, nx) = (3, 4, 5);
+        let u = randomish(nz * ny * nx, 16);
+        let base = randomish(nz * ny * nx, 17);
+        let k = MxmKernel::Auto;
+        // x
+        let dx = randmat(nx, nx, 18);
+        let dxt = dx.transpose();
+        let mut scratch = vec![0.0; nz * ny * nx];
+        apply_x_with(k, &dxt, nz * ny, &u, &mut scratch);
+        let want: Vec<f64> = base.iter().zip(&scratch).map(|(b, s)| b + s).collect();
+        let mut got = base.clone();
+        apply_x_acc_with(k, &dxt, nz * ny, &u, &mut got);
+        assert_eq!(got, want, "apply_x_acc bitwise");
+        // y (3D)
+        let dy = randmat(ny, ny, 19);
+        apply_y_3d_with(k, &dy, nx, nz, &u, &mut scratch);
+        let want: Vec<f64> = base.iter().zip(&scratch).map(|(b, s)| b + s).collect();
+        let mut got = base.clone();
+        apply_y_3d_acc_with(k, &dy, nx, nz, &u, &mut got);
+        assert_eq!(got, want, "apply_y_3d_acc bitwise");
+        // z
+        let dz = randmat(nz, nz, 20);
+        apply_z_3d_with(k, &dz, ny * nx, &u, &mut scratch);
+        let want: Vec<f64> = base.iter().zip(&scratch).map(|(b, s)| b + s).collect();
+        let mut got = base.clone();
+        apply_z_3d_acc_with(k, &dz, ny * nx, &u, &mut got);
+        assert_eq!(got, want, "apply_z_3d_acc bitwise");
+        // y (2D): one slab.
+        let u2 = &u[..ny * nx];
+        let mut s2 = vec![0.0; ny * nx];
+        apply_y_2d_with(k, &dy, nx, u2, &mut s2);
+        let want: Vec<f64> = base[..ny * nx]
+            .iter()
+            .zip(&s2)
+            .map(|(b, s)| b + s)
+            .collect();
+        let mut got = base[..ny * nx].to_vec();
+        apply_y_2d_acc_with(k, &dy, nx, u2, &mut got);
+        assert_eq!(got, want, "apply_y_2d_acc bitwise");
     }
 
     #[test]

@@ -86,6 +86,12 @@ pub struct NsConfig {
     /// [`crate::supervisor::RunSupervisor`]; everything is disabled by
     /// default and a plain `step()` loop never reads it.
     pub run: crate::supervisor::RunPolicy,
+    /// Operator backend for the mxm/tensor hot paths: `None` keeps the
+    /// process-wide setting (`TERASEM_BACKEND`, default auto-detect);
+    /// `Some(b)` installs `b` process-wide when the solver is built.
+    /// Purely a performance knob — solver results are bitwise identical
+    /// across backends, exactly as across `TERASEM_THREADS`.
+    pub backend: Option<sem_linalg::Backend>,
 }
 
 impl Default for NsConfig {
@@ -118,6 +124,7 @@ impl Default for NsConfig {
             faults: None,
             recovery: crate::recovery::RecoveryPolicy::default(),
             run: crate::supervisor::RunPolicy::default(),
+            backend: None,
         }
     }
 }

@@ -130,6 +130,9 @@ impl NsSolver {
                 sem_obs::sink::set_sink(Some(h.0.clone()));
             }
         }
+        if let Some(b) = cfg.backend {
+            sem_linalg::backend::set_backend(b);
+        }
         let n = ops.n_velocity();
         let np = ops.n_pressure();
         let dim = ops.geo.dim;

@@ -44,7 +44,8 @@ pub fn gradient(ops: &SemOps, u: &[f64], out: &mut [Vec<f64>]) {
     }
     par::par_for_each_init(
         &mut per_elem,
-        || vec![0.0; 3 * npts],
+        // One derivative buffer per direction (dt is empty in 2D).
+        || vec![0.0; dim * npts],
         |scratch, e, comps| {
             let (dr, rest) = scratch.split_at_mut(npts);
             let (ds, dt) = rest.split_at_mut(npts);

@@ -3,14 +3,18 @@
 #
 # Stage 1: generate a seeded fault storm (every fault kind, including
 # the scalar-targeted and coarse-solve kinds) and run it uninterrupted
-# to completion under the supervisor (TERASEM_THREADS=1).
+# to completion under the supervisor.
 #
 # Stage 2: run the same storm again, but kill the process hard (exit 9)
 # right after step 7 commits — the kill leaves a deliberately torn
 # checkpoint and a stray .tmp staging file behind. Restart the run in a
-# fresh process at a different thread count (TERASEM_THREADS=3): it
-# must skip the torn file, resume from the newest valid checkpoint, and
-# run to the same target step.
+# fresh process: it must skip the torn file, resume from the newest
+# valid checkpoint, and run to the same target step.
+#
+# Every leg runs at its own seed-derived TERASEM_THREADS count, and the
+# resume leg is forced onto a different count than the kill leg — so
+# stage 3 also pins that resuming across a thread-count change stays
+# byte-clean.
 #
 # Stage 3: the final checkpoints of the uninterrupted and the
 # killed+resumed runs must be bitwise identical (`cmp`), despite the
@@ -29,14 +33,25 @@ REFDIR=$(mktemp -d)
 CHAOSDIR=$(mktemp -d)
 trap 'rm -rf "$REFDIR" "$CHAOSDIR"' EXIT
 
+# Seed-derived per-leg thread counts in 1..4 (reproducible random); the
+# resume leg must differ from the kill leg.
+H=$(( SEED % 997 )); [ "$H" -lt 0 ] && H=$(( -H ))
+T_REF=$(( H % 4 + 1 ))
+T_KILL=$(( (H / 4) % 4 + 1 ))
+T_RESUME=$(( (H / 16) % 4 + 1 ))
+if [ "$T_RESUME" -eq "$T_KILL" ]; then
+    T_RESUME=$(( T_KILL % 4 + 1 ))
+fi
+
 cargo build -q --release --offline -p sem-bench --bin soak
 SOAK=target/release/soak
 
 PLAN=$("$SOAK" plan --seed "$SEED" --steps "$STEPS")
 echo "soak_smoke: storm (seed $SEED): $PLAN"
+echo "soak_smoke: threads ref/kill/resume = $T_REF/$T_KILL/$T_RESUME"
 
 # ---- stage 1: uninterrupted reference --------------------------------
-TERASEM_THREADS=1 "$SOAK" run --dir "$REFDIR" --steps "$STEPS" \
+TERASEM_THREADS=$T_REF "$SOAK" run --dir "$REFDIR" --steps "$STEPS" \
     --spec "$PLAN" 2>/dev/null
 FINAL=$(printf 'ckpt_%08d.ckpt' "$STEPS")
 [ -f "$REFDIR/$FINAL" ] || {
@@ -46,7 +61,7 @@ FINAL=$(printf 'ckpt_%08d.ckpt' "$STEPS")
 
 # ---- stage 2: kill hard mid-run, resume in a fresh process -----------
 set +e
-TERASEM_THREADS=3 "$SOAK" run --dir "$CHAOSDIR" --steps "$STEPS" \
+TERASEM_THREADS=$T_KILL "$SOAK" run --dir "$CHAOSDIR" --steps "$STEPS" \
     --spec "$PLAN" --kill-at "$KILL_AT" >/dev/null 2>&1
 RC=$?
 set -e
@@ -55,7 +70,7 @@ if [ "$RC" -ne 9 ]; then
     exit 1
 fi
 RESUME_ERR=$(mktemp)
-TERASEM_THREADS=3 "$SOAK" run --dir "$CHAOSDIR" --steps "$STEPS" \
+TERASEM_THREADS=$T_RESUME "$SOAK" run --dir "$CHAOSDIR" --steps "$STEPS" \
     --spec "$PLAN" 2>"$RESUME_ERR" >/dev/null
 grep -q "skipping torn/invalid checkpoint" "$RESUME_ERR" || {
     echo "soak_smoke: FAIL — restart did not skip the torn checkpoint" >&2
@@ -76,7 +91,7 @@ cmp "$REFDIR/$FINAL" "$CHAOSDIR/$FINAL" || {
          "uninterrupted run (crash-only invariant violated)" >&2
     exit 1
 }
-echo "soak_smoke: final checkpoints bitwise identical (threads 1 vs 3)"
+echo "soak_smoke: final checkpoints bitwise identical (threads $T_REF vs $T_KILL->$T_RESUME)"
 
 # ---- stage 4: one in-process chaos round, different seed -------------
 "$SOAK" auto --rounds 1 --seed $((SEED + 1)) --steps 12 2>/dev/null | \
