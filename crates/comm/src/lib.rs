@@ -23,5 +23,5 @@ pub mod model;
 pub mod par;
 pub mod sim;
 
-pub use model::{CostBreakdown, MachineModel, RankLedger};
+pub use model::{fit_alpha_beta, CostBreakdown, MachineModel, RankLedger};
 pub use sim::{CommStats, SimComm};

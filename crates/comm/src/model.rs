@@ -95,17 +95,24 @@ impl MachineModel {
     }
 
     /// All-gather where each of `p` ranks contributes `bytes_each`
-    /// (recursive doubling: log₂ P stages with doubling payload).
+    /// (recursive doubling: `⌈log₂ P⌉` stages, each exchanging the data
+    /// accumulated so far). The held payload doubles per stage but is
+    /// capped at the `p · bytes_each` total actually gathered, so for
+    /// non-power-of-two `p` the modeled volume is `(p − 1) · bytes_each`
+    /// per rank — the true amount received — instead of the
+    /// `(2^⌈log₂ P⌉ − 1) · bytes_each` the uncapped doubling charges.
     pub fn allgather_time(&self, p: usize, bytes_each: u64) -> f64 {
         if p <= 1 {
             return 0.0;
         }
         let stages = (p as f64).log2().ceil() as u32;
+        let total = p as f64 * bytes_each as f64;
         let mut t = 0.0;
-        let mut payload = bytes_each as f64;
+        let mut held = bytes_each as f64;
         for _ in 0..stages {
-            t += self.latency + self.inv_bandwidth * payload;
-            payload *= 2.0;
+            let next = (2.0 * held).min(total);
+            t += self.latency + self.inv_bandwidth * (next - held);
+            held = next;
         }
         t
     }
@@ -117,6 +124,43 @@ impl MachineModel {
         }
         2.0 * (p as f64).log2().ceil() * self.latency
     }
+
+    /// A model fitted to *measured* point-to-point timings on the local
+    /// machine (`sem-net`'s ping-pong calibration): α and β come from
+    /// [`fit_alpha_beta`], the flop rate from whatever kernel measurement
+    /// the caller trusts.
+    pub fn measured(latency: f64, inv_bandwidth: f64, flop_rate: f64) -> Self {
+        MachineModel {
+            name: "measured (local)",
+            latency,
+            inv_bandwidth,
+            flop_rate,
+        }
+    }
+}
+
+/// Least-squares fit of the α–β model `t = α + β·b` to measured
+/// `(bytes, seconds)` samples — how `sem-net` turns ping-pong timings
+/// into a [`MachineModel`] for the local machine. Negative fitted values
+/// are clamped to 0 (measurement noise on a fast loopback transport can
+/// produce a slightly negative slope or intercept). Returns `None` with
+/// fewer than two samples or when all samples share one message size.
+pub fn fit_alpha_beta(samples: &[(u64, f64)]) -> Option<(f64, f64)> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|&(b, _)| b as f64).sum();
+    let sy: f64 = samples.iter().map(|&(_, t)| t).sum();
+    let sxx: f64 = samples.iter().map(|&(b, _)| (b as f64) * (b as f64)).sum();
+    let sxy: f64 = samples.iter().map(|&(b, t)| b as f64 * t).sum();
+    let denom = n * sxx - sx * sx;
+    if denom <= 0.0 {
+        return None;
+    }
+    let beta = ((n * sxy - sx * sy) / denom).max(0.0);
+    let alpha = ((sy - beta * sx) / n).max(0.0);
+    Some((alpha, beta))
 }
 
 /// A decomposed time estimate (useful for reporting which regime —
@@ -266,6 +310,55 @@ mod tests {
         // Gathering n doubles over p ranks moves ~n*8 bytes through the
         // last stage alone: check monotonicity in payload.
         assert!(m.allgather_time(64, 1 << 14) > m.allgather_time(64, 1 << 10));
+    }
+
+    /// Regression: for non-power-of-two P the per-stage doubling used to
+    /// overshoot the `P·bytes_each` total actually gathered. The modeled
+    /// volume — time minus the latency stages, divided by β — must equal
+    /// the `(P−1)·bytes_each` each rank really receives.
+    #[test]
+    fn allgather_volume_is_capped_at_total_gathered() {
+        let m = MachineModel::asci_red_333_single();
+        let bytes_each = 1 << 12;
+        for p in [3usize, 5, 6] {
+            let stages = (p as f64).log2().ceil();
+            let t = m.allgather_time(p, bytes_each);
+            let volume = (t - stages * m.latency) / m.inv_bandwidth;
+            let want = ((p - 1) as u64 * bytes_each) as f64;
+            assert!(
+                (volume - want).abs() < 1e-6 * want,
+                "P={p}: modeled volume {volume} != {want}"
+            );
+        }
+        // Power-of-two case unchanged: stage payloads b, 2b, 4b, ...
+        let t8 = m.allgather_time(8, bytes_each);
+        let volume8 = (t8 - 3.0 * m.latency) / m.inv_bandwidth;
+        assert!((volume8 - (7 * bytes_each) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_alpha_beta_recovers_exact_affine_samples() {
+        let (alpha, beta) = (20e-6, 1.0 / 310e6);
+        let samples: Vec<(u64, f64)> = [0u64, 64, 1024, 65536, 1 << 20]
+            .iter()
+            .map(|&b| (b, alpha + beta * b as f64))
+            .collect();
+        let (a, b) = fit_alpha_beta(&samples).unwrap();
+        assert!((a - alpha).abs() < 1e-12, "alpha {a}");
+        assert!((b - beta).abs() < 1e-15, "beta {b}");
+        let m = MachineModel::measured(a, b, 1e9);
+        assert!((m.ptp_time(1024) - (alpha + beta * 1024.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_alpha_beta_rejects_degenerate_input() {
+        assert!(fit_alpha_beta(&[]).is_none());
+        assert!(fit_alpha_beta(&[(8, 1e-6)]).is_none());
+        // All samples at one size: slope is unidentifiable.
+        assert!(fit_alpha_beta(&[(8, 1e-6), (8, 2e-6)]).is_none());
+        // Noise driving the fit negative is clamped, not propagated.
+        let (a, b) = fit_alpha_beta(&[(0, 5e-6), (1000, 4e-6)]).unwrap();
+        assert!(b >= 0.0 && a >= 0.0);
     }
 
     #[test]

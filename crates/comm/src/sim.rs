@@ -90,7 +90,9 @@ impl SimComm {
     /// Global sum of per-rank scalars (models an all-reduce; returns the
     /// sum to every rank). Charged as a fan-in/fan-out tree:
     /// `2·⌈log₂ P⌉` messages of 8 bytes on the critical path, with each
-    /// rank participating in one send per stage.
+    /// rank participating in one send per stage. A single-rank machine
+    /// exchanges nothing and is charged nothing — zero messages, zero
+    /// rounds.
     pub fn allreduce_sum(&mut self, contributions: &[f64]) -> f64 {
         assert_eq!(contributions.len(), self.p, "one contribution per rank");
         let stages = if self.p > 1 {
@@ -102,12 +104,13 @@ impl SimComm {
             self.per_rank_msgs[r] += 2 * stages;
             self.per_rank_bytes[r] += 2 * stages * 8;
         }
-        self.rounds += 2 * stages.max(1);
+        self.rounds += 2 * stages;
         contributions.iter().sum()
     }
 
     /// Vector all-reduce: entrywise sum of per-rank vectors, returned to
-    /// all ranks. Charged as a tree with full payload per stage.
+    /// all ranks. Charged as a tree with full payload per stage; a
+    /// single-rank machine is charged nothing.
     ///
     /// # Panics
     /// Panics if vectors have differing lengths.
@@ -130,7 +133,7 @@ impl SimComm {
             self.per_rank_msgs[r] += 2 * stages;
             self.per_rank_bytes[r] += 2 * stages * 8 * n as u64;
         }
-        self.rounds += 2 * stages.max(1);
+        self.rounds += 2 * stages;
         out
     }
 
@@ -205,10 +208,25 @@ mod tests {
 
     #[test]
     fn single_rank_is_silent() {
+        // Regression: a P=1 allreduce used to charge 2 rounds despite
+        // sending zero messages, inflating CommStats.rounds.
         let mut comm = SimComm::new(1);
         let s = comm.allreduce_sum(&[5.0]);
         assert_eq!(s, 5.0);
-        assert_eq!(comm.stats().messages, 0);
+        let v = comm.allreduce_sum_vec(&[vec![1.0, 2.0]]);
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert_eq!(comm.stats(), CommStats::default());
+        assert_eq!(comm.stats().rounds, 0);
+    }
+
+    #[test]
+    fn multi_rank_allreduce_charges_tree_rounds() {
+        // P=2: one up + one down stage.
+        let mut comm = SimComm::new(2);
+        let _ = comm.allreduce_sum(&[1.0, 2.0]);
+        assert_eq!(comm.stats().rounds, 2);
+        let _ = comm.allreduce_sum_vec(&[vec![1.0], vec![2.0]]);
+        assert_eq!(comm.stats().rounds, 4);
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub struct ParGs {
 impl ParGs {
     /// Build from per-rank local→global id maps (the distributed
     /// `gs_init`).
+    ///
+    /// Construction is fully deterministic: the intermediate `HashMap`s
+    /// are only ever read through sorted key lists (`ext_gids`, `gids`)
+    /// or after an explicit sort (`nbrs` by rank), so two builds from
+    /// the same input produce byte-identical patterns — and therefore
+    /// byte-identical exchange results — regardless of hash iteration
+    /// order. Pinned by `par_gs_build_is_deterministic` in the property
+    /// suite.
     pub fn new(ids_per_rank: &[Vec<usize>]) -> Self {
         let p = ids_per_rank.len();
         assert!(p >= 1, "need at least one rank");
@@ -87,19 +95,24 @@ impl ParGs {
                 }
             }
             // Neighbours: ranks sharing any ext gid, with slot lists in
-            // canonical order.
+            // canonical order. Iterate the *sorted* gid list — not the
+            // `ext_slot_of` map — so construction order never depends on
+            // HashMap iteration order: slots are pushed ascending (slot s
+            // is ext_gids[s]) and neighbour lists come out canonical by
+            // construction. `holders[g]` is ascending by rank because the
+            // outer build loop visits ranks in order.
             let mut nbr_slots: HashMap<usize, Vec<u32>> = HashMap::new();
-            for (&g, &slot) in &ext_slot_of {
-                for &other in &holders[&g] {
+            for (slot, g) in ext_gids.iter().enumerate() {
+                for &other in &holders[g] {
                     if other != r {
-                        nbr_slots.entry(other).or_default().push(slot);
+                        nbr_slots.entry(other).or_default().push(slot as u32);
                     }
                 }
             }
             let mut nbrs: Vec<(usize, Vec<u32>)> = nbr_slots.into_iter().collect();
             nbrs.sort_by_key(|(rank, _)| *rank);
-            for (_, slots) in nbrs.iter_mut() {
-                slots.sort_unstable();
+            for (_, slots) in nbrs.iter() {
+                debug_assert!(slots.windows(2).all(|w| w[0] < w[1]), "slots canonical");
             }
             patterns.push(RankPattern {
                 n_local: ids.len(),

@@ -134,6 +134,46 @@ fn distributed_matches_serial() {
     });
 }
 
+/// Determinism audit (`sem-net` depends on this): building the same
+/// distributed pattern twice from the same id maps and exchanging the
+/// same data must produce *byte-identical* results, across rank counts —
+/// no HashMap iteration order may leak into the `nbrs`/`ext_slot`
+/// ordering and hence into floating-point combine order.
+#[test]
+fn par_gs_build_is_deterministic() {
+    forall("par_gs_build_is_deterministic", 0x65c0_0006, CASES, |rng| {
+        let p = rng.range(1, 6);
+        let mut ids_per_rank: Vec<Vec<usize>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            // Small gid universe relative to slot count => heavy sharing,
+            // including multiplicity ≥ 3 "corners" across many ranks.
+            let len = rng.range(0, 30);
+            ids_per_rank.push((0..len).map(|_| rng.index(15)).collect());
+        }
+        let data: Vec<Vec<f64>> = ids_per_rank
+            .iter()
+            .map(|ids| rng.vec(ids.len(), -5.0, 5.0))
+            .collect();
+        for op in [GsOp::Add, GsOp::Min, GsOp::Max, GsOp::Mul] {
+            let mut runs: Vec<Vec<u64>> = Vec::new();
+            for _ in 0..2 {
+                let pargs = ParGs::new(&ids_per_rank);
+                let mut comm = SimComm::new(p);
+                let mut fields = data.clone();
+                pargs.gs(&mut fields, op, &mut comm);
+                runs.push(
+                    fields
+                        .iter()
+                        .flatten()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<u64>>(),
+                );
+            }
+            assert_eq!(runs[0], runs[1], "op {op:?}: rebuild changed bits");
+        }
+    });
+}
+
 /// gs_avg produces a consistent field whose per-id value is the mean.
 #[test]
 fn gs_avg_is_mean() {

@@ -1,0 +1,472 @@
+//! The `terasem-launch` parent: spawn N rank processes, supervise them,
+//! and turn a rank death into a recoverable fault.
+//!
+//! The launcher validates the RSB partition *before* spawning anything
+//! (an empty rank is a configuration error with a clean message, never a
+//! hung job), then runs a generation loop: spawn all ranks, wait; if any
+//! rank exits nonzero, kill the stragglers, intersect the per-rank
+//! checkpoint directories for the newest *consistent generation*
+//! ([`sem_ns::consistent_generation`]), and respawn every rank pinned to
+//! that generation. A chaos `--kill` spec is only passed to the first
+//! life, mirroring the soak harness, so the restarted job runs clean.
+//! Restarts are bounded by `--max-restarts`.
+//!
+//! On success the launcher additionally proves the replicated-compute
+//! invariant end-to-end: the final checkpoint files of all ranks must be
+//! byte-identical.
+
+use crate::gs::NetGs;
+use crate::layout::{rank_ckpt_dir, RankLayout};
+use crate::rank::{
+    ENV_KILL, ENV_RANK, ENV_RESUME_STEP, ENV_SIZE, ENV_SOCK_DIR, EXIT_CHAOS_KILL,
+};
+use sem_mesh::generators::box2d;
+use sem_mesh::partition::{cut_edges, partition_rsb, part_sizes, shared_vertices};
+use sem_ns::consistent_generation;
+use sem_ops::SemOps;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::Duration;
+
+/// Parsed `terasem-launch` command line (shared verbatim by the rank
+/// children, which re-parse the same argv and read their role from the
+/// environment).
+#[derive(Clone, Debug)]
+pub struct LaunchOpts {
+    /// `--ranks N`: rank processes to spawn.
+    pub ranks: usize,
+    /// `--steps S`: target step of the run.
+    pub steps: u64,
+    /// `--elems K`: the shear-layer mesh is `K × K` elements.
+    pub kelem: usize,
+    /// `--order N`: polynomial order.
+    pub order: usize,
+    /// `--ckpt-every C`: checkpoint (and validation) interval in steps.
+    pub ckpt_every: u64,
+    /// `--keep-last M`: checkpoint retention per rank. Generous by
+    /// default so pruning can never outrun the consistent-generation
+    /// intersection.
+    pub keep_last: usize,
+    /// `--dir D`: job directory (per-rank checkpoints, sockets).
+    pub dir: PathBuf,
+    /// `--kill R@S`: chaos spec — rank R self-kills after step S.
+    pub kill: Option<(usize, u64)>,
+    /// `--threads a,b,..`: per-rank `TERASEM_THREADS`, cycled. Empty
+    /// leaves the children inheriting the launcher's environment.
+    pub threads: Vec<usize>,
+    /// `--max-restarts R`: bounded recovery attempts.
+    pub max_restarts: usize,
+    /// `--bench-comm`: measure the transport instead of running a solve.
+    pub bench_comm: bool,
+    /// `--timeout T`: transport receive/bootstrap timeout, seconds.
+    pub timeout_secs: f64,
+}
+
+impl Default for LaunchOpts {
+    fn default() -> Self {
+        LaunchOpts {
+            ranks: 2,
+            steps: 12,
+            kelem: 4,
+            order: 5,
+            ckpt_every: 3,
+            keep_last: 64,
+            dir: PathBuf::from("target/terasem-net"),
+            kill: None,
+            threads: Vec::new(),
+            max_restarts: 3,
+            bench_comm: false,
+            timeout_secs: 60.0,
+        }
+    }
+}
+
+impl LaunchOpts {
+    /// Small configuration for unit tests.
+    #[cfg(test)]
+    pub fn for_tests() -> Self {
+        LaunchOpts {
+            kelem: 3,
+            order: 4,
+            ..LaunchOpts::default()
+        }
+    }
+}
+
+/// Usage text for `--help` and parse errors.
+pub const USAGE: &str = "\
+terasem-launch: rank-parallel shear-layer runner (sem-net)
+
+  terasem-launch --ranks N --steps S --dir DIR [options]
+
+options:
+  --ranks N        rank processes to spawn           (default 2)
+  --steps S        run to step S                     (default 12)
+  --elems K        K x K element shear-layer mesh    (default 4)
+  --order N        polynomial order                  (default 5)
+  --ckpt-every C   checkpoint + validation interval  (default 3)
+  --keep-last M    checkpoints retained per rank     (default 64)
+  --dir D          job directory                     (default target/terasem-net)
+  --kill R@S       chaos: rank R exits after step S (first life only)
+  --threads a,b,.. per-rank TERASEM_THREADS, cycled
+  --max-restarts R bounded rank-death recoveries     (default 3)
+  --timeout T      transport timeout, seconds        (default 60)
+  --bench-comm     measure alpha-beta transport model instead of solving
+";
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<LaunchOpts, String> {
+    let mut o = LaunchOpts::default();
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ranks" => o.ranks = num(&value(a, &mut it)?, a)?,
+            "--steps" => o.steps = num(&value(a, &mut it)?, a)?,
+            "--elems" => o.kelem = num(&value(a, &mut it)?, a)?,
+            "--order" => o.order = num(&value(a, &mut it)?, a)?,
+            "--ckpt-every" => o.ckpt_every = num(&value(a, &mut it)?, a)?,
+            "--keep-last" => o.keep_last = num(&value(a, &mut it)?, a)?,
+            "--dir" => o.dir = PathBuf::from(value(a, &mut it)?),
+            "--max-restarts" => o.max_restarts = num(&value(a, &mut it)?, a)?,
+            "--timeout" => {
+                let v = value(a, &mut it)?;
+                o.timeout_secs = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t > 0.0)
+                    .ok_or_else(|| format!("--timeout: bad value {v:?}"))?;
+            }
+            "--kill" => {
+                let v = value(a, &mut it)?;
+                let (r, s) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("--kill: expected RANK@STEP, got {v:?}"))?;
+                o.kill = Some((num(r, a)?, num(s, a)?));
+            }
+            "--threads" => {
+                let v = value(a, &mut it)?;
+                o.threads = v
+                    .split(',')
+                    .map(|t| num(t, a))
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            "--bench-comm" => o.bench_comm = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    if o.ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    if o.steps == 0 || o.kelem == 0 || o.order == 0 {
+        return Err("--steps, --elems, and --order must be positive".into());
+    }
+    Ok(o)
+}
+
+fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.trim()
+        .parse()
+        .map_err(|_| format!("{flag}: bad value {v:?}"))
+}
+
+/// Validate the partition the ranks will use and print the job banner.
+/// This is where an over-decomposed job (more ranks than elements) is
+/// rejected, with the structured [`crate::layout::EmptyRankError`].
+fn validate_partition(opts: &LaunchOpts) -> Result<RankLayout, String> {
+    let mesh = box2d(
+        opts.kelem,
+        opts.kelem,
+        [0.0, 1.0],
+        [0.0, 1.0],
+        true,
+        true,
+    );
+    let part = partition_rsb(&mesh, opts.ranks);
+    let ops = SemOps::new(mesh, opts.order);
+    let layout = RankLayout::new(&ops.num.ids, ops.geo.npts, &part, opts.ranks)
+        .map_err(|e| e.to_string())?;
+    let adj = ops.mesh.adjacency();
+    let traffic: Vec<(u64, u64)> = (0..opts.ranks)
+        .map(|r| NetGs::from_ids(&layout.ids_per_rank, &layout.canon_per_rank, r).traffic_per_call())
+        .collect();
+    println!(
+        "terasem-launch: K={} elements over {} rank(s) (RSB): sizes {:?}, \
+         {} cut faces, {} shared vertices",
+        ops.k(),
+        opts.ranks,
+        part_sizes(&part, opts.ranks),
+        cut_edges(&adj, &part),
+        shared_vertices(&ops.mesh, &part),
+    );
+    println!(
+        "terasem-launch: gather-scatter traffic per call per rank: {:?} (msgs, words)",
+        traffic
+    );
+    Ok(layout)
+}
+
+fn spawn_ranks(
+    opts: &LaunchOpts,
+    exe: &std::path::Path,
+    argv: &[String],
+    attempt: usize,
+    resume: Option<u64>,
+) -> std::io::Result<Vec<Child>> {
+    // A fresh socket directory per generation: no stale-socket races.
+    let sock_dir = opts.dir.join(format!("sock_{attempt}"));
+    let _ = std::fs::remove_dir_all(&sock_dir);
+    std::fs::create_dir_all(&sock_dir)?;
+    let mut children = Vec::with_capacity(opts.ranks);
+    for r in 0..opts.ranks {
+        let mut cmd = Command::new(exe);
+        cmd.args(argv)
+            .env(ENV_RANK, r.to_string())
+            .env(ENV_SIZE, opts.ranks.to_string())
+            .env(ENV_SOCK_DIR, &sock_dir);
+        match resume {
+            Some(g) => {
+                cmd.env(ENV_RESUME_STEP, g.to_string());
+            }
+            None => {
+                cmd.env_remove(ENV_RESUME_STEP);
+            }
+        }
+        match opts.kill {
+            // Chaos kill only in the first life, like the soak harness.
+            Some((kr, ks)) if attempt == 0 => {
+                cmd.env(ENV_KILL, format!("{kr}@{ks}"));
+            }
+            _ => {
+                cmd.env_remove(ENV_KILL);
+            }
+        }
+        if !opts.threads.is_empty() {
+            let t = opts.threads[r % opts.threads.len()];
+            cmd.env("TERASEM_THREADS", t.to_string());
+        }
+        children.push(cmd.spawn()?);
+    }
+    Ok(children)
+}
+
+/// Wait for all children; on the first nonzero exit, kill the rest.
+/// Returns `(rank, code)` per failed rank (empty = clean generation).
+fn supervise(children: &mut Vec<Child>) -> Vec<(usize, i32)> {
+    let mut status: Vec<Option<i32>> = vec![None; children.len()];
+    let mut failed: Vec<(usize, i32)> = Vec::new();
+    loop {
+        let mut running = false;
+        for (r, child) in children.iter_mut().enumerate() {
+            if status[r].is_some() {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(st)) => {
+                    let code = st.code().unwrap_or(-1);
+                    status[r] = Some(code);
+                    if code != 0 {
+                        failed.push((r, code));
+                    }
+                }
+                Ok(None) => running = true,
+                Err(_) => {
+                    status[r] = Some(-1);
+                    failed.push((r, -1));
+                }
+            }
+        }
+        if !failed.is_empty() {
+            // A dead rank stalls every peer at the next collective; put
+            // the generation down now rather than waiting for timeouts.
+            for (r, child) in children.iter_mut().enumerate() {
+                if status[r].is_none() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+            return failed;
+        }
+        if !running {
+            return failed;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Compare the final checkpoint files of all ranks byte-for-byte.
+fn final_checkpoints_identical(opts: &LaunchOpts) -> Result<(), String> {
+    let name = format!("ckpt_{:08}.ckpt", opts.steps);
+    let mut reference: Option<Vec<u8>> = None;
+    for r in 0..opts.ranks {
+        let path = rank_ckpt_dir(&opts.dir, r).join(&name);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("missing final checkpoint {}: {e}", path.display()))?;
+        match &reference {
+            None => reference = Some(bytes),
+            Some(want) if *want == bytes => {}
+            Some(_) => {
+                return Err(format!(
+                    "final checkpoint of rank {r} differs from rank 0 ({name})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Launcher entry point. Returns the process exit code.
+pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
+    if let Err(e) = validate_partition(opts) {
+        eprintln!("terasem-launch: {e}");
+        return 2;
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("terasem-launch: cannot locate own binary: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&opts.dir) {
+        eprintln!("terasem-launch: cannot create {}: {e}", opts.dir.display());
+        return 1;
+    }
+    let rank_dirs: Vec<PathBuf> = (0..opts.ranks).map(|r| rank_ckpt_dir(&opts.dir, r)).collect();
+    let mut restarts = 0usize;
+    for attempt in 0.. {
+        let resume = if attempt == 0 {
+            None
+        } else {
+            let gen = consistent_generation(&rank_dirs);
+            if gen.is_none() {
+                // Nothing consistent on disk: restart from scratch, and
+                // clear any partial generations so no rank resumes ahead
+                // of the others.
+                for d in &rank_dirs {
+                    let _ = std::fs::remove_dir_all(d);
+                }
+            }
+            gen
+        };
+        if attempt > 0 {
+            eprintln!(
+                "terasem-launch: restart {attempt}/{}: resuming all ranks from {}",
+                opts.max_restarts,
+                resume
+                    .map(|g| format!("generation {g}"))
+                    .unwrap_or_else(|| "scratch".into())
+            );
+        }
+        let mut children = match spawn_ranks(opts, &exe, argv, attempt, resume) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("terasem-launch: spawn failed: {e}");
+                return 1;
+            }
+        };
+        let failed = supervise(&mut children);
+        if failed.is_empty() {
+            if !opts.bench_comm {
+                if let Err(e) = final_checkpoints_identical(opts) {
+                    eprintln!("terasem-launch: {e}");
+                    return 1;
+                }
+                println!(
+                    "terasem-launch: final checkpoints byte-identical across {} rank(s)",
+                    opts.ranks
+                );
+            }
+            println!(
+                "terasem-launch: OK ({} rank(s), {} restart(s))",
+                opts.ranks, restarts
+            );
+            return 0;
+        }
+        for (r, code) in &failed {
+            let kind = match *code {
+                EXIT_CHAOS_KILL => "chaos kill",
+                7 => "divergence abort",
+                8 => "peer lost",
+                _ => "failure",
+            };
+            eprintln!("terasem-launch: rank {r} exited with code {code} ({kind})");
+        }
+        if opts.bench_comm {
+            eprintln!("terasem-launch: bench run failed");
+            return 1;
+        }
+        restarts += 1;
+        if restarts > opts.max_restarts {
+            eprintln!(
+                "terasem-launch: giving up after {} restart(s)",
+                opts.max_restarts
+            );
+            return 1;
+        }
+    }
+    unreachable!("the generation loop always returns");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_round_trip() {
+        let o = parse_args(&strs(&[
+            "--ranks", "4", "--steps", "10", "--elems", "3", "--order", "6", "--ckpt-every",
+            "2", "--keep-last", "9", "--dir", "/tmp/x", "--kill", "2@7", "--threads", "1,2",
+            "--max-restarts", "5", "--timeout", "12.5",
+        ]))
+        .unwrap();
+        assert_eq!(o.ranks, 4);
+        assert_eq!(o.steps, 10);
+        assert_eq!(o.kelem, 3);
+        assert_eq!(o.order, 6);
+        assert_eq!(o.ckpt_every, 2);
+        assert_eq!(o.keep_last, 9);
+        assert_eq!(o.dir, PathBuf::from("/tmp/x"));
+        assert_eq!(o.kill, Some((2, 7)));
+        assert_eq!(o.threads, vec![1, 2]);
+        assert_eq!(o.max_restarts, 5);
+        assert!((o.timeout_secs - 12.5).abs() < 1e-12);
+        assert!(!o.bench_comm);
+    }
+
+    #[test]
+    fn bad_args_are_rejected_with_messages() {
+        assert!(parse_args(&strs(&["--ranks"])).unwrap_err().contains("value"));
+        assert!(parse_args(&strs(&["--ranks", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_args(&strs(&["--kill", "3"]))
+            .unwrap_err()
+            .contains("RANK@STEP"));
+        assert!(parse_args(&strs(&["--wat"])).unwrap_err().contains("unknown"));
+        assert!(parse_args(&strs(&["--help"])).unwrap_err().contains("terasem-launch"));
+    }
+
+    /// The satellite guarantee at the launcher level: a partition that
+    /// would leave ranks empty is rejected before any process spawns.
+    #[test]
+    fn over_decomposed_partition_is_rejected_cleanly() {
+        let opts = LaunchOpts {
+            kelem: 2, // 4 elements
+            ranks: 5,
+            ..LaunchOpts::default()
+        };
+        let err = validate_partition(&opts).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        assert!(err.contains("at most 4 ranks"), "{err}");
+    }
+}

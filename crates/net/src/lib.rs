@@ -1,0 +1,50 @@
+//! # sem-net
+//!
+//! Rank-parallel scale-out: the workspace's algorithms running as real
+//! cooperating *processes*, not simulated ranks. The paper's machine was
+//! a distributed-memory MPP driven by MPI/NX; this crate reproduces that
+//! execution shape on one machine with a hand-rolled, zero-dependency
+//! transport — Unix-domain sockets between locally spawned rank
+//! processes ([`transport`]) — and a `terasem-launch` binary that
+//! spawns, supervises, and restarts the ranks ([`launch`]).
+//!
+//! The execution model is **replicated compute, distributed exchange**:
+//!
+//! * Every rank advances the full Navier–Stokes solve. The workspace's
+//!   determinism guarantee (bitwise-identical steps at any
+//!   `TERASEM_THREADS`, any backend, across checkpoint/resume) makes the
+//!   ranks bitwise replicas — which is both the simplest correct SPMD
+//!   decomposition of a solver whose data distribution is still
+//!   simulated, and a continuously-checked invariant: ranks cross-check
+//!   field hashes every validation interval.
+//! * The gather-scatter really is distributed: [`gs::NetGs`] partitions
+//!   the element set with RSB ([`layout::RankLayout`]), exchanges shared
+//!   dof copies over the sockets with `ParGs`'s neighbor pattern, and
+//!   folds in canonical order so its result is bitwise-identical to the
+//!   serial `GsHandle` — validated against the live solver fields every
+//!   interval.
+//! * Rank death is a *recoverable fault*: each rank checkpoints
+//!   independently ([`sem_ns::supervisor`]); when a rank dies the
+//!   launcher kills the stragglers, intersects the per-rank checkpoint
+//!   generations (`consistent_generation`), and respawns everything from
+//!   the newest common generation. The resumed run is bitwise-identical
+//!   to an uninterrupted one.
+//! * The α–β machine model is wired to *measured* exchange times:
+//!   [`comm::NetComm`] records per-op timing samples,
+//!   `terasem-launch --bench-comm` fits `sem_comm::fit_alpha_beta` from
+//!   ping-pongs and compares measured neighbor-exchange and allreduce
+//!   times against the fitted model and the ASCI-Red preset, with the
+//!   same `CostBreakdown` reporting the simulator uses.
+
+pub mod comm;
+pub mod gs;
+pub mod launch;
+pub mod layout;
+pub mod rank;
+pub mod transport;
+
+pub use comm::{CommTimings, NetComm};
+pub use gs::NetGs;
+pub use launch::LaunchOpts;
+pub use layout::{EmptyRankError, RankLayout};
+pub use transport::{NetError, Transport};

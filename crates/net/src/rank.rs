@@ -1,0 +1,446 @@
+//! Rank-process main loop: what each child of `terasem-launch` runs.
+//!
+//! A rank advances the replicated shear-layer solve under the `sem-run`
+//! supervisor, with the distributed consistency machinery hung on the
+//! per-step observer hook ([`sem_ns::RunSupervisor::run_to_with`]):
+//! every validation interval (= the checkpoint interval, so nothing
+//! inconsistent is ever checkpointed) the ranks
+//!
+//! 1. allgather an FNV-1a hash over the full solution bits and verify
+//!    all ranks agree (the replicated-compute invariant), and
+//! 2. run the *distributed* gather-scatter on this rank's owned-element
+//!    block of the live velocity field and verify it is bitwise-equal
+//!    to the serial assembly of the same data.
+//!
+//! Failures map to distinct exit codes the launcher understands:
+//! divergence aborts through [`sem_ns::GiveUpReason::Aborted`] — which
+//! deliberately writes **no** exit checkpoint — while a lost peer exits
+//! the same way but reports transport failure. A `--kill rank@step`
+//! chaos spec makes the named rank exit hard after committing that step
+//! (first life only), mirroring the soak harness's kill semantics.
+
+use crate::comm::{CommTimings, NetComm, CLASS_PING};
+use crate::gs::NetGs;
+use crate::launch::LaunchOpts;
+use crate::layout::{rank_ckpt_dir, RankLayout};
+use crate::transport::Transport;
+use sem_comm::{fit_alpha_beta, MachineModel, RankLedger};
+use sem_gs::GsOp;
+use sem_mesh::partition::partition_rsb;
+use sem_ns::{GiveUpReason, NsSolver, RunPolicy, RunSupervisor};
+use std::time::Duration;
+
+/// Child environment: rank index (presence selects rank mode).
+pub const ENV_RANK: &str = "TERASEM_NET_RANK";
+/// Child environment: total ranks.
+pub const ENV_SIZE: &str = "TERASEM_NET_SIZE";
+/// Child environment: socket directory for this generation.
+pub const ENV_SOCK_DIR: &str = "TERASEM_NET_SOCK_DIR";
+/// Child environment: generation to resume from (restart path).
+pub const ENV_RESUME_STEP: &str = "TERASEM_NET_RESUME_STEP";
+/// Child environment: `rank@step` chaos-kill spec (first life only).
+pub const ENV_KILL: &str = "TERASEM_NET_KILL";
+
+/// Clean exit.
+pub const EXIT_OK: i32 = 0;
+/// Configuration rejected (bad partition, bad resume generation).
+pub const EXIT_USAGE: i32 = 2;
+/// Cross-rank divergence detected (hash or gather-scatter mismatch).
+pub const EXIT_DIVERGED: i32 = 7;
+/// A peer died or the transport failed.
+pub const EXIT_PEER_LOST: i32 = 8;
+/// Deterministic chaos self-kill (`--kill`), mirroring the soak harness.
+pub const EXIT_CHAOS_KILL: i32 = 9;
+
+/// Read the child-mode environment: `Some((rank, size))` in a rank
+/// process, `None` in the launcher.
+pub fn rank_env() -> Option<(usize, usize)> {
+    let rank = std::env::var(ENV_RANK).ok()?.parse().ok()?;
+    let size = std::env::var(ENV_SIZE).ok()?.parse().ok()?;
+    Some((rank, size))
+}
+
+/// The replicated workload every rank advances: the Fig. 3 shear layer
+/// at smoke scale (doubly periodic, OIFS, deterministic).
+pub fn build_solver(opts: &LaunchOpts) -> NsSolver {
+    sem_bench::workloads::shear_layer(opts.kelem, opts.order, 30.0, 1e5, 0.3, 2e-3)
+}
+
+/// FNV-1a over the solution bits: both velocity components, pressure,
+/// time, and step index. Any cross-rank drift flips it.
+fn solution_hash(s: &NsSolver) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for comp in &s.vel {
+        for v in comp {
+            eat(v.to_bits());
+        }
+    }
+    for v in &s.pressure {
+        eat(v.to_bits());
+    }
+    eat(s.time.to_bits());
+    eat(s.step_index as u64);
+    h
+}
+
+/// One validation pass (see module docs). Error strings are prefixed so
+/// the caller can map them to exit codes.
+fn validate(
+    s: &NsSolver,
+    layout: &RankLayout,
+    netgs: &NetGs,
+    comm: &mut NetComm,
+) -> Result<(), String> {
+    let rank = comm.rank();
+    let step = s.step_index;
+    // 1. Replicated-compute invariant: identical solution bits everywhere.
+    let mine = solution_hash(s);
+    let hashes = comm
+        .allgather_u64s(&[mine])
+        .map_err(|e| format!("peer-lost: hash allgather at step {step}: {e}"))?;
+    for (r, h) in hashes.iter().enumerate() {
+        if h[0] != mine {
+            return Err(format!(
+                "diverged: rank {rank} hash {mine:#018x} != rank {r} hash {:#018x} at step {step}",
+                h[0]
+            ));
+        }
+    }
+    // 2. Distributed gather-scatter vs serial assembly, on live data.
+    let mut dist = layout.extract(rank, &s.vel[0]);
+    netgs
+        .gs(&mut dist, GsOp::Add, comm)
+        .map_err(|e| format!("peer-lost: gs exchange at step {step}: {e}"))?;
+    let mut full = s.vel[0].clone();
+    s.ops.gs.gs(&mut full, GsOp::Add);
+    let want = layout.extract(rank, &full);
+    for (slot, (d, w)) in dist.iter().zip(want.iter()).enumerate() {
+        if d.to_bits() != w.to_bits() {
+            return Err(format!(
+                "diverged: NetGs result differs from serial assembly at step {step}, \
+                 rank {rank} slot {slot}: {d:e} vs {w:e}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn transport_from_env(opts: &LaunchOpts, rank: usize, size: usize) -> Result<Transport, String> {
+    let sock_dir = std::env::var(ENV_SOCK_DIR).map_err(|_| format!("{ENV_SOCK_DIR} unset"))?;
+    Transport::bootstrap(
+        std::path::Path::new(&sock_dir),
+        rank,
+        size,
+        Duration::from_secs_f64(opts.timeout_secs),
+    )
+    .map_err(|e| format!("bootstrap failed: {e}"))
+}
+
+fn parse_kill_env() -> Option<(usize, u64)> {
+    let spec = std::env::var(ENV_KILL).ok()?;
+    let (r, s) = spec.split_once('@')?;
+    Some((r.parse().ok()?, s.parse().ok()?))
+}
+
+/// Entry point of a rank process. Returns the process exit code.
+pub fn rank_main(opts: &LaunchOpts, rank: usize, size: usize) -> i32 {
+    let transport = match transport_from_env(opts, rank, size) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("terasem-net rank {rank}: {e}");
+            return EXIT_PEER_LOST;
+        }
+    };
+    let mut comm = NetComm::new(transport);
+    if opts.bench_comm {
+        return bench_comm_main(opts, &mut comm);
+    }
+    let mut solver = build_solver(opts);
+    let ckpt_dir = rank_ckpt_dir(&opts.dir, rank);
+    solver.cfg.run = RunPolicy::checkpointing(&ckpt_dir, opts.ckpt_every, opts.keep_last);
+    let part = partition_rsb(&solver.ops.mesh, size);
+    let layout = match RankLayout::new(&solver.ops.num.ids, solver.ops.geo.npts, &part, size) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("terasem-net rank {rank}: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let netgs = NetGs::new(&layout, rank);
+    let mut sup = RunSupervisor::new(solver);
+    if let Ok(step) = std::env::var(ENV_RESUME_STEP) {
+        let step: u64 = match step.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("terasem-net rank {rank}: bad {ENV_RESUME_STEP} {step:?}");
+                return EXIT_USAGE;
+            }
+        };
+        match sup.resume_from_step(step) {
+            Ok(_) => eprintln!("terasem-net rank {rank}: resumed from generation {step}"),
+            Err(e) => {
+                eprintln!("terasem-net rank {rank}: resume from {step} failed: {e}");
+                return EXIT_USAGE;
+            }
+        }
+    }
+    // All transports up and all ranks at the same step before stepping.
+    if let Err(e) = comm.barrier() {
+        eprintln!("terasem-net rank {rank}: start barrier failed: {e}");
+        return EXIT_PEER_LOST;
+    }
+    let kill = parse_kill_env().filter(|&(kr, _)| kr == rank);
+    let (target, every) = (opts.steps, opts.ckpt_every.max(1));
+    let result = sup.run_to_with(target, |s, _stats| {
+        let step = s.step_index as u64;
+        if let Some((_, ks)) = kill {
+            if step == ks {
+                eprintln!("terasem-net rank {rank}: chaos kill after committing step {step}");
+                std::process::exit(EXIT_CHAOS_KILL);
+            }
+        }
+        if step % every == 0 || step == target {
+            validate(s, &layout, &netgs, &mut comm)?;
+        }
+        Ok(())
+    });
+    match result {
+        Ok(report) => {
+            let exchange_mean = CommTimings::mean_secs(&comm.timings.exchange);
+            match comm.global_stats() {
+                Ok(stats) if rank == 0 => {
+                    let (msgs_call, words_call) = netgs.traffic_per_call();
+                    println!(
+                        "terasem-net: {size} rank(s) reached step {target} \
+                         ({} step(s) this life{})",
+                        report.steps.len(),
+                        report
+                            .resumed_from
+                            .map(|g| format!(", resumed from {g}"))
+                            .unwrap_or_default(),
+                    );
+                    println!(
+                        "terasem-net: comm totals: {} msgs, {} bytes, {} rounds \
+                         (per-rank max {} msgs / {} bytes)",
+                        stats.messages,
+                        stats.bytes,
+                        stats.rounds,
+                        stats.max_msgs_per_rank,
+                        stats.max_bytes_per_rank
+                    );
+                    if let Some(mean) = exchange_mean {
+                        // The α–β model of the validated exchange, under
+                        // the ASCI-Red preset for scale reference.
+                        let model = MachineModel::asci_red_333_single();
+                        let mut ledger = RankLedger::new(size);
+                        for r in 0..size {
+                            let g = NetGs::from_ids(&layout.ids_per_rank, &layout.canon_per_rank, r);
+                            let (m, w) = g.traffic_per_call();
+                            for _ in 0..m {
+                                ledger.charge_msg(r, 8 * w / m.max(1));
+                            }
+                        }
+                        let est = ledger.estimate(&model);
+                        println!(
+                            "terasem-net: neighbor exchange ({msgs_call} msgs, {words_call} words \
+                             per call): measured mean {:.1} us, ASCI-Red model {:.1} us",
+                            mean * 1e6,
+                            est.total() * 1e6
+                        );
+                    }
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("terasem-net rank {rank}: final stats gather failed: {e}");
+                    return EXIT_PEER_LOST;
+                }
+            }
+            EXIT_OK
+        }
+        Err(err) => {
+            eprintln!("terasem-net rank {rank}: {err}");
+            match &err.reason {
+                GiveUpReason::Aborted(why) if why.starts_with("peer-lost:") => EXIT_PEER_LOST,
+                GiveUpReason::Aborted(_) => EXIT_DIVERGED,
+                _ => EXIT_DIVERGED,
+            }
+        }
+    }
+}
+
+/// Ping-pong sizes for the α–β fit (payload bytes).
+const PING_SIZES: [usize; 6] = [0, 64, 1024, 8192, 65536, 524288];
+/// Timed repetitions per size (plus warmup).
+const PING_REPS: usize = 24;
+const PING_WARMUP: usize = 4;
+/// Repetitions of the exchange/allreduce microbenchmarks.
+const OP_REPS: usize = 40;
+
+/// `--bench-comm`: measure the transport, fit the α–β model, and compare
+/// measured collective times against the fitted model and the ASCI-Red
+/// preset with the simulator's `CostBreakdown` reporting.
+fn bench_comm_main(opts: &LaunchOpts, comm: &mut NetComm) -> i32 {
+    let (rank, size) = (comm.rank(), comm.size());
+    if let Err(e) = comm.barrier() {
+        eprintln!("terasem-net rank {rank}: bench barrier failed: {e}");
+        return EXIT_PEER_LOST;
+    }
+    // Ping-pong between ranks 0 and 1: half round-trip per sample.
+    let mut samples: Vec<(u64, f64)> = Vec::new();
+    if size >= 2 && rank <= 1 {
+        let peer = 1 - rank;
+        for &bytes in &PING_SIZES {
+            let payload = vec![0x5au8; bytes];
+            for rep in 0..PING_REPS + PING_WARMUP {
+                let t0 = std::time::Instant::now();
+                let res = if rank == 0 {
+                    comm.transport()
+                        .send(peer, CLASS_PING, &payload)
+                        .and_then(|()| comm.transport().recv(peer, CLASS_PING))
+                } else {
+                    comm.transport()
+                        .recv(peer, CLASS_PING)
+                        .and_then(|echo| comm.transport().send(peer, CLASS_PING, &echo).map(|()| vec![]))
+                };
+                if let Err(e) = res {
+                    eprintln!("terasem-net rank {rank}: ping-pong failed: {e}");
+                    return EXIT_PEER_LOST;
+                }
+                if rank == 0 && rep >= PING_WARMUP {
+                    samples.push((bytes as u64, t0.elapsed().as_secs_f64() / 2.0));
+                }
+            }
+        }
+    }
+    // Exchange + allreduce microbenchmarks on the real solver pattern.
+    let solver = build_solver(opts);
+    let part = partition_rsb(&solver.ops.mesh, size);
+    let layout = match RankLayout::new(&solver.ops.num.ids, solver.ops.geo.npts, &part, size) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("terasem-net rank {rank}: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let netgs = NetGs::new(&layout, rank);
+    let mut field = layout.extract(rank, &solver.vel[0]);
+    if let Err(e) = comm.barrier() {
+        eprintln!("terasem-net rank {rank}: {e}");
+        return EXIT_PEER_LOST;
+    }
+    comm.timings = CommTimings::default();
+    for _ in 0..OP_REPS {
+        if let Err(e) = netgs.gs(&mut field, GsOp::Add, comm) {
+            eprintln!("terasem-net rank {rank}: bench exchange failed: {e}");
+            return EXIT_PEER_LOST;
+        }
+    }
+    let exchange_mean = CommTimings::mean_secs(&comm.timings.exchange);
+    comm.timings = CommTimings::default();
+    for i in 0..OP_REPS {
+        if comm.allreduce_sum(i as f64).is_err() {
+            eprintln!("terasem-net rank {rank}: bench allreduce failed");
+            return EXIT_PEER_LOST;
+        }
+    }
+    let allreduce_mean = CommTimings::mean_secs(&comm.timings.allreduce);
+    if rank != 0 {
+        return EXIT_OK;
+    }
+    // Report (rank 0): fit, then model-vs-measured under CostBreakdown.
+    println!("terasem-net --bench-comm: {size} rank(s), local Unix-socket transport");
+    let fitted = fit_alpha_beta(&samples);
+    let asci = MachineModel::asci_red_333_single();
+    let measured = match fitted {
+        Some((alpha, beta)) => {
+            println!(
+                "  ping-pong fit: alpha = {:.2} us, beta = {:.3} ns/byte \
+                 ({} samples over {:?} bytes)",
+                alpha * 1e6,
+                beta * 1e9,
+                samples.len(),
+                PING_SIZES
+            );
+            println!(
+                "  ASCI-Red-333 preset: alpha = {:.2} us, beta = {:.3} ns/byte",
+                asci.latency * 1e6,
+                asci.inv_bandwidth * 1e9
+            );
+            Some(MachineModel::measured(alpha, beta, asci.flop_rate))
+        }
+        None => {
+            println!("  ping-pong fit unavailable (need >= 2 ranks)");
+            None
+        }
+    };
+    let (msgs_call, words_call) = netgs.traffic_per_call();
+    if let Some(mean) = exchange_mean {
+        println!(
+            "  neighbor exchange (shear layer K={}, N={}, {} nbr msgs / {} words per call):",
+            opts.kelem * opts.kelem,
+            opts.order,
+            msgs_call,
+            words_call
+        );
+        println!("    measured mean: {:>9.2} us", mean * 1e6);
+        for model in [measured.as_ref(), Some(&asci)].into_iter().flatten() {
+            // CostBreakdown of one exchange call on this rank's pattern.
+            let mut ledger = RankLedger::new(size);
+            for r in 0..size {
+                let g = NetGs::from_ids(&layout.ids_per_rank, &layout.canon_per_rank, r);
+                let (m, w) = g.traffic_per_call();
+                let per_msg = if m > 0 { 8 * w / m } else { 0 };
+                for _ in 0..m {
+                    ledger.charge_msg(r, per_msg);
+                }
+            }
+            let est = ledger.estimate(model);
+            println!(
+                "    {:<22} {:>9.2} us  (latency {:.2} us + bandwidth {:.3} us)",
+                format!("model [{}]:", model.name),
+                est.total() * 1e6,
+                est.latency * 1e6,
+                est.bandwidth * 1e6
+            );
+        }
+    }
+    if let Some(mean) = allreduce_mean {
+        println!("  allreduce (8 bytes):");
+        println!("    measured mean: {:>9.2} us", mean * 1e6);
+        for model in [measured.as_ref(), Some(&asci)].into_iter().flatten() {
+            println!(
+                "    {:<22} {:>9.2} us",
+                format!("model [{}]:", model.name),
+                model.allreduce_time(size, 8) * 1e6
+            );
+        }
+    }
+    EXIT_OK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_hash_is_sensitive_to_every_field() {
+        let opts = LaunchOpts::for_tests();
+        let mut s = build_solver(&opts);
+        let h0 = solution_hash(&s);
+        assert_eq!(h0, solution_hash(&s), "hash must be deterministic");
+        s.vel[0][3] += 1e-15;
+        let h1 = solution_hash(&s);
+        assert_ne!(h0, h1, "velocity bits must matter");
+        s.vel[0][3] -= 1e-15;
+        s.pressure[0] = f64::from_bits(s.pressure[0].to_bits() ^ 1);
+        assert_ne!(solution_hash(&s), h1, "pressure bits must matter");
+    }
+}

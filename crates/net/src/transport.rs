@@ -1,0 +1,513 @@
+//! Unix-domain-socket rank mesh: the zero-dependency transport under
+//! `sem-net`.
+//!
+//! Every rank of a `P`-rank job owns a listening socket
+//! `<dir>/rank_<r>.sock`. Bootstrap builds the full pairwise mesh with a
+//! deterministic handshake: each rank binds its own listener *first*,
+//! then dials every lower rank (retrying until that rank's listener
+//! appears) and sends a 4-byte hello carrying its rank, while accepting
+//! connections (and hellos) from every higher rank. The result is one
+//! duplex stream per peer.
+//!
+//! Framing is `[u32 tag][u64 len][len bytes]`, all little-endian. Tags
+//! carry a protocol class plus a per-pair sequence number, so a receive
+//! that pops an unexpected frame fails loudly instead of silently
+//! reinterpreting bytes — the per-pair protocols are deterministic, so
+//! any mismatch is a bug, not a race.
+//!
+//! Each peer stream gets a reader thread that drains the socket into an
+//! in-memory inbox (`Mutex<VecDeque>` + `Condvar`). This keeps the
+//! socket's kernel buffer empty so symmetric neighbor exchanges — every
+//! rank writes all its outgoing messages before reading any — cannot
+//! deadlock on buffer backpressure, and it converts a peer's death
+//! (EOF or reset) into a persistent `dead` marker that fails every
+//! subsequent receive immediately rather than hanging until timeout.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Largest accepted frame payload (1 GiB): anything bigger is treated as
+/// a corrupt header rather than an allocation request.
+const MAX_FRAME: u64 = 1 << 30;
+
+/// Transport failure, always attributed to a peer where one is known.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error outside an established link.
+    Io(io::Error),
+    /// The peer's stream hit EOF or a write failed: the rank is gone.
+    PeerDead { peer: usize },
+    /// No frame (or no connection) from `peer` within the timeout.
+    Timeout { peer: usize, waited: Duration },
+    /// A frame arrived whose tag does not match the deterministic
+    /// per-pair protocol — a sequencing bug, never a recoverable fault.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport i/o error: {e}"),
+            NetError::PeerDead { peer } => write!(f, "rank {peer} is dead (socket closed)"),
+            NetError::Timeout { peer, waited } => {
+                write!(f, "timed out waiting {waited:?} for rank {peer}")
+            }
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Socket path of rank `r` under `dir`.
+pub fn sock_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank_{rank}.sock"))
+}
+
+#[derive(Default)]
+struct InboxState {
+    frames: VecDeque<(u32, Vec<u8>)>,
+    dead: bool,
+}
+
+#[derive(Default)]
+struct Inbox {
+    state: Mutex<InboxState>,
+    cv: Condvar,
+}
+
+struct Link {
+    writer: UnixStream,
+    inbox: Arc<Inbox>,
+    reader: Option<JoinHandle<()>>,
+    /// Per-pair send/recv sequence numbers folded into frame tags.
+    send_seq: u32,
+    recv_seq: u32,
+}
+
+fn read_frame(stream: &mut impl Read) -> io::Result<(u32, Vec<u8>)> {
+    let mut header = [0u8; 12];
+    stream.read_exact(&mut header)?;
+    let tag = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let len = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+impl Link {
+    fn spawn(stream: UnixStream) -> io::Result<Link> {
+        let writer = stream.try_clone()?;
+        let inbox = Arc::new(Inbox::default());
+        let inbox2 = Arc::clone(&inbox);
+        let mut reader_stream = stream;
+        let reader = std::thread::spawn(move || loop {
+            match read_frame(&mut reader_stream) {
+                Ok(frame) => {
+                    let mut st = inbox2.state.lock().unwrap();
+                    st.frames.push_back(frame);
+                    inbox2.cv.notify_all();
+                }
+                Err(_) => {
+                    // EOF, reset, or a corrupt header: either way the
+                    // link is unusable — mark it dead and stop.
+                    let mut st = inbox2.state.lock().unwrap();
+                    st.dead = true;
+                    inbox2.cv.notify_all();
+                    return;
+                }
+            }
+        });
+        Ok(Link {
+            writer,
+            inbox,
+            reader: Some(reader),
+            send_seq: 0,
+            recv_seq: 0,
+        })
+    }
+}
+
+/// Compose a frame tag from a protocol class and a per-pair sequence
+/// number (24 bits, wrapping — both sides wrap together).
+fn tag_of(class: u8, seq: u32) -> u32 {
+    (class as u32) | ((seq & 0x00ff_ffff) << 8)
+}
+
+/// One rank's view of the fully-connected rank mesh.
+pub struct Transport {
+    rank: usize,
+    size: usize,
+    timeout: Duration,
+    links: Vec<Option<Link>>,
+}
+
+fn dial_with_retry(path: &Path, deadline: Instant, peer: usize) -> Result<UnixStream, NetError> {
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return Ok(s),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                return Err(NetError::Timeout {
+                    peer,
+                    waited: Duration::from_secs(0),
+                })
+            }
+        }
+    }
+}
+
+impl Transport {
+    /// Build the pairwise mesh for `rank` of a `size`-rank job rooted at
+    /// `dir`. Blocks until every peer link is up or `timeout` passes.
+    pub fn bootstrap(
+        dir: &Path,
+        rank: usize,
+        size: usize,
+        timeout: Duration,
+    ) -> Result<Transport, NetError> {
+        assert!(size >= 1, "need at least one rank");
+        assert!(rank < size, "rank {rank} out of range for size {size}");
+        std::fs::create_dir_all(dir)?;
+        let my_path = sock_path(dir, rank);
+        // A stale socket file from a previous life would make bind fail.
+        let _ = std::fs::remove_file(&my_path);
+        let listener = UnixListener::bind(&my_path)?;
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + timeout;
+        let mut links: Vec<Option<Link>> = (0..size).map(|_| None).collect();
+        // Dial every lower rank; their listeners may not exist yet.
+        for peer in 0..rank {
+            let mut stream = dial_with_retry(&sock_path(dir, peer), deadline, peer)?;
+            stream.write_all(&(rank as u32).to_le_bytes())?;
+            links[peer] = Some(Link::spawn(stream)?);
+        }
+        // Accept (and identify) every higher rank.
+        let mut missing = size - rank - 1;
+        while missing > 0 {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(timeout))?;
+                    let mut hello = [0u8; 4];
+                    stream.read_exact(&mut hello)?;
+                    stream.set_read_timeout(None)?;
+                    let peer = u32::from_le_bytes(hello) as usize;
+                    if peer <= rank || peer >= size {
+                        return Err(NetError::Protocol(format!(
+                            "rank {rank} accepted a hello from invalid rank {peer}"
+                        )));
+                    }
+                    if links[peer].is_some() {
+                        return Err(NetError::Protocol(format!(
+                            "rank {peer} connected to rank {rank} twice"
+                        )));
+                    }
+                    links[peer] = Some(Link::spawn(stream)?);
+                    missing -= 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout {
+                            peer: usize::MAX,
+                            waited: timeout,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(Transport {
+            rank,
+            size,
+            timeout,
+            links,
+        })
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the job.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn link_mut(&mut self, peer: usize) -> Result<&mut Link, NetError> {
+        if peer == self.rank || peer >= self.size {
+            return Err(NetError::Protocol(format!(
+                "rank {} addressed invalid peer {peer}",
+                self.rank
+            )));
+        }
+        Ok(self.links[peer].as_mut().expect("mesh link exists"))
+    }
+
+    /// Send one framed message of protocol class `class` to `peer`.
+    pub fn send(&mut self, peer: usize, class: u8, payload: &[u8]) -> Result<(), NetError> {
+        let link = self.link_mut(peer)?;
+        let tag = tag_of(class, link.send_seq);
+        link.send_seq = link.send_seq.wrapping_add(1);
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&tag.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(payload);
+        link.writer
+            .write_all(&frame)
+            .map_err(|_| NetError::PeerDead { peer })
+    }
+
+    /// Receive the next frame from `peer`, which the deterministic
+    /// per-pair protocol says must carry class `class` at this point.
+    pub fn recv(&mut self, peer: usize, class: u8) -> Result<Vec<u8>, NetError> {
+        let timeout = self.timeout;
+        let my_rank = self.rank;
+        let link = self.link_mut(peer)?;
+        let want = tag_of(class, link.recv_seq);
+        link.recv_seq = link.recv_seq.wrapping_add(1);
+        let deadline = Instant::now() + timeout;
+        let mut st = link.inbox.state.lock().unwrap();
+        loop {
+            if let Some((tag, payload)) = st.frames.pop_front() {
+                if tag != want {
+                    return Err(NetError::Protocol(format!(
+                        "rank {my_rank} expected tag {want:#x} from rank {peer}, got {tag:#x}"
+                    )));
+                }
+                return Ok(payload);
+            }
+            if st.dead {
+                return Err(NetError::PeerDead { peer });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout {
+                    peer,
+                    waited: timeout,
+                });
+            }
+            let (guard, _) = link.inbox.cv.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    /// [`Self::send`] for an `f64` slice (little-endian words).
+    pub fn send_f64s(&mut self, peer: usize, class: u8, data: &[f64]) -> Result<(), NetError> {
+        self.send(peer, class, &f64s_to_bytes(data))
+    }
+
+    /// [`Self::recv`] decoding an `f64` slice.
+    pub fn recv_f64s(&mut self, peer: usize, class: u8) -> Result<Vec<f64>, NetError> {
+        bytes_to_f64s(&self.recv(peer, class)?)
+    }
+}
+
+impl Drop for Transport {
+    fn drop(&mut self) {
+        for link in self.links.iter_mut().flatten() {
+            let _ = link.writer.shutdown(std::net::Shutdown::Both);
+            if let Some(handle) = link.reader.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Encode `f64`s as little-endian bytes.
+pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * data.len());
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes as `f64`s (bit-exact round trip).
+pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>, NetError> {
+    if bytes.len() % 8 != 0 {
+        return Err(NetError::Protocol(format!(
+            "f64 payload of {} bytes is not word-aligned",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Encode `u64`s as little-endian bytes.
+pub fn u64s_to_bytes(data: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * data.len());
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes as `u64`s.
+pub fn bytes_to_u64s(bytes: &[u8]) -> Result<Vec<u64>, NetError> {
+    if bytes.len() % 8 != 0 {
+        return Err(NetError::Protocol(format!(
+            "u64 payload of {} bytes is not word-aligned",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// A scratch directory unique to this test invocation. Socket paths
+    /// have a ~100-byte kernel limit, so keep names short.
+    pub fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsn_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Run `f(rank, transport)` on `p` threads over a real socket mesh
+    /// and return the per-rank results in rank order.
+    pub fn run_ranks<R: Send + 'static>(
+        dir: &Path,
+        p: usize,
+        f: impl Fn(usize, Transport) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..p)
+            .map(|r| {
+                let dir = dir.to_path_buf();
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    let t = Transport::bootstrap(&dir, r, p, Duration::from_secs(20))
+                        .unwrap_or_else(|e| panic!("rank {r} bootstrap: {e}"));
+                    f(r, t)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn two_ranks_exchange_frames_bitwise() {
+        let dir = scratch("t2");
+        let got = run_ranks(&dir, 2, |r, mut t| {
+            let peer = 1 - r;
+            let mine: Vec<f64> = (0..64).map(|i| (r as f64 + 1.0) * (i as f64).sin()).collect();
+            t.send_f64s(peer, 1, &mine).unwrap();
+            t.recv_f64s(peer, 1).unwrap()
+        });
+        let want0: Vec<f64> = (0..64).map(|i| 2.0 * (i as f64).sin()).collect();
+        let want1: Vec<f64> = (0..64).map(|i| 1.0 * (i as f64).sin()).collect();
+        assert_eq!(
+            got[0].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want0.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            got[1].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want1.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mesh_of_four_sends_pairwise_with_sequenced_tags() {
+        let dir = scratch("t4");
+        let sums = run_ranks(&dir, 4, |r, mut t| {
+            // Everyone sends two frames to everyone (exercises per-pair
+            // sequencing), then receives in ascending peer order.
+            for peer in 0..4 {
+                if peer != r {
+                    t.send(peer, 7, &[r as u8]).unwrap();
+                    t.send(peer, 7, &[r as u8 * 10]).unwrap();
+                }
+            }
+            let mut sum = 0u32;
+            for peer in 0..4 {
+                if peer != r {
+                    sum += t.recv(peer, 7).unwrap()[0] as u32;
+                    sum += t.recv(peer, 7).unwrap()[0] as u32;
+                }
+            }
+            sum
+        });
+        for (r, s) in sums.iter().enumerate() {
+            let want: u32 = (0..4u32).filter(|&p| p != r as u32).map(|p| p + p * 10).sum();
+            assert_eq!(*s, want, "rank {r}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_peer_fails_receives_immediately() {
+        let dir = scratch("dead");
+        let results = run_ranks(&dir, 2, |r, mut t| {
+            if r == 1 {
+                return true; // exit at once: transport drops, sockets close
+            }
+            // Rank 0: wait for the EOF to surface as PeerDead, not Timeout.
+            matches!(t.recv(1, 3), Err(NetError::PeerDead { peer: 1 }))
+        });
+        assert!(results[0], "expected PeerDead");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tag_mismatch_is_a_protocol_error() {
+        let dir = scratch("tag");
+        let ok = run_ranks(&dir, 2, |r, mut t| {
+            if r == 0 {
+                t.send(1, 5, &[1, 2, 3]).unwrap();
+                true
+            } else {
+                matches!(t.recv(0, 6), Err(NetError::Protocol(_)))
+            }
+        });
+        assert!(ok[1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn f64_bytes_round_trip_bitwise() {
+        let vals = [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, 1e-308];
+        let back = bytes_to_f64s(&f64s_to_bytes(&vals)).unwrap();
+        for (a, b) in vals.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(bytes_to_f64s(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end `terasem-launch` acceptance: a 4-rank shear-layer run is
+//! bitwise-identical to the single-process run; a rank killed mid-run is
+//! recovered from the newest consistent checkpoint generation and the
+//! resumed run is bitwise-identical too; over-decomposition is rejected
+//! with a clean error, never a hang or a panic.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const EXE: &str = env!("CARGO_BIN_EXE_terasem-launch");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsn_l_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn launch(dir: &Path, extra: &[&str]) -> std::process::Output {
+    let base = [
+        "--steps",
+        "10",
+        "--elems",
+        "3",
+        "--order",
+        "4",
+        "--ckpt-every",
+        "3",
+        "--timeout",
+        "120",
+        "--dir",
+    ];
+    Command::new(EXE)
+        .args(base)
+        .arg(dir)
+        .args(extra)
+        .env("TERASEM_THREADS", "1")
+        .output()
+        .expect("spawn terasem-launch")
+}
+
+fn final_ckpt(dir: &Path, rank: usize) -> Vec<u8> {
+    let path = dir.join(format!("rank_{rank}/ckpt_00000010.ckpt"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn four_ranks_with_chaos_kill_match_single_process_bitwise() {
+    let root = scratch("kr");
+    // Reference: uninterrupted single-process run.
+    let ref_dir = root.join("ref");
+    let out = launch(&ref_dir, &["--ranks", "1"]);
+    assert!(
+        out.status.success(),
+        "single-rank run failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let want = final_ckpt(&ref_dir, 0);
+
+    // 4 ranks, rank 2 chaos-killed after step 7 (between checkpoint
+    // generations 6 and 9): the launcher must detect the death, restart
+    // every rank from the newest consistent generation, and finish.
+    let par_dir = root.join("par");
+    let out = launch(&par_dir, &["--ranks", "4", "--kill", "2@7", "--max-restarts", "3"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "4-rank kill/resume run failed:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stderr.contains("chaos kill"),
+        "the kill must have fired:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("restart 1/"),
+        "the launcher must have restarted the job:\n{stderr}"
+    );
+    // The kill lands after step 7 with generations at 3 and 6 on disk:
+    // recovery must resume from the consistent generation, not scratch.
+    assert!(
+        stderr.contains("resuming all ranks from generation 6"),
+        "recovery must intersect checkpoint generations:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("byte-identical"),
+        "cross-rank final-checkpoint check must run:\n{stdout}"
+    );
+    // Every rank's final checkpoint is byte-identical to the
+    // uninterrupted single-process run: same fields, same history, same
+    // time — the full scale-out determinism claim.
+    for r in 0..4 {
+        assert_eq!(
+            final_ckpt(&par_dir, r),
+            want,
+            "rank {r} final checkpoint differs from the single-process run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Satellite: more ranks than elements — the launcher must reject the
+/// partition with the structured empty-rank error before spawning
+/// anything, exit code 2, no hang.
+#[test]
+fn more_ranks_than_elements_is_a_clean_configuration_error() {
+    let root = scratch("empty");
+    let out = Command::new(EXE)
+        .args(["--ranks", "5", "--elems", "2", "--steps", "4", "--order", "3", "--dir"])
+        .arg(&root)
+        .output()
+        .expect("spawn terasem-launch");
+    assert_eq!(out.status.code(), Some(2), "want usage exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("empty"), "{stderr}");
+    assert!(stderr.contains("at most 4 ranks"), "{stderr}");
+    // Nothing was spawned: no rank directories appeared.
+    assert!(
+        !root.join("rank_0").exists(),
+        "launcher must fail before spawning ranks"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn bench_comm_reports_fitted_alpha_beta_against_the_model() {
+    let root = scratch("bench");
+    let out = Command::new(EXE)
+        .args(["--ranks", "2", "--elems", "3", "--order", "4", "--bench-comm", "--dir"])
+        .arg(&root)
+        .output()
+        .expect("spawn terasem-launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("ping-pong fit: alpha ="), "{stdout}");
+    assert!(stdout.contains("ASCI-Red-333 preset"), "{stdout}");
+    assert!(stdout.contains("neighbor exchange"), "{stdout}");
+    assert!(stdout.contains("measured mean"), "{stdout}");
+    assert!(stdout.contains("model [measured (local)]"), "{stdout}");
+    assert!(stdout.contains("allreduce"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -50,4 +50,6 @@ pub use diagnostics::{HealthViolation, StepStats};
 pub use fault::{FaultKind, FaultPlan, FieldTarget};
 pub use recovery::{RecoveryPolicy, RecoveryStage, StepError, StepFailure};
 pub use solver::NsSolver;
-pub use supervisor::{GiveUpReason, RunError, RunPolicy, RunReport, RunSupervisor};
+pub use supervisor::{
+    consistent_generation, GiveUpReason, RunError, RunPolicy, RunReport, RunSupervisor,
+};

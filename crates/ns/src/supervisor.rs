@@ -163,6 +163,12 @@ pub enum GiveUpReason {
     /// `max_consecutive_recovered_steps` successive steps each needed
     /// recovery — the run is thrashing, not progressing.
     RecoveryThrashing,
+    /// The caller's per-step observer ([`RunSupervisor::run_to_with`])
+    /// aborted the run — e.g. `sem-net` detected cross-rank divergence.
+    /// Unlike the other reasons, the run does *not* exit through a
+    /// checkpoint: an externally-detected inconsistency must never be
+    /// persisted as a resumable generation.
+    Aborted(String),
 }
 
 impl std::fmt::Display for GiveUpReason {
@@ -172,6 +178,7 @@ impl std::fmt::Display for GiveUpReason {
             GiveUpReason::RecoveryThrashing => {
                 write!(f, "recovery thrashing (too many consecutive recovered steps)")
             }
+            GiveUpReason::Aborted(why) => write!(f, "aborted by the step observer: {why}"),
         }
     }
 }
@@ -252,6 +259,33 @@ fn list_checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
     }
     out.sort_by_key(|(s, _)| *s);
     out
+}
+
+/// Scan a set of per-rank checkpoint directories for the newest
+/// *consistent generation*: the largest step for which **every** rank
+/// directory holds a checkpoint that loads and validates structurally.
+/// This is `sem-net`'s rank-death recovery primitive — when one rank of
+/// a P-rank run dies, the surviving ranks may have checkpointed past the
+/// victim's last write (the run is only loosely synchronous), so the
+/// restart point is the intersection of each rank's valid generations.
+///
+/// Torn or corrupt files count as absent, exactly as in
+/// [`RunSupervisor::resume_from_latest`]. Returns `None` when no step is
+/// present and valid in all directories (including `dirs` being empty).
+pub fn consistent_generation(dirs: &[PathBuf]) -> Option<u64> {
+    let mut common: Option<Vec<u64>> = None;
+    for dir in dirs {
+        let valid: Vec<u64> = list_checkpoints(dir)
+            .into_iter()
+            .filter(|(_, path)| Checkpoint::load(path).is_ok())
+            .map(|(step, _)| step)
+            .collect();
+        common = Some(match common {
+            None => valid,
+            Some(prev) => prev.into_iter().filter(|s| valid.contains(s)).collect(),
+        });
+    }
+    common.and_then(|steps| steps.into_iter().max())
 }
 
 /// Drives an [`NsSolver`] with crash-only semantics. See the module
@@ -337,6 +371,34 @@ impl RunSupervisor {
             return Ok(Some(step));
         }
         Ok(None)
+    }
+
+    /// Restore the checkpoint of a *specific* generation from the
+    /// policy's checkpoint directory — `sem-net`'s restart path, where
+    /// the launcher has already chosen the latest generation consistent
+    /// across all ranks ([`consistent_generation`]) and every rank must
+    /// resume from exactly that step, not from whatever newer file its
+    /// own directory happens to hold. Errors if checkpointing is off,
+    /// the file is missing/torn, or it does not match the solver's
+    /// discretization.
+    pub fn resume_from_step(&mut self, step: u64) -> io::Result<u64> {
+        let Some(dir) = self.policy.checkpoint_dir.clone() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "resume_from_step needs a checkpoint directory",
+            ));
+        };
+        let path = checkpoint_path(&dir, step);
+        let ck = Checkpoint::load(&path)?;
+        self.solver
+            .restore_checkpoint(&ck)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        counters::add(Counter::Resumes, 1);
+        sem_obs::trace::note("run_resumed", step as f64);
+        self.resumed_from = Some(step);
+        self.last_ckpt_step = step;
+        self.last_ckpt_wall = Instant::now();
+        Ok(step)
     }
 
     /// Atomically write a checkpoint of the current solver state and
@@ -463,6 +525,23 @@ impl RunSupervisor {
     /// step as an uninterrupted one). Already past the target is a
     /// no-op success.
     pub fn run_to(&mut self, target_step: u64) -> Result<RunReport, RunError> {
+        self.run_to_with(target_step, |_, _| Ok(()))
+    }
+
+    /// [`Self::run_to`] with a per-step observer, called after every
+    /// *committed* step and before that step's periodic checkpoint.
+    /// `sem-net` hangs its distributed consistency machinery here: the
+    /// cross-rank exchange validation and field-hash comparison run in
+    /// the hook, so a generation is only ever checkpointed after it
+    /// validated. An `Err` from the hook aborts the run with
+    /// [`GiveUpReason::Aborted`] — deliberately *without* the final exit
+    /// checkpoint, so an inconsistent state can never become a resumable
+    /// generation.
+    pub fn run_to_with(
+        &mut self,
+        target_step: u64,
+        mut observe: impl FnMut(&NsSolver, &StepStats) -> Result<(), String>,
+    ) -> Result<RunReport, RunError> {
         let mut report = RunReport {
             resumed_from: self.resumed_from,
             ..RunReport::default()
@@ -479,6 +558,16 @@ impl RunSupervisor {
                         self.consecutive_recovered += 1;
                     } else {
                         self.consecutive_recovered = 0;
+                    }
+                    if let Err(why) = observe(&self.solver, &stats) {
+                        report.steps.push(stats);
+                        self.emit_run_record(&report, "aborted", history.len());
+                        // No exit checkpoint: see run_to_with docs.
+                        return Err(RunError {
+                            reason: GiveUpReason::Aborted(why),
+                            history,
+                            report,
+                        });
                     }
                     report.steps.push(stats);
                     if let Some(max) = self.policy.max_consecutive_recovered_steps {

@@ -300,3 +300,113 @@ fn run_record_is_emitted_to_the_metrics_sink() {
     assert!(rec.get("checkpoints_written").and_then(|v| v.as_u64()).unwrap() >= 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `resume_from_step` restores exactly the requested generation, not the
+/// newest one — the sem-net launcher's restart path, where all ranks
+/// must rendezvous on the latest generation *consistent across ranks*.
+#[test]
+fn resume_from_step_restores_the_requested_generation() {
+    let _g = lock();
+    let dir = scratch("resume_step");
+    let mut first = RunSupervisor::new(taylor_green(
+        "",
+        RecoveryPolicy::default(),
+        RunPolicy::checkpointing(&dir, 2, 10),
+    ));
+    first.run_to(6).expect("first leg completes");
+    // Generations 2, 4, 6 exist; resume from 4 even though 6 is newer.
+    let mut second = RunSupervisor::new(taylor_green(
+        "",
+        RecoveryPolicy::default(),
+        RunPolicy::checkpointing(&dir, 2, 10),
+    ));
+    assert_eq!(second.resume_from_step(4).expect("generation 4 loads"), 4);
+    assert_eq!(second.solver().step_index, 4);
+    second.run_to(6).expect("second leg completes");
+    assert_fields_bitwise_equal(
+        first.solver(),
+        second.solver(),
+        "rewind to generation 4 and replay",
+    );
+    // A missing generation is a structured error, never a panic.
+    let mut third = RunSupervisor::new(taylor_green(
+        "",
+        RecoveryPolicy::default(),
+        RunPolicy::checkpointing(&dir, 2, 10),
+    ));
+    assert!(third.resume_from_step(5).is_err(), "no generation 5 exists");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The per-step observer sees every committed step in order, and an
+/// observer abort stops the run *without* writing an exit checkpoint —
+/// an externally-detected inconsistency must not become resumable.
+#[test]
+fn run_to_with_observer_abort_leaves_no_exit_checkpoint() {
+    let _g = lock();
+    let dir = scratch("observer");
+    let mut sup = RunSupervisor::new(taylor_green(
+        "",
+        RecoveryPolicy::default(),
+        RunPolicy::checkpointing(&dir, 2, 10),
+    ));
+    let mut seen = Vec::new();
+    let err = sup
+        .run_to_with(10, |solver, stats| {
+            seen.push(solver.step_index);
+            assert!(stats.cfl.is_finite());
+            if solver.step_index == 3 {
+                Err("simulated cross-rank divergence".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("observer abort at step 3");
+    assert_eq!(seen, vec![1, 2, 3]);
+    match &err.reason {
+        GiveUpReason::Aborted(why) => assert!(why.contains("divergence"), "{why}"),
+        other => panic!("wrong reason: {other:?}"),
+    }
+    assert_eq!(err.report.steps.len(), 3, "all committed steps reported");
+    // Generation 2 was checkpointed before the abort; step 3 must not be.
+    assert_eq!(ckpt_files(&dir), vec!["ckpt_00000002.ckpt".to_string()]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `consistent_generation` returns the newest step valid in *every*
+/// directory, treating torn files as absent.
+#[test]
+fn consistent_generation_intersects_rank_directories() {
+    let _g = lock();
+    use sem_ns::consistent_generation;
+    let base = scratch("consistent");
+    let mk = |rank: usize, upto: u64| -> PathBuf {
+        let dir = base.join(format!("rank_{rank}"));
+        let mut sup = RunSupervisor::new(taylor_green(
+            "",
+            RecoveryPolicy::default(),
+            RunPolicy::checkpointing(&dir, 2, 10),
+        ));
+        sup.run_to(upto).expect("rank leg completes");
+        dir
+    };
+    // Ranks 0 and 1 reached step 6 (generations 2,4,6 + final 6); the
+    // "killed" rank 2 only reached step 4 (generations 2,4).
+    let d0 = mk(0, 6);
+    let d1 = mk(1, 6);
+    let d2 = mk(2, 4);
+    let dirs = vec![d0.clone(), d1.clone(), d2.clone()];
+    assert_eq!(consistent_generation(&dirs), Some(4));
+    // Tear rank 1's generation-4 file: the intersection drops to 2.
+    let torn = d1.join("ckpt_00000004.ckpt");
+    let bytes = std::fs::read(&torn).unwrap();
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+    assert_eq!(consistent_generation(&dirs), Some(2));
+    // A rank with no valid checkpoints at all kills every generation.
+    let empty = base.join("rank_3");
+    std::fs::create_dir_all(&empty).unwrap();
+    let dirs4 = vec![d0, d1, d2, empty];
+    assert_eq!(consistent_generation(&dirs4), None);
+    assert_eq!(consistent_generation(&[]), None);
+    let _ = std::fs::remove_dir_all(&base);
+}

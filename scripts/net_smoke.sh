@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# sem-net smoke test: rank-parallel scale-out determinism and recovery,
+# across real processes and real Unix sockets.
+#
+# Stage 1: uninterrupted single-process reference run of the shear-layer
+# workload under `terasem-launch --ranks 1`.
+#
+# Stage 2: the same workload on 4 ranks, with rank 2 chaos-killed right
+# after step 7 commits. The launcher must detect the death, kill the
+# stragglers, restart every rank from the newest *consistent* checkpoint
+# generation, and finish. Each leg — and each rank within the 4-rank leg
+# — runs at its own seed-derived TERASEM_THREADS count, so this also
+# pins that the scale-out result is thread-count independent.
+#
+# Stage 3: the final checkpoint of every rank of the killed+resumed
+# 4-rank run must be bitwise identical (`cmp`) to the uninterrupted
+# single-process run, despite the kill, the restart, and the different
+# thread counts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STEPS=10
+KILL_AT=7
+SEED="${NET_SEED:-42}"
+RANKS=4
+REFDIR=$(mktemp -d)
+PARDIR=$(mktemp -d)
+trap 'rm -rf "$REFDIR" "$PARDIR"' EXIT
+
+# Seed-derived thread counts in 1..4: one for the reference leg, one per
+# rank of the parallel leg (cycled by the launcher via --threads).
+H=$(( SEED % 997 )); [ "$H" -lt 0 ] && H=$(( -H ))
+T_REF=$(( H % 4 + 1 ))
+T_PAR="$(( (H / 4) % 4 + 1 )),$(( (H / 16) % 4 + 1 )),$(( (H / 64) % 4 + 1 )),$(( (H / 256) % 4 + 1 ))"
+
+cargo build -q --release --offline -p sem-net --bin terasem-launch
+LAUNCH=target/release/terasem-launch
+ARGS=(--steps "$STEPS" --elems 3 --order 4 --ckpt-every 3 --timeout 120)
+FINAL=$(printf 'ckpt_%08d.ckpt' "$STEPS")
+
+echo "net_smoke: seed $SEED, threads ref=$T_REF par=$T_PAR"
+
+# ---- stage 1: uninterrupted single-process reference -----------------
+TERASEM_THREADS=$T_REF "$LAUNCH" "${ARGS[@]}" --ranks 1 --dir "$REFDIR" \
+    >/dev/null 2>&1
+[ -f "$REFDIR/rank_0/$FINAL" ] || {
+    echo "net_smoke: FAIL — reference run left no final checkpoint" >&2
+    exit 1
+}
+
+# ---- stage 2: 4 ranks, chaos-kill rank 2, auto-restart ---------------
+PAR_OUT=$(mktemp); PAR_ERR=$(mktemp)
+"$LAUNCH" "${ARGS[@]}" --ranks "$RANKS" --threads "$T_PAR" \
+    --kill "2@$KILL_AT" --max-restarts 3 --dir "$PARDIR" \
+    >"$PAR_OUT" 2>"$PAR_ERR" || {
+    echo "net_smoke: FAIL — 4-rank kill/resume run failed" >&2
+    cat "$PAR_OUT" "$PAR_ERR" >&2; rm -f "$PAR_OUT" "$PAR_ERR"
+    exit 1
+}
+grep -q "chaos kill after committing step $KILL_AT" "$PAR_ERR" || {
+    echo "net_smoke: FAIL — chaos kill did not fire" >&2
+    cat "$PAR_ERR" >&2; rm -f "$PAR_OUT" "$PAR_ERR"
+    exit 1
+}
+grep -q "restart 1/3: resuming all ranks from generation" "$PAR_ERR" || {
+    echo "net_smoke: FAIL — launcher did not restart from a consistent generation" >&2
+    cat "$PAR_ERR" >&2; rm -f "$PAR_OUT" "$PAR_ERR"
+    exit 1
+}
+grep -q "final checkpoints byte-identical across $RANKS rank(s)" "$PAR_OUT" || {
+    echo "net_smoke: FAIL — cross-rank final-checkpoint check missing" >&2
+    cat "$PAR_OUT" >&2; rm -f "$PAR_OUT" "$PAR_ERR"
+    exit 1
+}
+rm -f "$PAR_OUT" "$PAR_ERR"
+echo "net_smoke: rank 2 killed at step $KILL_AT, all ranks resumed and finished"
+
+# ---- stage 3: bitwise-identical to the single-process run ------------
+for r in $(seq 0 $(( RANKS - 1 ))); do
+    cmp "$REFDIR/rank_0/$FINAL" "$PARDIR/rank_$r/$FINAL" || {
+        echo "net_smoke: FAIL — rank $r final checkpoint differs from the" \
+             "single-process run (scale-out determinism violated)" >&2
+        exit 1
+    }
+done
+echo "net_smoke: OK ($RANKS ranks, kill/resume, bitwise identical to 1 rank)"

@@ -12,6 +12,7 @@ cargo bench --no-run --offline -p sem-bench
 scripts/metrics_smoke.sh
 scripts/fault_smoke.sh
 scripts/soak_smoke.sh
+scripts/net_smoke.sh
 scripts/bench_snapshot.sh
 
 echo "verify: OK"

@@ -21,12 +21,15 @@
 //! * [`solvers`] — CG, Schwarz/FDM preconditioning, XXᵀ, projection
 //! * [`ns`] — the incompressible Navier–Stokes solver (the paper's code)
 //! * [`stability`] — Orr–Sommerfeld linear-theory reference solutions
+//! * [`net`] — rank-parallel scale-out: Unix-socket transport, the
+//!   distributed gather-scatter, and the `terasem-launch` supervisor
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
 //! the paper-experiment index.
 
 pub use sem_comm as comm;
 pub use sem_gs as gs;
+pub use sem_net as net;
 pub use sem_linalg as linalg;
 pub use sem_mesh as mesh;
 pub use sem_ns as ns;
