@@ -29,12 +29,36 @@
 //! three "the solver survived, but something went wrong" signals — and
 //! with status 5 if a `terasem.run` summary record says the run *ended*
 //! in an unrecovered error (transient-but-recovered is 4; gave-up is 5).
+//!
+//! `--ranks <terasem.ranks>` switches to the multi-rank view — the
+//! paper's Table 2 taken at scale, from the per-rank telemetry records a
+//! `terasem-launch --telemetry` job ships to rank 0:
+//!
+//! 1. per-phase **min/mean/max across ranks** with the per-phase
+//!    imbalance factor `max/mean`;
+//! 2. the **measured communication fraction** (from the per-op-class
+//!    `(bytes, secs)` samples every rank records) against two α–β
+//!    `MachineModel` predictions — one fitted to the pooled samples,
+//!    one the ASCI-Red-333 preset;
+//! 3. a **parallel-efficiency estimate**: against a single-rank
+//!    reference log (`--ref`), or compute-only (`step − comm`) when no
+//!    reference is given.
+//!
+//! With `--strict`, `--ranks` additionally gates on load imbalance: exit
+//! 6 when the step-phase imbalance factor exceeds `--max-imbalance`
+//! (default 2.0).
 
+use sem_comm::{fit_alpha_beta, MachineModel};
 use sem_ns::supervisor::RUN_RECORD_TYPE;
 use sem_obs::hist::{quantile_from_buckets, HistSnapshot, NUM_BUCKETS};
 use sem_obs::json::Json;
 use sem_obs::record::STEP_RECORD_TYPE;
 use sem_obs::spans::{Phase, NUM_PHASES};
+
+/// The per-rank record type `sem-net` writes into `terasem.ranks`.
+/// Duplicated by value: `sem-net` depends on this crate, so the literal
+/// cannot be imported from `sem_net::telemetry` without a cycle.
+const RANK_RECORD_TYPE: &str = "terasem.rank";
 
 struct StepRow {
     step: u64,
@@ -66,7 +90,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<&str> = None;
     let mut chrome: Option<&str> = None;
+    let mut ranks_path: Option<&str> = None;
+    let mut ref_path: Option<&str> = None;
     let mut strict = false;
+    let mut max_imbalance = 2.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -75,6 +102,30 @@ fn main() {
                     usage_and_exit();
                 }
                 chrome = Some(&args[i + 1]);
+                i += 2;
+            }
+            "--ranks" => {
+                if i + 1 >= args.len() {
+                    usage_and_exit();
+                }
+                ranks_path = Some(&args[i + 1]);
+                i += 2;
+            }
+            "--ref" => {
+                if i + 1 >= args.len() {
+                    usage_and_exit();
+                }
+                ref_path = Some(&args[i + 1]);
+                i += 2;
+            }
+            "--max-imbalance" => {
+                if i + 1 >= args.len() {
+                    usage_and_exit();
+                }
+                max_imbalance = match args[i + 1].parse::<f64>() {
+                    Ok(x) if x > 0.0 => x,
+                    _ => usage_and_exit(),
+                };
                 i += 2;
             }
             "--strict" => {
@@ -88,6 +139,9 @@ fn main() {
             }
             _ => usage_and_exit(),
         }
+    }
+    if let Some(rp) = ranks_path {
+        ranks_main(rp, ref_path, strict, max_imbalance);
     }
     let Some(path) = path else { usage_and_exit() };
 
@@ -224,12 +278,316 @@ fn strict_gate(rows: &[StepRow], runs: &[RunSummary], counters: Option<&[(String
 
 fn usage_and_exit() -> ! {
     eprintln!("usage: sem-report <metrics.jsonl> [--chrome <out.json>] [--strict]");
+    eprintln!("       sem-report --ranks <terasem.ranks> [--ref <metrics.jsonl>]");
+    eprintln!("                  [--strict] [--max-imbalance X]");
     eprintln!("  <metrics.jsonl>: JSON-lines from TERASEM_METRICS_SINK=file:<path>");
     eprintln!("                   or a saved stdout log ('JSON ' prefixes are stripped)");
     eprintln!("  --strict: exit 4 on CG breakdowns, dropped projection updates,");
     eprintln!("            or recovery rollbacks (health gate for CI);");
     eprintln!("            exit 5 when a terasem.run record shows the run gave up");
+    eprintln!("  --ranks:  Table-2-at-scale view of a terasem-launch --telemetry job:");
+    eprintln!("            per-phase min/mean/max across ranks, imbalance factor,");
+    eprintln!("            measured vs alpha-beta-model comm fraction, efficiency");
+    eprintln!("  --ref:    single-rank metrics.jsonl as the efficiency reference");
+    eprintln!("  --max-imbalance: step imbalance max/mean the --ranks --strict gate");
+    eprintln!("            tolerates before exiting 6 (default 2.0)");
     std::process::exit(2);
+}
+
+/// One rank's `terasem.rank` record, reduced to what the report needs.
+struct RankRow {
+    rank: u64,
+    ranks: u64,
+    steps: u64,
+    steps_this_life: u64,
+    span_secs: [f64; NUM_PHASES],
+    span_calls: [u64; NUM_PHASES],
+    /// Pooled `(bytes, secs)` comm samples across op classes.
+    samples: Vec<(u64, f64)>,
+    comm_msgs: u64,
+    comm_bytes: u64,
+}
+
+impl RankRow {
+    fn step_secs(&self) -> f64 {
+        self.span_secs[Phase::Step as usize]
+    }
+
+    fn comm_secs(&self) -> f64 {
+        self.samples.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Wall-time proxy for the rank's whole solve. In the replicated-
+    /// compute harness every exchange/collective runs in the
+    /// supervisor's validation observer, *outside* the step span, so
+    /// compute and comm are disjoint and their sum approximates the
+    /// rank's wall time between the start barrier and the last step.
+    fn wall_secs(&self) -> f64 {
+        self.step_secs() + self.comm_secs()
+    }
+}
+
+fn parse_rank_row(v: &Json) -> Option<RankRow> {
+    let mut row = RankRow {
+        rank: v.get("rank")?.as_u64()?,
+        ranks: v.get("ranks")?.as_u64()?,
+        steps: v.get("steps")?.as_u64()?,
+        steps_this_life: v.get("steps_this_life").and_then(Json::as_u64).unwrap_or(0),
+        span_secs: [0.0; NUM_PHASES],
+        span_calls: [0; NUM_PHASES],
+        samples: Vec::new(),
+        comm_msgs: 0,
+        comm_bytes: 0,
+    };
+    if let Some(spans) = v.get("spans").and_then(Json::as_obj) {
+        for (name, entry) in spans {
+            let Some(p) = Phase::parse(name) else { continue };
+            row.span_secs[p as usize] = entry.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+            row.span_calls[p as usize] = entry.get("calls").and_then(Json::as_u64).unwrap_or(0);
+        }
+    }
+    let comm = v.get("comm")?;
+    row.comm_msgs = comm.get("msgs").and_then(Json::as_u64).unwrap_or(0);
+    row.comm_bytes = comm.get("bytes").and_then(Json::as_u64).unwrap_or(0);
+    for class in ["exchange", "allgather", "allreduce"] {
+        for pair in comm.get(class).and_then(Json::as_arr).unwrap_or(&[]) {
+            if let Some([b, s]) = pair.as_arr().and_then(|a| <&[Json; 2]>::try_from(a).ok()) {
+                if let (Some(b), Some(s)) = (b.as_u64(), s.as_f64()) {
+                    row.samples.push((b, s));
+                }
+            }
+        }
+    }
+    Some(row)
+}
+
+/// Reference step time for the efficiency estimate: total `seconds`
+/// over the step records of a single-rank metrics log.
+fn ref_step_seconds(path: &str) -> Result<f64, String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    for line in body.lines() {
+        let line = line.trim();
+        let line = line.strip_prefix("JSON ").unwrap_or(line);
+        let Some(v) = Json::parse(line) else { continue };
+        if v.get("type").and_then(Json::as_str) != Some(STEP_RECORD_TYPE) {
+            continue;
+        }
+        total += v.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+        n += 1;
+    }
+    if n == 0 {
+        return Err(format!("no {STEP_RECORD_TYPE} records in {path}"));
+    }
+    Ok(total)
+}
+
+fn min_mean_max(xs: impl Iterator<Item = f64>) -> (f64, f64, f64) {
+    let (mut min, mut max, mut sum, mut n) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0usize);
+    for x in xs {
+        min = min.min(x);
+        max = max.max(x);
+        sum += x;
+        n += 1;
+    }
+    (min, sum / n.max(1) as f64, max)
+}
+
+/// `--ranks`: the Table-2-at-scale report over one `terasem.ranks` file.
+fn ranks_main(path: &str, ref_path: Option<&str>, strict: bool, max_imbalance: f64) -> ! {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("sem-report: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rows: Vec<RankRow> = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(v) = Json::parse(line) else {
+            eprintln!("sem-report: warning: unparsable line in {path}");
+            continue;
+        };
+        if v.get("type").and_then(Json::as_str) != Some(RANK_RECORD_TYPE) {
+            continue;
+        }
+        match parse_rank_row(&v) {
+            Some(r) => rows.push(r),
+            None => eprintln!("sem-report: warning: malformed {RANK_RECORD_TYPE} record"),
+        }
+    }
+    if rows.is_empty() {
+        eprintln!("sem-report: no {RANK_RECORD_TYPE} records in {path}");
+        std::process::exit(1);
+    }
+    rows.sort_by_key(|r| r.rank);
+    let n = rows.len();
+    let declared = rows[0].ranks as usize;
+    if n != declared {
+        eprintln!(
+            "sem-report: warning: {n} rank record(s) but the job declared {declared} rank(s)"
+        );
+    }
+    println!(
+        "sem-report --ranks: {n} rank(s), step {}, from {path}",
+        rows[0].steps
+    );
+    if rows.iter().any(|r| r.steps_this_life != rows[0].steps) {
+        println!(
+            "  note: some ranks resumed mid-run; spans/counters cover each rank's last life only"
+        );
+    }
+    println!();
+
+    // 1. Per-phase min/mean/max across ranks.
+    println!("Per-phase across ranks (inclusive seconds):");
+    println!(
+        "{:<22} {:>8} {:>11} {:>11} {:>11} {:>9}",
+        "phase", "calls", "min(s)", "mean(s)", "max(s)", "max/mean"
+    );
+    for (p, depth) in tree_order() {
+        let i = p as usize;
+        if rows.iter().all(|r| r.span_calls[i] == 0 && r.span_secs[i] == 0.0) {
+            continue;
+        }
+        let (min, mean, max) = min_mean_max(rows.iter().map(|r| r.span_secs[i]));
+        let name = format!("{}{}", "  ".repeat(depth), p.name());
+        println!(
+            "{:<22} {:>8} {:>11.6} {:>11.6} {:>11.6} {:>9.3}",
+            name,
+            rows[0].span_calls[i],
+            min,
+            mean,
+            max,
+            if mean > 0.0 { max / mean } else { 1.0 },
+        );
+    }
+    let (_, step_mean, step_max) = min_mean_max(rows.iter().map(RankRow::step_secs));
+    let imbalance = if step_mean > 0.0 { step_max / step_mean } else { 1.0 };
+    let slowest = rows
+        .iter()
+        .max_by(|a, b| a.step_secs().total_cmp(&b.step_secs()))
+        .unwrap();
+    println!();
+    println!(
+        "Load imbalance (step): {imbalance:.3} (max {:.6} s on rank {}, mean {:.6} s)",
+        step_max,
+        slowest.rank,
+        step_mean
+    );
+
+    // 2. Measured comm fraction vs the alpha-beta machine models.
+    println!();
+    println!("Communication (per-op-class samples shipped by every rank):");
+    let total_samples: usize = rows.iter().map(|r| r.samples.len()).sum();
+    let (cmin, cmean, cmax) = min_mean_max(rows.iter().map(RankRow::comm_secs));
+    let (fmin, fmean, fmax) = min_mean_max(
+        rows.iter()
+            .map(|r| r.comm_secs() / r.wall_secs().max(f64::MIN_POSITIVE)),
+    );
+    println!(
+        "  measured: {total_samples} sample(s); comm seconds min/mean/max \
+         {cmin:.6}/{cmean:.6}/{cmax:.6}"
+    );
+    println!(
+        "  measured comm fraction of wall (comm / (step + comm)): min/mean/max \
+         {:.2}%/{:.2}%/{:.2}%",
+        100.0 * fmin,
+        100.0 * fmean,
+        100.0 * fmax
+    );
+    println!(
+        "  (measured comm time includes synchronization wait, so load \
+         imbalance surfaces here)"
+    );
+    let pooled: Vec<(u64, f64)> = rows.iter().flat_map(|r| r.samples.iter().copied()).collect();
+    let asci = MachineModel::asci_red_333_single();
+    let mut models: Vec<MachineModel> = Vec::new();
+    match fit_alpha_beta(&pooled) {
+        Some((alpha, beta)) => {
+            println!(
+                "  fitted alpha-beta on pooled samples: alpha = {:.2} us, beta = {:.3} ns/byte",
+                alpha * 1e6,
+                beta * 1e9
+            );
+            models.push(MachineModel::measured(alpha, beta, asci.flop_rate));
+        }
+        None => println!("  fitted alpha-beta unavailable (need >= 2 distinct sizes)"),
+    }
+    models.push(asci);
+    for model in &models {
+        // Predicted comm time per rank: alpha per message plus beta per
+        // byte, over exactly the samples that rank recorded, against
+        // the same compute time (wall = step + predicted comm).
+        let (pmin, pmean, pmax) = min_mean_max(rows.iter().map(|r| {
+            let predicted: f64 = r
+                .samples
+                .iter()
+                .map(|&(b, _)| model.latency + model.inv_bandwidth * b as f64)
+                .sum();
+            predicted / (r.step_secs() + predicted).max(f64::MIN_POSITIVE)
+        }));
+        println!(
+            "  model [{}] comm fraction: min/mean/max {:.2}%/{:.2}%/{:.2}%",
+            model.name,
+            100.0 * pmin,
+            100.0 * pmean,
+            100.0 * pmax
+        );
+    }
+
+    // 3. Parallel efficiency: the job is only as fast as its slowest
+    // rank's wall time (compute plus comm-and-wait).
+    println!();
+    let wall_max = rows
+        .iter()
+        .map(RankRow::wall_secs)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    match ref_path {
+        Some(rp) => match ref_step_seconds(rp) {
+            Ok(ref_secs) => {
+                println!(
+                    "Parallel efficiency vs {rp}: {:.1}% \
+                     (reference {ref_secs:.6} s / slowest rank wall {wall_max:.6} s)",
+                    100.0 * ref_secs / wall_max
+                );
+            }
+            Err(e) => {
+                eprintln!("sem-report: --ref: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            // Compute-only proxy: the mean step (compute) time over the
+            // slowest rank's wall — what the job loses to comm, wait,
+            // and imbalance combined.
+            println!(
+                "Parallel efficiency (compute-only estimate, no --ref): {:.1}% \
+                 (mean step {step_mean:.6} s / slowest rank wall {wall_max:.6} s)",
+                100.0 * step_mean / wall_max
+            );
+        }
+    }
+
+    // 4. Strict imbalance gate.
+    if strict {
+        println!();
+        if imbalance > max_imbalance {
+            println!(
+                "strict: FAIL — step imbalance {imbalance:.3} exceeds --max-imbalance \
+                 {max_imbalance:.3}"
+            );
+            std::process::exit(6);
+        }
+        println!("strict: PASS (step imbalance {imbalance:.3} <= {max_imbalance:.3})");
+    }
+    std::process::exit(0);
 }
 
 fn parse_row(v: &Json) -> Option<StepRow> {

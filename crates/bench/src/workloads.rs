@@ -61,6 +61,7 @@ pub fn orr_sommerfeld_channel(
         boussinesq: None,
         metrics: false,
         sink: None,
+        rank: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
@@ -121,6 +122,7 @@ pub fn shear_layer(
         boussinesq: None,
         metrics: false,
         sink: None,
+        rank: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
@@ -176,6 +178,7 @@ pub fn rayleigh_benard(
         }),
         metrics: false,
         sink: None,
+        rank: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
@@ -223,6 +226,7 @@ pub fn cylinder_startup(
         boussinesq: None,
         metrics: false,
         sink: None,
+        rank: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),
@@ -280,6 +284,7 @@ pub fn hairpin_channel(k: [usize; 3], n: usize, dt: f64, lmax: usize) -> NsSolve
         boussinesq: None,
         metrics: false,
         sink: None,
+        rank: None,
         faults: None,
         recovery: sem_ns::RecoveryPolicy::default(),
         run: sem_ns::RunPolicy::default(),

@@ -26,6 +26,9 @@ pub const CLASS_EXCHANGE: u8 = 1;
 pub const CLASS_GATHER: u8 = 2;
 pub const CLASS_BCAST: u8 = 3;
 pub const CLASS_PING: u8 = 4;
+/// End-of-run telemetry shipping (rank records + trace fragments to
+/// rank 0 — see [`NetComm::gather_telemetry`]).
+pub const CLASS_TELEMETRY: u8 = 5;
 
 /// Measured `(bytes_sent, seconds)` samples per operation class.
 #[derive(Clone, Debug, Default)]
@@ -234,6 +237,30 @@ impl NetComm {
         (self.msgs, self.bytes, self.rounds)
     }
 
+    /// Telemetry channel: collect every rank's end-of-run telemetry
+    /// blob at rank 0 (direct point-to-point sends on
+    /// [`CLASS_TELEMETRY`], no tree). Returns `Some(blobs)` indexed by
+    /// rank on rank 0, `None` elsewhere. Collective — every rank must
+    /// call it.
+    ///
+    /// Deliberately *out of band*: nothing is charged to the
+    /// msgs/bytes/rounds accounting or the timing samples, so shipping
+    /// the telemetry does not perturb the communication statistics it
+    /// reports.
+    pub fn gather_telemetry(&mut self, mine: &[u8]) -> Result<Option<Vec<Vec<u8>>>, NetError> {
+        let (r, p) = (self.t.rank(), self.t.size());
+        if r != 0 {
+            self.t.send(0, CLASS_TELEMETRY, mine)?;
+            return Ok(None);
+        }
+        let mut blobs = Vec::with_capacity(p);
+        blobs.push(mine.to_vec());
+        for peer in 1..p {
+            blobs.push(self.t.recv(peer, CLASS_TELEMETRY)?);
+        }
+        Ok(Some(blobs))
+    }
+
     /// Aggregate machine-wide statistics with the same meaning as
     /// `SimComm::stats()`: totals across ranks plus per-rank maxima.
     /// Collective — every rank must call it; the gather it performs is
@@ -378,6 +405,37 @@ mod tests {
             let peers: Vec<usize> = (0..3).filter(|&p| p != r).collect();
             for (i, &peer) in peers.iter().enumerate() {
                 assert_eq!(inbox[i], vec![(10 * peer + r) as f64]);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_gather_collects_at_rank_zero_without_accounting() {
+        let dir = scratch("telemetry");
+        let got = run_ranks(&dir, 4, |r, t| {
+            let mut c = NetComm::new(t);
+            let mine = vec![r as u8; r * 3]; // ragged, rank 0 empty
+            let gathered = c.gather_telemetry(&mine).unwrap();
+            (gathered, c.local_counts(), c.timings.clone())
+        });
+        for (r, (gathered, counts, timings)) in got.iter().enumerate() {
+            // Out-of-band: no accounting, no timing samples.
+            assert_eq!(*counts, (0, 0, 0), "rank {r} charged for telemetry");
+            assert!(
+                timings.exchange.is_empty()
+                    && timings.allgather.is_empty()
+                    && timings.allreduce.is_empty()
+            );
+            match gathered {
+                Some(blobs) => {
+                    assert_eq!(r, 0, "only rank 0 collects");
+                    assert_eq!(blobs.len(), 4);
+                    for (src, blob) in blobs.iter().enumerate() {
+                        assert_eq!(blob, &vec![src as u8; src * 3]);
+                    }
+                }
+                None => assert_ne!(r, 0),
             }
         }
         let _ = std::fs::remove_dir_all(&dir);

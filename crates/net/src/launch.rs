@@ -58,6 +58,11 @@ pub struct LaunchOpts {
     pub max_restarts: usize,
     /// `--bench-comm`: measure the transport instead of running a solve.
     pub bench_comm: bool,
+    /// `--telemetry`: rank-aware observability — every rank records
+    /// metrics/traces/comm samples and ships them to rank 0 at the end
+    /// of the run, producing `terasem.ranks` and a merged Chrome trace
+    /// in the job directory (see [`crate::telemetry`]).
+    pub telemetry: bool,
     /// `--timeout T`: transport receive/bootstrap timeout, seconds.
     pub timeout_secs: f64,
 }
@@ -76,6 +81,7 @@ impl Default for LaunchOpts {
             threads: Vec::new(),
             max_restarts: 3,
             bench_comm: false,
+            telemetry: false,
             timeout_secs: 60.0,
         }
     }
@@ -112,6 +118,8 @@ options:
   --max-restarts R bounded rank-death recoveries     (default 3)
   --timeout T      transport timeout, seconds        (default 60)
   --bench-comm     measure alpha-beta transport model instead of solving
+  --telemetry      per-rank metrics + merged rank-lane Chrome trace:
+                   writes DIR/terasem.ranks and DIR/trace_merged.json
 ";
 
 /// Parse an argument vector (without the program name).
@@ -156,6 +164,7 @@ pub fn parse_args(args: &[String]) -> Result<LaunchOpts, String> {
                     .collect::<Result<Vec<usize>, String>>()?;
             }
             "--bench-comm" => o.bench_comm = true,
+            "--telemetry" => o.telemetry = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
@@ -382,6 +391,21 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
                     opts.ranks
                 );
             }
+            if opts.telemetry {
+                // Rank 0 wrote the merged artifacts into the job dir;
+                // their absence after a clean run is a launcher bug.
+                for name in [crate::telemetry::RANKS_FILE, crate::telemetry::MERGED_TRACE_FILE] {
+                    let path = opts.dir.join(name);
+                    if !path.is_file() {
+                        eprintln!(
+                            "terasem-launch: telemetry artifact missing: {}",
+                            path.display()
+                        );
+                        return 1;
+                    }
+                    println!("terasem-launch: telemetry artifact: {}", path.display());
+                }
+            }
             println!(
                 "terasem-launch: OK ({} rank(s), {} restart(s))",
                 opts.ranks, restarts
@@ -426,7 +450,7 @@ mod tests {
         let o = parse_args(&strs(&[
             "--ranks", "4", "--steps", "10", "--elems", "3", "--order", "6", "--ckpt-every",
             "2", "--keep-last", "9", "--dir", "/tmp/x", "--kill", "2@7", "--threads", "1,2",
-            "--max-restarts", "5", "--timeout", "12.5",
+            "--max-restarts", "5", "--timeout", "12.5", "--telemetry",
         ]))
         .unwrap();
         assert_eq!(o.ranks, 4);
@@ -441,6 +465,7 @@ mod tests {
         assert_eq!(o.max_restarts, 5);
         assert!((o.timeout_secs - 12.5).abs() < 1e-12);
         assert!(!o.bench_comm);
+        assert!(o.telemetry);
     }
 
     #[test]

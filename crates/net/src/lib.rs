@@ -41,6 +41,7 @@ pub mod gs;
 pub mod launch;
 pub mod layout;
 pub mod rank;
+pub mod telemetry;
 pub mod transport;
 
 pub use comm::{CommTimings, NetComm};

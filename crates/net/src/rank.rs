@@ -23,6 +23,7 @@ use crate::comm::{CommTimings, NetComm, CLASS_PING};
 use crate::gs::NetGs;
 use crate::launch::LaunchOpts;
 use crate::layout::{rank_ckpt_dir, RankLayout};
+use crate::telemetry::{self, RankTelemetry};
 use crate::transport::Transport;
 use sem_comm::{fit_alpha_beta, MachineModel, RankLedger};
 use sem_gs::GsOp;
@@ -166,6 +167,33 @@ pub fn rank_main(opts: &LaunchOpts, rank: usize, size: usize) -> i32 {
     let mut solver = build_solver(opts);
     let ckpt_dir = rank_ckpt_dir(&opts.dir, rank);
     solver.cfg.run = RunPolicy::checkpointing(&ckpt_dir, opts.ckpt_every, opts.keep_last);
+    if opts.telemetry {
+        // `build_solver` constructed the solver with metrics off, so the
+        // process-global observability switches are applied here: rank
+        // stamp first (every record from now on carries it), then a
+        // per-rank metrics sink in the rank's checkpoint directory so N
+        // ranks never interleave on one stdout.
+        sem_obs::set_rank(Some(rank as u32));
+        sem_obs::set_enabled(true);
+        sem_obs::trace::set_trace_enabled(true);
+        solver.cfg.metrics = true;
+        solver.cfg.rank = Some(rank as u32);
+        if let Err(e) = std::fs::create_dir_all(&ckpt_dir) {
+            eprintln!("terasem-net rank {rank}: cannot create {}: {e}", ckpt_dir.display());
+            return EXIT_USAGE;
+        }
+        let metrics_path = ckpt_dir.join("metrics.jsonl");
+        match sem_obs::sink::FileSink::create(&metrics_path.to_string_lossy()) {
+            Ok(sink) => sem_obs::sink::set_sink(Some(sem_obs::SinkHandle::new(sink).0)),
+            Err(e) => {
+                eprintln!(
+                    "terasem-net rank {rank}: cannot open metrics sink {}: {e}",
+                    metrics_path.display()
+                );
+                return EXIT_USAGE;
+            }
+        }
+    }
     let part = partition_rsb(&solver.ops.mesh, size);
     let layout = match RankLayout::new(&solver.ops.num.ids, solver.ops.geo.npts, &part, size) {
         Ok(l) => l,
@@ -197,6 +225,10 @@ pub fn rank_main(opts: &LaunchOpts, rank: usize, size: usize) -> i32 {
         eprintln!("terasem-net rank {rank}: start barrier failed: {e}");
         return EXIT_PEER_LOST;
     }
+    // Each rank's trace clock is process-local; the instant the start
+    // barrier releases is the shared reference that clock-aligns the
+    // merged trace lanes.
+    let barrier_ns = sem_obs::trace::now_ns();
     let kill = parse_kill_env().filter(|&(kr, _)| kr == rank);
     let (target, every) = (opts.steps, opts.ckpt_every.max(1));
     let result = sup.run_to_with(target, |s, _stats| {
@@ -214,6 +246,17 @@ pub fn rank_main(opts: &LaunchOpts, rank: usize, size: usize) -> i32 {
     });
     match result {
         Ok(report) => {
+            // Snapshot telemetry before any end-of-run collective so the
+            // shipped comm samples describe the solve, not the shutdown.
+            let tel = opts.telemetry.then(|| {
+                RankTelemetry::capture(
+                    &comm,
+                    &netgs,
+                    target,
+                    report.steps.len() as u64,
+                    barrier_ns,
+                )
+            });
             let exchange_mean = CommTimings::mean_secs(&comm.timings.exchange);
             match comm.global_stats() {
                 Ok(stats) if rank == 0 => {
@@ -261,6 +304,26 @@ pub fn rank_main(opts: &LaunchOpts, rank: usize, size: usize) -> i32 {
                 Err(e) => {
                     eprintln!("terasem-net rank {rank}: final stats gather failed: {e}");
                     return EXIT_PEER_LOST;
+                }
+            }
+            if let Some(tel) = tel {
+                match telemetry::ship_and_write(&mut comm, &tel, &opts.dir) {
+                    Ok(Some((ranks_path, trace_path))) => {
+                        println!(
+                            "terasem-net: telemetry: {} rank record(s) -> {}",
+                            size,
+                            ranks_path.display()
+                        );
+                        println!(
+                            "terasem-net: telemetry: merged rank-lane trace -> {}",
+                            trace_path.display()
+                        );
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        eprintln!("terasem-net rank {rank}: telemetry shipping failed: {e}");
+                        return EXIT_PEER_LOST;
+                    }
                 }
             }
             EXIT_OK

@@ -70,6 +70,13 @@ pub struct NsConfig {
     /// `handle` when the solver is built. Only consulted when `metrics`
     /// is on.
     pub sink: Option<sem_obs::SinkHandle>,
+    /// Rank id stamped on every step/run record this solver emits
+    /// (`sem_obs::set_rank`), so merged multi-rank telemetry streams
+    /// stay attributable. `None` (the single-process default) keeps the
+    /// process-wide stamp — usually unset, or `TERASEM_RANK` if the
+    /// embedding binary applied it. Only consulted when `metrics` is on;
+    /// purely observational, never read by the numerics.
+    pub rank: Option<u32>,
     /// Deterministic fault-injection plan (`None` = no faults). Parsed
     /// from `TERASEM_FAULT` with [`crate::fault::FaultPlan::from_env`] or
     /// built programmatically. Any configured plan routes `step()`
@@ -121,6 +128,7 @@ impl Default for NsConfig {
             boussinesq: None,
             metrics: false,
             sink: None,
+            rank: None,
             faults: None,
             recovery: crate::recovery::RecoveryPolicy::default(),
             run: crate::supervisor::RunPolicy::default(),

@@ -129,6 +129,9 @@ impl NsSolver {
             if let Some(h) = &cfg.sink {
                 sem_obs::sink::set_sink(Some(h.0.clone()));
             }
+            if let Some(r) = cfg.rank {
+                sem_obs::set_rank(Some(r));
+            }
         }
         if let Some(b) = cfg.backend {
             sem_linalg::backend::set_backend(b);

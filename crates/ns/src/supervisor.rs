@@ -495,8 +495,12 @@ impl RunSupervisor {
         }
         let mut o = JsonObj::new();
         o.str("type", RUN_RECORD_TYPE)
-            .u64("schema", sem_obs::record::SCHEMA_VERSION)
-            .str("outcome", outcome)
+            .u64("schema", sem_obs::record::SCHEMA_VERSION);
+        match sem_obs::rank() {
+            Some(r) => o.u64("rank", r as u64),
+            None => o.raw("rank", "null"),
+        };
+        o.str("outcome", outcome)
             .u64("steps", self.solver.step_index as u64)
             .u64("steps_this_run", report.steps.len() as u64)
             .u64("step_errors", errors as u64)

@@ -48,10 +48,14 @@ pub enum Counter {
     /// Runs resumed from an on-disk checkpoint via
     /// `resume_from_latest`.
     Resumes,
+    /// Trace events dropped because a thread's trace buffer was full
+    /// (`sem_obs::trace` drop-newest overflow) — nonzero means Chrome
+    /// exports and merged multi-rank traces are incomplete.
+    TraceDropped,
 }
 
 /// Number of counters.
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 13;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -68,6 +72,7 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::WatchdogTrips,
         Counter::Resumes,
+        Counter::TraceDropped,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -85,7 +90,14 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::WatchdogTrips => "watchdog_trips",
             Counter::Resumes => "resumes",
+            Counter::TraceDropped => "trace_dropped",
         }
+    }
+
+    /// Inverse of [`Counter::name`] (used when rebuilding snapshots from
+    /// serialized records).
+    pub fn parse(name: &str) -> Option<Counter> {
+        Counter::ALL.into_iter().find(|c| c.name() == name)
     }
 }
 
@@ -134,6 +146,24 @@ impl CounterSnapshot {
         }
         CounterSnapshot { values }
     }
+
+    /// Set the value of `c` (used when rebuilding a snapshot from a
+    /// serialized record — the live registry is never written this way).
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.values[c as usize] = v;
+    }
+
+    /// Merge another snapshot into this one by element-wise saturating
+    /// addition — the per-rank aggregation used to fold a multi-rank
+    /// job's counters into machine-wide totals. Because every counter is
+    /// a plain sum of events, merging per-rank snapshots is exact: it
+    /// equals the snapshot a single process counting all ranks' events
+    /// would have produced (pinned by the seeded merge proptest).
+    pub fn merge(&mut self, other: &CounterSnapshot) {
+        for (v, o) in self.values.iter_mut().zip(other.values.iter()) {
+            *v = v.saturating_add(*o);
+        }
+    }
 }
 
 /// Snapshot every counter.
@@ -171,6 +201,22 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_merge_is_elementwise_and_set_roundtrips() {
+        let mut a = CounterSnapshot::default();
+        let mut b = CounterSnapshot::default();
+        a.set(Counter::GsWords, 40);
+        a.set(Counter::TraceDropped, u64::MAX);
+        b.set(Counter::GsWords, 2);
+        b.set(Counter::MxmCalls, 7);
+        b.set(Counter::TraceDropped, 9);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::GsWords), 42);
+        assert_eq!(a.get(Counter::MxmCalls), 7);
+        assert_eq!(a.get(Counter::TraceDropped), u64::MAX, "merge saturates");
+        assert_eq!(a.get(Counter::Resumes), 0);
+    }
+
+    #[test]
     fn names_are_unique_and_snake_case() {
         let mut seen = std::collections::HashSet::new();
         for c in Counter::ALL {
@@ -179,6 +225,8 @@ mod tests {
             assert!(n
                 .chars()
                 .all(|ch| ch.is_ascii_lowercase() || ch == '_' || ch.is_ascii_digit()));
+            assert_eq!(Counter::parse(n), Some(c), "parse must invert name");
         }
+        assert_eq!(Counter::parse("not_a_counter"), None);
     }
 }

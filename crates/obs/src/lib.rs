@@ -67,9 +67,14 @@ pub use record::StepRecord;
 pub use sink::{Sink, SinkHandle};
 pub use spans::{span, Phase, SpanGuard};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Rank id of this process in a multi-rank job, or the sentinel for
+/// "not part of one". Stored as `rank + 1` so the zero initializer means
+/// unset without a second flag.
+static RANK_PLUS_ONE: AtomicU64 = AtomicU64::new(0);
 
 /// Is metric collection currently on?
 #[inline]
@@ -82,11 +87,28 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
+/// Stamp this process with a rank id (process-global). Every step
+/// record, run record, and trace export produced afterwards carries it,
+/// so multi-rank telemetry streams stay attributable after merging.
+/// `None` clears the stamp (single-process default).
+pub fn set_rank(rank: Option<u32>) {
+    RANK_PLUS_ONE.store(rank.map_or(0, |r| r as u64 + 1), Ordering::Relaxed);
+}
+
+/// The rank id stamped on this process, if any.
+pub fn rank() -> Option<u32> {
+    match RANK_PLUS_ONE.load(Ordering::Relaxed) {
+        0 => None,
+        r => Some((r - 1) as u32),
+    }
+}
+
 /// Enable metrics if the `TERASEM_METRICS` environment variable is set
 /// to `1` or `true`, and apply the companion env vars: the per-phase
-/// mask `TERASEM_METRICS_PHASES` (see [`spans::init_phases_from_env`])
-/// and the sink selector `TERASEM_METRICS_SINK` (see
-/// [`sink::init_sink_from_env`]). Returns the resulting enabled state.
+/// mask `TERASEM_METRICS_PHASES` (see [`spans::init_phases_from_env`]),
+/// the sink selector `TERASEM_METRICS_SINK` (see
+/// [`sink::init_sink_from_env`]), and the rank stamp `TERASEM_RANK`
+/// (see [`set_rank`]). Returns the resulting enabled state.
 /// (`TERASEM_TRACE` is handled separately by [`trace::init_from_env`],
 /// since the caller owns writing the export file at run end.)
 pub fn init_from_env() -> bool {
@@ -94,6 +116,15 @@ pub fn init_from_env() -> bool {
         let v = v.trim();
         if v == "1" || v.eq_ignore_ascii_case("true") {
             set_enabled(true);
+        }
+    }
+    if let Ok(v) = std::env::var("TERASEM_RANK") {
+        let v = v.trim();
+        match v.parse::<u32>() {
+            Ok(r) => set_rank(Some(r)),
+            Err(_) => {
+                warn::invalid_env("TERASEM_RANK", v, "expected a rank index; stamp left unset");
+            }
         }
     }
     spans::init_phases_from_env();
@@ -132,5 +163,17 @@ mod tests {
         set_enabled(false);
         assert!(!enabled());
         set_enabled(prev);
+    }
+
+    #[test]
+    fn rank_stamp_roundtrip_including_rank_zero() {
+        let _g = test_guard();
+        assert_eq!(rank(), None, "unset by default");
+        set_rank(Some(0));
+        assert_eq!(rank(), Some(0), "rank 0 must be distinguishable from unset");
+        set_rank(Some(31));
+        assert_eq!(rank(), Some(31));
+        set_rank(None);
+        assert_eq!(rank(), None);
     }
 }

@@ -23,7 +23,10 @@ use crate::spans::{self, Phase, SpanSnapshot};
 ///     `faults_injected`/`recoveries` counters.
 /// v4: adds the per-step `recovery_trail` ladder-stage list and the
 ///     `checkpoints_written`/`watchdog_trips`/`resumes` counters.
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: adds the `rank` stamp (`null` outside multi-rank jobs — see
+///     [`crate::set_rank`]), the `trace_dropped` counter, and the
+///     per-rank `terasem.rank` telemetry record family (sem-net).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The `"type"` tag of a per-timestep record.
 pub const STEP_RECORD_TYPE: &str = "terasem.step";
@@ -31,6 +34,12 @@ pub const STEP_RECORD_TYPE: &str = "terasem.step";
 /// One timestep's worth of solver observability data.
 #[derive(Clone, Debug, Default)]
 pub struct StepRecord {
+    /// Rank id of the emitting process in a multi-rank job (`None` in
+    /// single-process runs). [`capture_registries`] stamps it from the
+    /// process-global [`crate::rank`].
+    ///
+    /// [`capture_registries`]: StepRecord::capture_registries
+    pub rank: Option<u32>,
     /// Timestep index (1-based, matching `StepStats::step`).
     pub step: u64,
     /// Simulation time after the step.
@@ -84,6 +93,7 @@ impl StepRecord {
         &mut self,
         since: (&CounterSnapshot, &SpanSnapshot, &HistSnapshot),
     ) {
+        self.rank = crate::rank();
         self.counters = counters::snapshot();
         self.spans = spans::span_snapshot();
         self.counters_delta = self.counters.delta(since.0);
@@ -106,9 +116,12 @@ impl StepRecord {
     /// Serialize as one bare JSON object (what sinks receive).
     pub fn to_json_body(&self) -> String {
         let mut o = JsonObj::new();
-        o.str("type", STEP_RECORD_TYPE)
-            .u64("schema", SCHEMA_VERSION)
-            .u64("step", self.step)
+        o.str("type", STEP_RECORD_TYPE).u64("schema", SCHEMA_VERSION);
+        match self.rank {
+            Some(r) => o.u64("rank", r as u64),
+            None => o.raw("rank", "null"),
+        };
+        o.u64("step", self.step)
             .f64("time", self.time)
             .f64("dt", self.dt)
             .f64("cfl", self.cfl)
@@ -135,7 +148,9 @@ impl StepRecord {
     }
 }
 
-fn counters_obj(snap: &CounterSnapshot) -> JsonObj {
+/// `{counter_name: value}` for every counter — public because the
+/// sem-net per-rank telemetry record serializes snapshots the same way.
+pub fn counters_obj(snap: &CounterSnapshot) -> JsonObj {
     let mut o = JsonObj::new();
     for c in Counter::ALL {
         o.u64(c.name(), snap.get(c));
@@ -143,7 +158,9 @@ fn counters_obj(snap: &CounterSnapshot) -> JsonObj {
     o
 }
 
-fn spans_obj(snap: &SpanSnapshot) -> JsonObj {
+/// `{phase: {seconds, calls}}` for every phase (public for the sem-net
+/// per-rank telemetry record).
+pub fn spans_obj(snap: &SpanSnapshot) -> JsonObj {
     let mut o = JsonObj::new();
     for p in Phase::ALL {
         let mut entry = JsonObj::new();
@@ -181,8 +198,9 @@ fn latency_obj(hist: &HistSnapshot) -> JsonObj {
 
 /// Compact raw buckets: per phase, an array of `[bucket_index, count]`
 /// pairs for the nonzero buckets — enough for `sem-report` to rebuild
-/// and merge exact histograms across steps.
-fn latency_hist_obj(hist: &HistSnapshot) -> JsonObj {
+/// and merge exact histograms across steps (and, via
+/// [`HistSnapshot::merge`], across ranks).
+pub fn latency_hist_obj(hist: &HistSnapshot) -> JsonObj {
     let mut o = JsonObj::new();
     for p in Phase::ALL {
         let buckets = hist.buckets(p);
@@ -201,11 +219,12 @@ fn latency_hist_obj(hist: &HistSnapshot) -> JsonObj {
     o
 }
 
-/// Field names every `terasem.step` record must carry (schema v4). Used
+/// Field names every `terasem.step` record must carry (schema v5). Used
 /// by the schema tests and mirrored by `scripts/metrics_smoke.sh`.
 pub const REQUIRED_FIELDS: &[&str] = &[
     "type",
     "schema",
+    "rank",
     "step",
     "time",
     "dt",
@@ -269,6 +288,7 @@ mod tests {
         }
         assert!(line.contains("\"scalar_iterations\":null"));
         assert!(line.contains("\"recovery_trail\":[]"));
+        assert!(line.contains("\"rank\":null"), "single-process rank stamp");
         let mut with_scalar = sample();
         with_scalar.scalar_iterations = Some(4);
         with_scalar.recovery_trail =
@@ -293,12 +313,16 @@ mod tests {
         {
             let _sp = spans::span(Phase::PressureCg);
         }
+        crate::set_rank(Some(3));
         let mut rec = sample();
         rec.capture_registries((&c0, &s0, &h0));
+        crate::set_rank(None);
+        assert_eq!(rec.rank, Some(3), "capture must stamp the process rank");
         assert_eq!(rec.counters_delta.get(Counter::MxmFlops), 1000);
         assert_eq!(rec.spans_delta.calls(Phase::PressureCg), 1);
         assert_eq!(rec.latency.count(Phase::PressureCg), 1);
         let line = rec.to_json_line();
+        assert!(line.contains("\"rank\":3"));
         assert!(line.contains("\"mxm_flops\":1000"));
         assert!(is_valid(&line["JSON ".len()..]));
         crate::set_enabled(prev);

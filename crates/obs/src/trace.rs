@@ -33,6 +33,7 @@
 //! metrics are already on, so the disabled-path contract (one relaxed
 //! load per probe) is unchanged.
 
+use crate::counters::{self, Counter};
 use crate::json::{escape, fmt_f64};
 use crate::spans::Phase;
 use std::cell::RefCell;
@@ -154,12 +155,24 @@ struct LocalBuf {
     capacity: usize,
 }
 
+/// One warning per process on the first dropped trace event, so a
+/// quietly truncated export is never mistaken for a complete one.
+static DROP_WARNED: AtomicBool = AtomicBool::new(false);
+
 impl LocalBuf {
     fn push(&mut self, ev: TraceEvent) {
         if self.trace.events.len() < self.capacity {
             self.trace.events.push(ev);
         } else {
             self.trace.dropped += 1;
+            counters::add(Counter::TraceDropped, 1);
+            if !DROP_WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: trace buffer full ({} events on thread {}): dropping newest \
+                     events; exports will be incomplete (raise sem_obs::trace::set_capacity)",
+                    self.capacity, self.trace.tid
+                );
+            }
         }
     }
 
@@ -278,12 +291,52 @@ pub fn total_dropped(traces: &[ThreadTrace]) -> u64 {
 
 /// Render traces as Chrome trace-event JSON (the object form:
 /// `{"traceEvents":[...]}`), loadable by `chrome://tracing` and
-/// Perfetto. Begin/End pairs are matched per thread and unmatched
-/// orphans (from buffer overflow or mid-span enabling) are omitted, so
-/// the output always carries balanced `"B"`/`"E"` pairs. Timestamps are
-/// microseconds (the trace-event unit).
+/// Perfetto. Single-process form of [`chrome_events`]: process lane 0,
+/// no clock shift.
 pub fn chrome_json(traces: &[ThreadTrace]) -> String {
+    chrome_wrap(&[chrome_events(traces, 0, 0, None)])
+}
+
+/// Wrap pre-rendered event fragments (from [`chrome_events`] — e.g. one
+/// per rank of a multi-rank job) into one complete Chrome trace-event
+/// JSON document.
+pub fn chrome_wrap(fragments: &[String]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for f in fragments {
+        if f.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        out.push_str(f);
+        first = false;
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Render `traces` as a comma-joined run of Chrome trace-event objects
+/// (no surrounding array — [`chrome_wrap`] assembles fragments into a
+/// document), with every event in process lane `pid` and all timestamps
+/// shifted forward by `shift_ns` nanoseconds. The shift is the
+/// cross-rank clock-alignment hook: each rank's trace clock starts at
+/// its own process-local epoch, so shifting rank r's events by
+/// `max_barrier_ns − barrier_ns[r]` (barrier timestamps gathered at a
+/// known collective) puts every rank's lane on one shared time axis.
+/// When `label` is given, a `process_name` metadata event naming the
+/// lane is emitted first. Begin/End pairs are matched per thread and
+/// unmatched orphans (from buffer overflow or mid-span enabling) are
+/// omitted, so the output always carries balanced `"B"`/`"E"` pairs.
+/// Timestamps are microseconds (the trace-event unit).
+pub fn chrome_events(
+    traces: &[ThreadTrace],
+    pid: u32,
+    shift_ns: u64,
+    label: Option<&str>,
+) -> String {
+    let mut out = String::new();
     let mut first = true;
     let mut emit = |s: String, first: &mut bool| {
         if !*first {
@@ -292,6 +345,16 @@ pub fn chrome_json(traces: &[ThreadTrace]) -> String {
         out.push_str(&s);
         *first = false;
     };
+    if let Some(name) = label {
+        emit(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ),
+            &mut first,
+        );
+    }
     for t in traces {
         // Match Begin/End pairs: stack of indices of open Begins.
         let mut matched = vec![false; t.events.len()];
@@ -316,22 +379,22 @@ pub fn chrome_json(traces: &[ThreadTrace]) -> String {
             if !matched[i] {
                 continue;
             }
-            let ts = ev.t_ns() as f64 / 1e3;
+            let ts = ev.t_ns().saturating_add(shift_ns) as f64 / 1e3;
             let line = match ev {
                 TraceEvent::Begin { phase, .. } => format!(
-                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":{},\"pid\":{pid},\"tid\":{}}}",
                     phase.name(),
                     fmt_f64(ts),
                     t.tid
                 ),
                 TraceEvent::End { phase, .. } => format!(
-                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":{},\"pid\":{pid},\"tid\":{}}}",
                     phase.name(),
                     fmt_f64(ts),
                     t.tid
                 ),
                 TraceEvent::Note { name, value, .. } => format!(
-                    "{{\"name\":\"{}\",\"cat\":\"note\",\"ph\":\"I\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                    "{{\"name\":\"{}\",\"cat\":\"note\",\"ph\":\"I\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"value\":{}}}}}",
                     escape(name),
                     fmt_f64(ts),
                     t.tid,
@@ -341,7 +404,6 @@ pub fn chrome_json(traces: &[ThreadTrace]) -> String {
             emit(line, &mut first);
         }
     }
-    out.push_str("],\"displayTimeUnit\":\"ns\"}");
     out
 }
 
@@ -416,6 +478,68 @@ mod tests {
             .expect("worker events");
         assert_eq!(worker.events.len(), 16);
         assert_eq!(worker.dropped, 64);
+    }
+
+    #[test]
+    fn overflow_is_surfaced_as_a_counter() {
+        let _g = crate::test_guard();
+        let prev = crate::enabled();
+        crate::set_enabled(true);
+        counters::reset_counters();
+        reset_trace();
+        set_trace_enabled(true);
+        let prev_cap = CAPACITY.load(Ordering::Relaxed);
+        set_capacity(16);
+        let handle = std::thread::spawn(|| {
+            for _ in 0..20 {
+                begin(Phase::Step);
+                end(Phase::Step);
+            }
+        });
+        handle.join().unwrap();
+        set_trace_enabled(false);
+        set_capacity(prev_cap);
+        let traces = drain();
+        let dropped = total_dropped(&traces);
+        assert_eq!(dropped, 24, "16-slot buffer over 40 events");
+        assert_eq!(
+            counters::get(Counter::TraceDropped),
+            dropped,
+            "every dropped event must be counted"
+        );
+        counters::reset_counters();
+        crate::set_enabled(prev);
+    }
+
+    #[test]
+    fn chrome_events_places_lane_shift_and_label() {
+        let traces = vec![ThreadTrace {
+            tid: 2,
+            events: vec![
+                TraceEvent::Begin {
+                    phase: Phase::Step,
+                    t_ns: 1_000,
+                },
+                TraceEvent::End {
+                    phase: Phase::Step,
+                    t_ns: 3_000,
+                },
+            ],
+            dropped: 0,
+        }];
+        let frag = chrome_events(&traces, 7, 2_000, Some("rank 7"));
+        assert!(frag.contains("\"pid\":7"), "{frag}");
+        assert!(!frag.contains("\"pid\":0,"), "{frag}");
+        assert!(frag.contains("\"process_name\""), "{frag}");
+        assert!(frag.contains("\"ts\":3"), "shifted begin ts: {frag}");
+        assert!(frag.contains("\"ts\":5"), "shifted end ts: {frag}");
+        // Two lanes merged into one document stay valid JSON, and an
+        // empty lane contributes nothing (no stray commas).
+        let merged = chrome_wrap(&[frag, String::new(), chrome_events(&traces, 8, 0, None)]);
+        assert!(is_valid(&merged), "invalid merged JSON: {merged}");
+        assert!(merged.contains("\"pid\":7") && merged.contains("\"pid\":8"));
+        assert_eq!(merged.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(merged.matches("\"ph\":\"E\"").count(), 2);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Seeded property tests pinning the multi-rank merge semantics of the
+//! telemetry snapshots: merging per-rank aggregates must be *exact* —
+//! bitwise equal to aggregating the concatenated per-rank event streams
+//! in one process. This is what makes the `terasem.ranks` artifact's
+//! machine-wide totals trustworthy: no averaging, no floating-point
+//! reassociation, no lossy quantile math happens at merge time.
+//!
+//! Uses the replayable `sem_linalg::rng::forall` harness — a failure
+//! prints the exact per-case seed.
+
+use sem_linalg::rng::{forall, SplitMix64};
+use sem_obs::counters::{Counter, CounterSnapshot, NUM_COUNTERS};
+use sem_obs::hist::{bucket_index, HistSnapshot, NUM_BUCKETS};
+use sem_obs::spans::{Phase, NUM_PHASES};
+
+/// Draw a duration spanning the full bucket range: a random bit width
+/// keeps high buckets as likely as low ones (uniform u64 draws would
+/// pile everything into the top few buckets).
+fn random_ns(rng: &mut SplitMix64) -> u64 {
+    let bits = rng.range(0, 64) as u32;
+    rng.next_u64() >> bits
+}
+
+/// Merging per-rank histograms bucket-wise equals the histogram of the
+/// concatenated samples, for every phase and every bucket.
+#[test]
+fn hist_merge_equals_histogram_of_concatenated_samples() {
+    forall("hist merge = concat", 0x7e1e_5ca1e, 64, |rng| {
+        let ranks = rng.range(1, 9);
+        let mut per_rank: Vec<HistSnapshot> = Vec::with_capacity(ranks);
+        let mut concat = HistSnapshot::default();
+        for _ in 0..ranks {
+            let mut mine = HistSnapshot::default();
+            for _ in 0..rng.range(0, 200) {
+                let phase = Phase::ALL[rng.index(NUM_PHASES)];
+                let b = bucket_index(random_ns(rng));
+                mine.add_bucket(phase, b, 1);
+                concat.add_bucket(phase, b, 1);
+            }
+            per_rank.push(mine);
+        }
+        let mut merged = HistSnapshot::default();
+        for h in &per_rank {
+            merged.merge(h);
+        }
+        for p in Phase::ALL {
+            assert_eq!(
+                merged.buckets(p),
+                concat.buckets(p),
+                "phase {} buckets diverge after merge",
+                p.name()
+            );
+            // Derived views must agree too (they are pure functions of
+            // the buckets, so this is a consistency check on the API).
+            assert_eq!(merged.count(p), concat.count(p));
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(
+                    merged.quantile_seconds(p, q),
+                    concat.quantile_seconds(p, q),
+                    "phase {} q{q} diverges",
+                    p.name()
+                );
+            }
+        }
+    });
+}
+
+/// Counter-snapshot merge is an element-wise sum: merging per-rank
+/// snapshots equals the snapshot of the summed per-rank event counts.
+#[test]
+fn counter_merge_equals_sum_of_per_rank_counts() {
+    forall("counter merge = sum", 0xc0u64, 64, |rng| {
+        let ranks = rng.range(1, 9);
+        let mut per_rank: Vec<CounterSnapshot> = Vec::with_capacity(ranks);
+        let mut totals = [0u64; NUM_COUNTERS];
+        for _ in 0..ranks {
+            let mut mine = CounterSnapshot::default();
+            for (i, c) in Counter::ALL.into_iter().enumerate() {
+                // Small and huge values: the merge must saturate, never
+                // wrap.
+                let v = if rng.index(16) == 0 {
+                    u64::MAX - rng.range(0, 1000) as u64
+                } else {
+                    rng.next_u64() >> rng.range(32, 64)
+                };
+                mine.set(c, v);
+                totals[i] = totals[i].saturating_add(v);
+            }
+            per_rank.push(mine);
+        }
+        let mut merged = CounterSnapshot::default();
+        for s in &per_rank {
+            merged.merge(s);
+        }
+        for (i, c) in Counter::ALL.into_iter().enumerate() {
+            assert_eq!(merged.get(c), totals[i], "counter {} diverges", c.name());
+        }
+    });
+}
+
+/// The merge order must not matter (bucket-wise integer addition is
+/// commutative and associative short of saturation): shuffled merges
+/// produce bitwise-identical snapshots.
+#[test]
+fn hist_merge_is_order_independent() {
+    forall("hist merge order", 0x0bd3_12a7, 32, |rng| {
+        let mut parts: Vec<HistSnapshot> = (0..rng.range(2, 7))
+            .map(|_| {
+                let mut h = HistSnapshot::default();
+                for _ in 0..rng.range(1, 60) {
+                    h.add_bucket(
+                        Phase::ALL[rng.index(NUM_PHASES)],
+                        rng.index(NUM_BUCKETS),
+                        rng.range(1, 5) as u64,
+                    );
+                }
+                h
+            })
+            .collect();
+        let mut forward = HistSnapshot::default();
+        for h in &parts {
+            forward.merge(h);
+        }
+        rng.shuffle(&mut parts);
+        let mut shuffled = HistSnapshot::default();
+        for h in &parts {
+            shuffled.merge(h);
+        }
+        for p in Phase::ALL {
+            assert_eq!(forward.buckets(p), shuffled.buckets(p));
+        }
+    });
+}

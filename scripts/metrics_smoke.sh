@@ -4,8 +4,9 @@
 # Stage 1: run a short shear-layer solve with metrics enabled
 # (fig3_shear_layer --smoke) on the default stdout sink and validate the
 # emitted per-timestep JSON records — one `JSON {...}` line per step,
-# each carrying the required schema-v4 fields, including the latency
-# histogram objects and the recovery trail (see crates/obs/src/record.rs)
+# each carrying the required schema-v5 fields, including the rank stamp
+# (null in single-process runs), the latency histogram objects, and the
+# recovery trail (see crates/obs/src/record.rs)
 # — plus exactly one end-of-run `terasem.run` summary record from the
 # sem-run supervisor.
 #
@@ -47,7 +48,7 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 
 REQUIRED = [
-    "type", "schema", "step", "time", "dt", "cfl",
+    "type", "schema", "rank", "step", "time", "dt", "cfl",
     "pressure_iterations", "pressure_initial_residual",
     "pressure_final_residual", "projection_depth", "pressure_converged",
     "helmholtz_iterations", "scalar_iterations", "recoveries",
@@ -71,7 +72,9 @@ for i, r in enumerate(records):
     missing = [k for k in REQUIRED if k not in r]
     assert not missing, f"record {i}: missing fields {missing}"
     assert r["type"] == "terasem.step", f"record {i}: type {r['type']!r}"
-    assert r["schema"] == 4, f"record {i}: schema {r['schema']}"
+    assert r["schema"] == 5, f"record {i}: schema {r['schema']}"
+    # Single-process run: the rank stamp is present but null.
+    assert r["rank"] is None, f"record {i}: rank {r['rank']!r}"
     assert r["step"] == i + 1, f"record {i}: step {r['step']}"
     assert r["pressure_iterations"] >= 0
     assert r["recoveries"] >= 0
@@ -100,12 +103,13 @@ for a, b in zip(records, records[1:]):
         assert b["counters"][key] - a["counters"][key] == b["counters_delta"][key], \
             f"{key} delta mismatch at step {b['step']}"
 
-print(f"metrics_smoke: {len(records)} step records + 1 run record validated (schema 4)")
+print(f"metrics_smoke: {len(records)} step records + 1 run record validated (schema 5)")
 EOF
 elif command -v jq >/dev/null 2>&1; then
     jq -e 'select(.type == "terasem.step")
-           | select(.schema != 4
+           | select(.schema != 5
                   or (.counters.mxm_flops < 0) or (has("cfl") | not)
+                  or (has("rank") | not)
                   or (has("recovery_trail") | not)
                   or (has("latency") | not))' \
         "$OUT" >/dev/null && { echo "metrics_smoke: FAIL — bad record" >&2; exit 1; }
