@@ -40,7 +40,10 @@
 //!    `(bytes, secs)` samples every rank records) against two α–β
 //!    `MachineModel` predictions — one fitted to the pooled samples,
 //!    one the ASCI-Red-333 preset;
-//! 3. a **parallel-efficiency estimate**: against a single-rank
+//! 3. the **network-resilience counters** — injected net faults,
+//!    CRC-rejected frames, retransmits, reconnects, missed heartbeats —
+//!    whenever any rank reports a nonzero value;
+//! 4. a **parallel-efficiency estimate**: against a single-rank
 //!    reference log (`--ref`), or compute-only (`step − comm`) when no
 //!    reference is given.
 //!
@@ -294,6 +297,18 @@ fn usage_and_exit() -> ! {
     std::process::exit(2);
 }
 
+/// The transport-resilience counters surfaced per rank: what the
+/// seeded fault shim injected and what the self-healing machinery did
+/// about it (`sem-net`'s `TERASEM_NET_FAULT` layer).
+const NET_COUNTERS: [&str; 6] = [
+    "net_faults_injected",
+    "net_frames_corrupt",
+    "net_retries",
+    "net_reconnects",
+    "heartbeats_missed",
+    "net_frames_stale",
+];
+
 /// One rank's `terasem.rank` record, reduced to what the report needs.
 struct RankRow {
     rank: u64,
@@ -306,6 +321,8 @@ struct RankRow {
     samples: Vec<(u64, f64)>,
     comm_msgs: u64,
     comm_bytes: u64,
+    /// [`NET_COUNTERS`] values (0 for counters the record predates).
+    net: [u64; NET_COUNTERS.len()],
 }
 
 impl RankRow {
@@ -338,7 +355,15 @@ fn parse_rank_row(v: &Json) -> Option<RankRow> {
         samples: Vec::new(),
         comm_msgs: 0,
         comm_bytes: 0,
+        net: [0; NET_COUNTERS.len()],
     };
+    if let Some(counters) = v.get("counters").and_then(Json::as_obj) {
+        for (name, value) in counters {
+            if let Some(i) = NET_COUNTERS.iter().position(|n| n == name) {
+                row.net[i] = value.as_u64().unwrap_or(0);
+            }
+        }
+    }
     if let Some(spans) = v.get("spans").and_then(Json::as_obj) {
         for (name, entry) in spans {
             let Some(p) = Phase::parse(name) else { continue };
@@ -542,7 +567,27 @@ fn ranks_main(path: &str, ref_path: Option<&str>, strict: bool, max_imbalance: f
         );
     }
 
-    // 3. Parallel efficiency: the job is only as fast as its slowest
+    // 3. Network resilience: injected faults and the healing work they
+    // forced. All-zero rows (no TERASEM_NET_FAULT, no link trouble) stay
+    // silent so unfaulted reports are unchanged.
+    let net_total: u64 = rows.iter().flat_map(|r| r.net.iter()).sum();
+    if net_total > 0 {
+        println!();
+        println!("Network resilience (faults injected and healed):");
+        for (i, name) in NET_COUNTERS.iter().enumerate() {
+            let total: u64 = rows.iter().map(|r| r.net[i]).sum();
+            if total == 0 {
+                continue;
+            }
+            let worst = rows.iter().max_by_key(|r| r.net[i]).unwrap();
+            println!(
+                "  {name:<22} {total:>8} total  (max {} on rank {})",
+                worst.net[i], worst.rank
+            );
+        }
+    }
+
+    // 4. Parallel efficiency: the job is only as fast as its slowest
     // rank's wall time (compute plus comm-and-wait).
     println!();
     let wall_max = rows
@@ -575,7 +620,7 @@ fn ranks_main(path: &str, ref_path: Option<&str>, strict: bool, max_imbalance: f
         }
     }
 
-    // 4. Strict imbalance gate.
+    // 5. Strict imbalance gate.
     if strict {
         println!();
         if imbalance > max_imbalance {

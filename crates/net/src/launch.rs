@@ -3,13 +3,24 @@
 //!
 //! The launcher validates the RSB partition *before* spawning anything
 //! (an empty rank is a configuration error with a clean message, never a
-//! hung job), then runs a generation loop: spawn all ranks, wait; if any
-//! rank exits nonzero, kill the stragglers, intersect the per-rank
-//! checkpoint directories for the newest *consistent generation*
-//! ([`sem_ns::consistent_generation`]), and respawn every rank pinned to
-//! that generation. A chaos `--kill` spec is only passed to the first
-//! life, mirroring the soak harness, so the restarted job runs clean.
-//! Restarts are bounded by `--max-restarts`.
+//! hung job), then runs a generation loop with two recovery tiers:
+//!
+//! * **Single-rank rejoin** (the default): when exactly one rank dies
+//!   while every other rank is still running, only the dead rank is
+//!   respawned — into a *rejoin epoch* the survivors are already
+//!   re-bootstrapping toward ([`crate::rank`]). The newcomer resumes
+//!   from the newest consistent checkpoint generation
+//!   ([`sem_ns::consistent_generation`]) and deterministically replays
+//!   up to the survivors' step; survivor processes, and their in-memory
+//!   state, are preserved.
+//! * **Restart-all** (fallback, or `--no-rejoin`): multi-rank loss, a
+//!   failed rejoin, or an exhausted budget kills the stragglers and
+//!   respawns every rank pinned to the newest consistent generation.
+//!
+//! A chaos `--kill` spec is only passed to the first life, mirroring
+//! the soak harness, so recovered jobs run clean. Both tiers draw on
+//! one `--max-restarts` budget; exhausting it exits with
+//! [`EXIT_RESTARTS_EXHAUSTED`].
 //!
 //! On success the launcher additionally proves the replicated-compute
 //! invariant end-to-end: the final checkpoint files of all ranks must be
@@ -18,7 +29,7 @@
 use crate::gs::NetGs;
 use crate::layout::{rank_ckpt_dir, RankLayout};
 use crate::rank::{
-    ENV_KILL, ENV_RANK, ENV_RESUME_STEP, ENV_SIZE, ENV_SOCK_DIR, EXIT_CHAOS_KILL,
+    ENV_EPOCH, ENV_KILL, ENV_RANK, ENV_RESUME_STEP, ENV_SIZE, ENV_SOCK_DIR, EXIT_CHAOS_KILL,
 };
 use sem_mesh::generators::box2d;
 use sem_mesh::partition::{cut_edges, partition_rsb, part_sizes, shared_vertices};
@@ -49,13 +60,18 @@ pub struct LaunchOpts {
     pub keep_last: usize,
     /// `--dir D`: job directory (per-rank checkpoints, sockets).
     pub dir: PathBuf,
-    /// `--kill R@S`: chaos spec — rank R self-kills after step S.
-    pub kill: Option<(usize, u64)>,
+    /// `--kill R@S[,R@S..]`: chaos spec — each listed rank self-kills
+    /// after committing the named step (first life only).
+    pub kill: Vec<(usize, u64)>,
     /// `--threads a,b,..`: per-rank `TERASEM_THREADS`, cycled. Empty
     /// leaves the children inheriting the launcher's environment.
     pub threads: Vec<usize>,
-    /// `--max-restarts R`: bounded recovery attempts.
+    /// `--max-restarts R`: bounded recovery attempts (shared budget for
+    /// single-rank rejoins and restart-all generations).
     pub max_restarts: usize,
+    /// `--no-rejoin`: disable single-rank rejoin recovery — any rank
+    /// death puts the whole generation down and restarts every rank.
+    pub no_rejoin: bool,
     /// `--bench-comm`: measure the transport instead of running a solve.
     pub bench_comm: bool,
     /// `--telemetry`: rank-aware observability — every rank records
@@ -77,9 +93,10 @@ impl Default for LaunchOpts {
             ckpt_every: 3,
             keep_last: 64,
             dir: PathBuf::from("target/terasem-net"),
-            kill: None,
+            kill: Vec::new(),
             threads: Vec::new(),
             max_restarts: 3,
+            no_rejoin: false,
             bench_comm: false,
             telemetry: false,
             timeout_secs: 60.0,
@@ -113,9 +130,12 @@ options:
   --ckpt-every C   checkpoint + validation interval  (default 3)
   --keep-last M    checkpoints retained per rank     (default 64)
   --dir D          job directory                     (default target/terasem-net)
-  --kill R@S       chaos: rank R exits after step S (first life only)
+  --kill R@S[,R@S..] chaos: each listed rank exits after the named step
+                   (first life only)
   --threads a,b,.. per-rank TERASEM_THREADS, cycled
-  --max-restarts R bounded rank-death recoveries     (default 3)
+  --max-restarts R recovery budget: single-rank rejoins plus
+                   restart-all generations               (default 3)
+  --no-rejoin      disable single-rank rejoin; any death restarts all
   --timeout T      transport timeout, seconds        (default 60)
   --bench-comm     measure alpha-beta transport model instead of solving
   --telemetry      per-rank metrics + merged rank-lane Chrome trace:
@@ -151,11 +171,14 @@ pub fn parse_args(args: &[String]) -> Result<LaunchOpts, String> {
             }
             "--kill" => {
                 let v = value(a, &mut it)?;
-                let (r, s) = v
-                    .split_once('@')
-                    .ok_or_else(|| format!("--kill: expected RANK@STEP, got {v:?}"))?;
-                o.kill = Some((num(r, a)?, num(s, a)?));
+                for part in v.split(',') {
+                    let (r, s) = part.split_once('@').ok_or_else(|| {
+                        format!("--kill: expected RANK@STEP[,RANK@STEP..], got {v:?}")
+                    })?;
+                    o.kill.push((num(r, a)?, num(s, a)?));
+                }
             }
+            "--no-rejoin" => o.no_rejoin = true,
             "--threads" => {
                 let v = value(a, &mut it)?;
                 o.threads = v
@@ -220,91 +243,117 @@ fn validate_partition(opts: &LaunchOpts) -> Result<RankLayout, String> {
     Ok(layout)
 }
 
+/// Spawn one rank process. `with_kill` arms the chaos spec (first life
+/// of the first generation only); `epoch > 0` drops the child into a
+/// rejoin epoch on the same socket-directory base as the survivors.
+fn spawn_rank(
+    opts: &LaunchOpts,
+    exe: &std::path::Path,
+    argv: &[String],
+    sock_dir: &std::path::Path,
+    r: usize,
+    resume: Option<u64>,
+    epoch: u64,
+    with_kill: bool,
+) -> std::io::Result<Child> {
+    let mut cmd = Command::new(exe);
+    cmd.args(argv)
+        .env(ENV_RANK, r.to_string())
+        .env(ENV_SIZE, opts.ranks.to_string())
+        .env(ENV_SOCK_DIR, sock_dir);
+    match resume {
+        Some(g) => {
+            cmd.env(ENV_RESUME_STEP, g.to_string());
+        }
+        None => {
+            cmd.env_remove(ENV_RESUME_STEP);
+        }
+    }
+    if epoch > 0 {
+        cmd.env(ENV_EPOCH, epoch.to_string());
+    } else {
+        cmd.env_remove(ENV_EPOCH);
+    }
+    if with_kill && !opts.kill.is_empty() {
+        let spec: Vec<String> = opts.kill.iter().map(|(kr, ks)| format!("{kr}@{ks}")).collect();
+        cmd.env(ENV_KILL, spec.join(","));
+    } else {
+        cmd.env_remove(ENV_KILL);
+    }
+    if !opts.threads.is_empty() {
+        let t = opts.threads[r % opts.threads.len()];
+        cmd.env("TERASEM_THREADS", t.to_string());
+    }
+    let child = cmd.spawn()?;
+    // PID lines let tests (and operators) verify which processes a
+    // recovery preserved: rejoin keeps every survivor PID, restart-all
+    // replaces them all.
+    println!("terasem-launch: rank {r} pid {}", child.id());
+    Ok(child)
+}
+
 fn spawn_ranks(
     opts: &LaunchOpts,
     exe: &std::path::Path,
     argv: &[String],
     attempt: usize,
     resume: Option<u64>,
-) -> std::io::Result<Vec<Child>> {
+) -> std::io::Result<(Vec<Child>, PathBuf)> {
     // A fresh socket directory per generation: no stale-socket races.
     let sock_dir = opts.dir.join(format!("sock_{attempt}"));
     let _ = std::fs::remove_dir_all(&sock_dir);
     std::fs::create_dir_all(&sock_dir)?;
     let mut children = Vec::with_capacity(opts.ranks);
     for r in 0..opts.ranks {
-        let mut cmd = Command::new(exe);
-        cmd.args(argv)
-            .env(ENV_RANK, r.to_string())
-            .env(ENV_SIZE, opts.ranks.to_string())
-            .env(ENV_SOCK_DIR, &sock_dir);
-        match resume {
-            Some(g) => {
-                cmd.env(ENV_RESUME_STEP, g.to_string());
-            }
-            None => {
-                cmd.env_remove(ENV_RESUME_STEP);
-            }
-        }
-        match opts.kill {
-            // Chaos kill only in the first life, like the soak harness.
-            Some((kr, ks)) if attempt == 0 => {
-                cmd.env(ENV_KILL, format!("{kr}@{ks}"));
-            }
-            _ => {
-                cmd.env_remove(ENV_KILL);
-            }
-        }
-        if !opts.threads.is_empty() {
-            let t = opts.threads[r % opts.threads.len()];
-            cmd.env("TERASEM_THREADS", t.to_string());
-        }
-        children.push(cmd.spawn()?);
+        // Chaos kill only in the first life, like the soak harness.
+        children.push(spawn_rank(opts, exe, argv, &sock_dir, r, resume, 0, attempt == 0)?);
     }
-    Ok(children)
+    Ok((children, sock_dir))
 }
 
-/// Wait for all children; on the first nonzero exit, kill the rest.
-/// Returns `(rank, code)` per failed rank (empty = clean generation).
-fn supervise(children: &mut Vec<Child>) -> Vec<(usize, i32)> {
-    let mut status: Vec<Option<i32>> = vec![None; children.len()];
-    let mut failed: Vec<(usize, i32)> = Vec::new();
+/// Wait until every child has exited cleanly or at least one has
+/// failed. On a failure, keep polling through a short grace window so
+/// near-simultaneous deaths (multi-rank chaos kills) are reported as
+/// one event — the rejoin-vs-restart-all decision hinges on the count.
+/// No child is killed here; the caller owns that policy. Returns the
+/// failed `(rank, code)` list and how many children are still running.
+fn supervise(children: &mut [Child]) -> (Vec<(usize, i32)>, usize) {
+    const GRACE: Duration = Duration::from_millis(300);
+    let mut grace_until: Option<std::time::Instant> = None;
     loop {
-        let mut running = false;
+        let mut failed: Vec<(usize, i32)> = Vec::new();
+        let mut running = 0usize;
         for (r, child) in children.iter_mut().enumerate() {
-            if status[r].is_some() {
-                continue;
-            }
             match child.try_wait() {
                 Ok(Some(st)) => {
                     let code = st.code().unwrap_or(-1);
-                    status[r] = Some(code);
                     if code != 0 {
                         failed.push((r, code));
                     }
                 }
-                Ok(None) => running = true,
-                Err(_) => {
-                    status[r] = Some(-1);
-                    failed.push((r, -1));
-                }
+                Ok(None) => running += 1,
+                Err(_) => failed.push((r, -1)),
             }
+        }
+        if running == 0 {
+            return (failed, running);
         }
         if !failed.is_empty() {
-            // A dead rank stalls every peer at the next collective; put
-            // the generation down now rather than waiting for timeouts.
-            for (r, child) in children.iter_mut().enumerate() {
-                if status[r].is_none() {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                }
+            match grace_until {
+                None => grace_until = Some(std::time::Instant::now() + GRACE),
+                Some(t) if std::time::Instant::now() >= t => return (failed, running),
+                Some(_) => {}
             }
-            return failed;
-        }
-        if !running {
-            return failed;
         }
         std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Put a generation down: kill and reap every child still running.
+fn kill_all(children: &mut [Child]) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
     }
 }
 
@@ -328,6 +377,9 @@ fn final_checkpoints_identical(opts: &LaunchOpts) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// Launcher exit code: the recovery budget (`--max-restarts`) ran out.
+pub const EXIT_RESTARTS_EXHAUSTED: i32 = 3;
 
 /// Launcher entry point. Returns the process exit code.
 pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
@@ -372,14 +424,65 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
                     .unwrap_or_else(|| "scratch".into())
             );
         }
-        let mut children = match spawn_ranks(opts, &exe, argv, attempt, resume) {
+        let (mut children, sock_dir) = match spawn_ranks(opts, &exe, argv, attempt, resume) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("terasem-launch: spawn failed: {e}");
                 return 1;
             }
         };
-        let failed = supervise(&mut children);
+        // Supervise the generation. A single dead rank is healed *in
+        // place*: only the dead rank is respawned, into a rejoin epoch
+        // the survivors are already re-bootstrapping toward — their
+        // PIDs, sockets-in-flight state, and in-memory solver state all
+        // survive. Multi-rank loss (or an exhausted budget, or
+        // --no-rejoin) falls back to the restart-all path below.
+        let mut epoch = 0u64;
+        let failed = loop {
+            let (failed, running) = supervise(&mut children);
+            if failed.is_empty() {
+                break failed;
+            }
+            for (r, code) in &failed {
+                let kind = match *code {
+                    EXIT_CHAOS_KILL => "chaos kill",
+                    7 => "divergence abort",
+                    8 => "peer lost",
+                    _ => "failure",
+                };
+                eprintln!("terasem-launch: rank {r} exited with code {code} ({kind})");
+            }
+            let survivors = opts.ranks - failed.len();
+            let rejoin = failed.len() == 1
+                && running == survivors
+                && !opts.no_rejoin
+                && !opts.bench_comm
+                && restarts < opts.max_restarts;
+            if !rejoin {
+                break failed;
+            }
+            restarts += 1;
+            epoch += 1;
+            let (r, _) = failed[0];
+            // The newest generation every rank (including the dead one)
+            // holds a valid checkpoint for: the newcomer resumes there
+            // and replays deterministically up to the survivors' step.
+            let gen = consistent_generation(&rank_dirs);
+            eprintln!(
+                "terasem-launch: rejoin {restarts}/{}: restarting rank {r} \
+                 (epoch {epoch}, resume from {})",
+                opts.max_restarts,
+                gen.map(|g| format!("generation {g}"))
+                    .unwrap_or_else(|| "scratch".into())
+            );
+            match spawn_rank(opts, &exe, argv, &sock_dir, r, gen, epoch, false) {
+                Ok(child) => children[r] = child,
+                Err(e) => {
+                    eprintln!("terasem-launch: rejoin spawn failed: {e}");
+                    break failed;
+                }
+            }
+        };
         if failed.is_empty() {
             if !opts.bench_comm {
                 if let Err(e) = final_checkpoints_identical(opts) {
@@ -412,15 +515,10 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
             );
             return 0;
         }
-        for (r, code) in &failed {
-            let kind = match *code {
-                EXIT_CHAOS_KILL => "chaos kill",
-                7 => "divergence abort",
-                8 => "peer lost",
-                _ => "failure",
-            };
-            eprintln!("terasem-launch: rank {r} exited with code {code} ({kind})");
-        }
+        // Restart-all fallback: a dead rank stalls every peer at its
+        // next collective, so put the generation down before deciding
+        // whether any recovery budget remains.
+        kill_all(&mut children);
         if opts.bench_comm {
             eprintln!("terasem-launch: bench run failed");
             return 1;
@@ -428,10 +526,11 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
         restarts += 1;
         if restarts > opts.max_restarts {
             eprintln!(
-                "terasem-launch: giving up after {} restart(s)",
-                opts.max_restarts
+                "terasem-launch: giving up: recovery budget exhausted \
+                 (--max-restarts {}, {} attempt(s) used)",
+                opts.max_restarts, restarts
             );
-            return 1;
+            return EXIT_RESTARTS_EXHAUSTED;
         }
     }
     unreachable!("the generation loop always returns");
@@ -449,8 +548,8 @@ mod tests {
     fn args_round_trip() {
         let o = parse_args(&strs(&[
             "--ranks", "4", "--steps", "10", "--elems", "3", "--order", "6", "--ckpt-every",
-            "2", "--keep-last", "9", "--dir", "/tmp/x", "--kill", "2@7", "--threads", "1,2",
-            "--max-restarts", "5", "--timeout", "12.5", "--telemetry",
+            "2", "--keep-last", "9", "--dir", "/tmp/x", "--kill", "2@7,3@8", "--threads", "1,2",
+            "--max-restarts", "5", "--timeout", "12.5", "--telemetry", "--no-rejoin",
         ]))
         .unwrap();
         assert_eq!(o.ranks, 4);
@@ -460,12 +559,16 @@ mod tests {
         assert_eq!(o.ckpt_every, 2);
         assert_eq!(o.keep_last, 9);
         assert_eq!(o.dir, PathBuf::from("/tmp/x"));
-        assert_eq!(o.kill, Some((2, 7)));
+        assert_eq!(o.kill, vec![(2, 7), (3, 8)]);
         assert_eq!(o.threads, vec![1, 2]);
         assert_eq!(o.max_restarts, 5);
         assert!((o.timeout_secs - 12.5).abs() < 1e-12);
         assert!(!o.bench_comm);
         assert!(o.telemetry);
+        assert!(o.no_rejoin);
+        let o = parse_args(&strs(&["--kill", "1@4"])).unwrap();
+        assert_eq!(o.kill, vec![(1, 4)]);
+        assert!(!o.no_rejoin, "rejoin is the default");
     }
 
     #[test]
@@ -475,6 +578,9 @@ mod tests {
             .unwrap_err()
             .contains("at least 1"));
         assert!(parse_args(&strs(&["--kill", "3"]))
+            .unwrap_err()
+            .contains("RANK@STEP"));
+        assert!(parse_args(&strs(&["--kill", "2@7,3"]))
             .unwrap_err()
             .contains("RANK@STEP"));
         assert!(parse_args(&strs(&["--wat"])).unwrap_err().contains("unknown"));

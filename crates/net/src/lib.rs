@@ -37,6 +37,7 @@
 //!   same `CostBreakdown` reporting the simulator uses.
 
 pub mod comm;
+pub mod fault;
 pub mod gs;
 pub mod launch;
 pub mod layout;
@@ -45,7 +46,8 @@ pub mod telemetry;
 pub mod transport;
 
 pub use comm::{CommTimings, NetComm};
+pub use fault::{NetFaultKind, NetFaultPlan};
 pub use gs::NetGs;
 pub use launch::LaunchOpts;
 pub use layout::{EmptyRankError, RankLayout};
-pub use transport::{NetError, Transport};
+pub use transport::{NetError, NetTuning, Transport};

@@ -24,11 +24,11 @@ use crate::gs::NetGs;
 use crate::launch::LaunchOpts;
 use crate::layout::{rank_ckpt_dir, RankLayout};
 use crate::telemetry::{self, RankTelemetry};
-use crate::transport::Transport;
+use crate::transport::{NetError, Transport};
 use sem_comm::{fit_alpha_beta, MachineModel, RankLedger};
 use sem_gs::GsOp;
 use sem_mesh::partition::partition_rsb;
-use sem_ns::{GiveUpReason, NsSolver, RunPolicy, RunSupervisor};
+use sem_ns::{GiveUpReason, NsSolver, RunPolicy, RunReport, RunSupervisor};
 use std::time::Duration;
 
 /// Child environment: rank index (presence selects rank mode).
@@ -39,8 +39,15 @@ pub const ENV_SIZE: &str = "TERASEM_NET_SIZE";
 pub const ENV_SOCK_DIR: &str = "TERASEM_NET_SOCK_DIR";
 /// Child environment: generation to resume from (restart path).
 pub const ENV_RESUME_STEP: &str = "TERASEM_NET_RESUME_STEP";
-/// Child environment: `rank@step` chaos-kill spec (first life only).
+/// Child environment: `rank@step[,rank@step..]` chaos-kill spec (first
+/// life only).
 pub const ENV_KILL: &str = "TERASEM_NET_KILL";
+/// Child environment: rejoin epoch this process enters the mesh at
+/// (unset / 0 = launcher-spawned first life of the mesh). Survivors of
+/// a lost peer bump their epoch in place; the launcher hands the
+/// replacement rank the matching value so both sides rendezvous on the
+/// same epoch socket namespace.
+pub const ENV_EPOCH: &str = "TERASEM_NET_EPOCH";
 
 /// Clean exit.
 pub const EXIT_OK: i32 = 0;
@@ -92,6 +99,24 @@ fn solution_hash(s: &NsSolver) -> u64 {
     h
 }
 
+/// Error-prefix for a failed collective: `resync:` when a peer
+/// announced an epoch bump (the mesh is already reforming), `peer-lost:`
+/// for every other transport failure. Both are recoverable by a rejoin
+/// epoch; distinguishing them keeps the logs honest about who failed
+/// first.
+fn comm_prefix(e: &NetError) -> &'static str {
+    match e {
+        NetError::Resync { .. } => "resync",
+        _ => "peer-lost",
+    }
+}
+
+/// Whether an abort reason is a communication failure a rejoin epoch
+/// can recover from (divergence never is).
+fn rejoinable(why: &str) -> bool {
+    why.starts_with("peer-lost:") || why.starts_with("resync:")
+}
+
 /// One validation pass (see module docs). Error strings are prefixed so
 /// the caller can map them to exit codes.
 fn validate(
@@ -106,7 +131,7 @@ fn validate(
     let mine = solution_hash(s);
     let hashes = comm
         .allgather_u64s(&[mine])
-        .map_err(|e| format!("peer-lost: hash allgather at step {step}: {e}"))?;
+        .map_err(|e| format!("{}: hash allgather at step {step}: {e}", comm_prefix(&e)))?;
     for (r, h) in hashes.iter().enumerate() {
         if h[0] != mine {
             return Err(format!(
@@ -119,7 +144,7 @@ fn validate(
     let mut dist = layout.extract(rank, &s.vel[0]);
     netgs
         .gs(&mut dist, GsOp::Add, comm)
-        .map_err(|e| format!("peer-lost: gs exchange at step {step}: {e}"))?;
+        .map_err(|e| format!("{}: gs exchange at step {step}: {e}", comm_prefix(&e)))?;
     let mut full = s.vel[0].clone();
     s.ops.gs.gs(&mut full, GsOp::Add);
     let want = layout.extract(rank, &full);
@@ -134,34 +159,76 @@ fn validate(
     Ok(())
 }
 
-fn transport_from_env(opts: &LaunchOpts, rank: usize, size: usize) -> Result<Transport, String> {
-    let sock_dir = std::env::var(ENV_SOCK_DIR).map_err(|_| format!("{ENV_SOCK_DIR} unset"))?;
-    Transport::bootstrap(
-        std::path::Path::new(&sock_dir),
-        rank,
-        size,
-        Duration::from_secs_f64(opts.timeout_secs),
-    )
-    .map_err(|e| format!("bootstrap failed: {e}"))
+/// The socket directory of a rejoin epoch: epoch 0 is the
+/// launcher-provided directory itself, later epochs get an `_e<N>`
+/// suffix next to it, so survivors and the replacement rank rendezvous
+/// on a fresh socket namespace without any launcher round-trip.
+fn epoch_sock_dir(base: &str, epoch: u64) -> std::path::PathBuf {
+    if epoch == 0 {
+        std::path::PathBuf::from(base)
+    } else {
+        std::path::PathBuf::from(format!("{base}_e{epoch}"))
+    }
 }
 
-fn parse_kill_env() -> Option<(usize, u64)> {
-    let spec = std::env::var(ENV_KILL).ok()?;
-    let (r, s) = spec.split_once('@')?;
-    Some((r.parse().ok()?, s.parse().ok()?))
+/// Chaos-kill steps for this rank from the `rank@step[,rank@step..]`
+/// spec (the launcher validated the argv form; foreign ranks and
+/// malformed entries are skipped).
+fn kill_steps_from_env(rank: usize) -> Vec<u64> {
+    let Ok(spec) = std::env::var(ENV_KILL) else {
+        return Vec::new();
+    };
+    spec.split(',')
+        .filter_map(|part| {
+            let (r, s) = part.split_once('@')?;
+            let r: usize = r.trim().parse().ok()?;
+            let s: u64 = s.trim().parse().ok()?;
+            (r == rank).then_some(s)
+        })
+        .collect()
+}
+
+/// How one mesh epoch (one transport lifetime) of a rank ended.
+enum EpochOutcome {
+    /// Terminal: exit the process with this code.
+    Exit(i32),
+    /// The mesh broke underneath us and a rejoin epoch is warranted.
+    Rejoin,
 }
 
 /// Entry point of a rank process. Returns the process exit code.
+///
+/// The body is an *epoch loop*: each iteration bootstraps a transport
+/// on the epoch's socket namespace and advances the solve. When a peer
+/// dies, survivors do not exit — they announce a resync, bump their
+/// epoch, and re-bootstrap, keeping their in-memory state, while the
+/// launcher spawns a single replacement rank into the same epoch. Only
+/// when the rejoin budget is spent (or `--no-rejoin` is set) does a
+/// lost peer become a process exit, and the launcher's restart-all
+/// fallback takes over.
 pub fn rank_main(opts: &LaunchOpts, rank: usize, size: usize) -> i32 {
-    let transport = match transport_from_env(opts, rank, size) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("terasem-net rank {rank}: {e}");
-            return EXIT_PEER_LOST;
-        }
+    let Ok(sock_base) = std::env::var(ENV_SOCK_DIR) else {
+        eprintln!("terasem-net rank {rank}: {ENV_SOCK_DIR} unset");
+        return EXIT_USAGE;
     };
-    let mut comm = NetComm::new(transport);
+    let launch_epoch: u64 = std::env::var(ENV_EPOCH)
+        .ok()
+        .and_then(|e| e.parse().ok())
+        .unwrap_or(0);
     if opts.bench_comm {
+        let transport = match Transport::bootstrap(
+            &epoch_sock_dir(&sock_base, launch_epoch),
+            rank,
+            size,
+            Duration::from_secs_f64(opts.timeout_secs),
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("terasem-net rank {rank}: bootstrap failed: {e}");
+                return EXIT_PEER_LOST;
+            }
+        };
+        let mut comm = NetComm::new(transport);
         return bench_comm_main(opts, &mut comm);
     }
     let mut solver = build_solver(opts);
@@ -220,123 +287,260 @@ pub fn rank_main(opts: &LaunchOpts, rank: usize, size: usize) -> i32 {
             }
         }
     }
-    // All transports up and all ranks at the same step before stepping.
-    if let Err(e) = comm.barrier() {
-        eprintln!("terasem-net rank {rank}: start barrier failed: {e}");
-        return EXIT_PEER_LOST;
-    }
-    // Each rank's trace clock is process-local; the instant the start
-    // barrier releases is the shared reference that clock-aligns the
-    // merged trace lanes.
-    let barrier_ns = sem_obs::trace::now_ns();
-    let kill = parse_kill_env().filter(|&(kr, _)| kr == rank);
-    let (target, every) = (opts.steps, opts.ckpt_every.max(1));
-    let result = sup.run_to_with(target, |s, _stats| {
-        let step = s.step_index as u64;
-        if let Some((_, ks)) = kill {
-            if step == ks {
-                eprintln!("terasem-net rank {rank}: chaos kill after committing step {step}");
-                std::process::exit(EXIT_CHAOS_KILL);
+    let kill_steps = kill_steps_from_env(rank);
+    let mut epoch = launch_epoch;
+    let mut rejoins = 0usize;
+    let mut barrier_ns: Option<u64> = None;
+    loop {
+        // The rejoin budget mirrors the launcher's --max-restarts: the
+        // launcher spends it spawning replacement ranks, the survivors
+        // spend it re-bootstrapping, so neither side outlives the other
+        // for long when recovery is off the table.
+        let allow_rejoin = !opts.no_rejoin && rejoins < opts.max_restarts;
+        match run_epoch(
+            opts,
+            rank,
+            size,
+            &sock_base,
+            epoch,
+            allow_rejoin,
+            &layout,
+            &netgs,
+            &mut sup,
+            &kill_steps,
+            &mut barrier_ns,
+        ) {
+            EpochOutcome::Exit(code) => return code,
+            EpochOutcome::Rejoin => {
+                rejoins += 1;
+                epoch += 1;
+                eprintln!(
+                    "terasem-net rank {rank}: mesh lost; rejoining at epoch {epoch} \
+                     (step {}, attempt {rejoins}/{})",
+                    sup.solver().step_index,
+                    opts.max_restarts
+                );
             }
         }
-        if step % every == 0 || step == target {
-            validate(s, &layout, &netgs, &mut comm)?;
+    }
+}
+
+/// One transport lifetime: bootstrap the epoch's mesh, negotiate the
+/// step frontier, run (or catch up) to the target, and classify how it
+/// ended. Epoch 0 is the launcher-spawned first life of the mesh;
+/// later epochs are single-rank-rejoin re-bootstraps.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    opts: &LaunchOpts,
+    rank: usize,
+    size: usize,
+    sock_base: &str,
+    epoch: u64,
+    allow_rejoin: bool,
+    layout: &RankLayout,
+    netgs: &NetGs,
+    sup: &mut RunSupervisor,
+    kill_steps: &[u64],
+    barrier_ns: &mut Option<u64>,
+) -> EpochOutcome {
+    let transport = match Transport::bootstrap(
+        &epoch_sock_dir(sock_base, epoch),
+        rank,
+        size,
+        Duration::from_secs_f64(opts.timeout_secs),
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            // A failed re-bootstrap means the launcher chose restart-all
+            // (or is gone): fall back by dying visibly, not by retrying
+            // into a namespace nobody else will join.
+            eprintln!("terasem-net rank {rank}: epoch {epoch} bootstrap failed: {e}");
+            return EpochOutcome::Exit(EXIT_PEER_LOST);
+        }
+    };
+    let mut comm = NetComm::new(transport);
+    // Step negotiation: every rank announces where it stands. The mesh
+    // frontier V = max is where the survivors' in-memory state lives; a
+    // rejoining rank sits below it and must catch up.
+    let my_step = sup.solver().step_index as u64;
+    let frontier = match comm.allgather_u64s(&[my_step]) {
+        Ok(all) => all.iter().map(|v| v[0]).max().unwrap_or(my_step),
+        Err(e) => {
+            eprintln!("terasem-net rank {rank}: epoch {epoch} step negotiation failed: {e}");
+            return EpochOutcome::Exit(EXIT_PEER_LOST);
+        }
+    };
+    // All transports up and all ranks step-negotiated before stepping.
+    if let Err(e) = comm.barrier() {
+        eprintln!("terasem-net rank {rank}: start barrier failed: {e}");
+        return EpochOutcome::Exit(EXIT_PEER_LOST);
+    }
+    // Each rank's trace clock is process-local; the instant the *first*
+    // start barrier releases is the shared reference that clock-aligns
+    // the merged trace lanes (rejoin epochs keep the original origin).
+    let barrier_ref = *barrier_ns.get_or_insert_with(sem_obs::trace::now_ns);
+    let (target, every) = (opts.steps, opts.ckpt_every.max(1));
+    // Validation below the frontier is suppressed: a rejoining rank
+    // replays steps the survivors have already validated (and cannot
+    // collectively re-validate without rolling back), leaning on the
+    // workspace's determinism guarantee until it catches up to V.
+    let validate_floor = if epoch > 0 { frontier } else { 0 };
+    if epoch > 0 && my_step == frontier && frontier > 0 {
+        // Survivor prologue. Survivors only ever abort *inside* a
+        // validation collective, so the frontier is a validation step
+        // the newcomer will validate at when it catches up. Redo that
+        // validation now to pair with the newcomer's, then commit the
+        // frontier checkpoint the aborted epoch never wrote.
+        eprintln!(
+            "terasem-net rank {rank}: epoch {epoch}: holding at frontier step {frontier} \
+             for the rejoining rank"
+        );
+        if let Err(why) = validate(sup.solver(), layout, netgs, &mut comm) {
+            eprintln!("terasem-net rank {rank}: rejoin prologue: {why}");
+            return abort_outcome(&mut comm, epoch, allow_rejoin, &why);
+        }
+        if let Err(e) = sup.write_checkpoint_now() {
+            eprintln!("terasem-net rank {rank}: frontier checkpoint failed: {e}");
+            return EpochOutcome::Exit(EXIT_USAGE);
+        }
+    }
+    let result = sup.run_to_with(target, |s, _stats| {
+        let step = s.step_index as u64;
+        if kill_steps.contains(&step) {
+            eprintln!("terasem-net rank {rank}: chaos kill after committing step {step}");
+            std::process::exit(EXIT_CHAOS_KILL);
+        }
+        if (step % every == 0 || step == target) && step >= validate_floor {
+            validate(s, layout, netgs, &mut comm)?;
         }
         Ok(())
     });
     match result {
-        Ok(report) => {
-            // Snapshot telemetry before any end-of-run collective so the
-            // shipped comm samples describe the solve, not the shutdown.
-            let tel = opts.telemetry.then(|| {
-                RankTelemetry::capture(
-                    &comm,
-                    &netgs,
-                    target,
-                    report.steps.len() as u64,
-                    barrier_ns,
-                )
-            });
-            let exchange_mean = CommTimings::mean_secs(&comm.timings.exchange);
-            match comm.global_stats() {
-                Ok(stats) if rank == 0 => {
-                    let (msgs_call, words_call) = netgs.traffic_per_call();
-                    println!(
-                        "terasem-net: {size} rank(s) reached step {target} \
-                         ({} step(s) this life{})",
-                        report.steps.len(),
-                        report
-                            .resumed_from
-                            .map(|g| format!(", resumed from {g}"))
-                            .unwrap_or_default(),
-                    );
-                    println!(
-                        "terasem-net: comm totals: {} msgs, {} bytes, {} rounds \
-                         (per-rank max {} msgs / {} bytes)",
-                        stats.messages,
-                        stats.bytes,
-                        stats.rounds,
-                        stats.max_msgs_per_rank,
-                        stats.max_bytes_per_rank
-                    );
-                    if let Some(mean) = exchange_mean {
-                        // The α–β model of the validated exchange, under
-                        // the ASCI-Red preset for scale reference.
-                        let model = MachineModel::asci_red_333_single();
-                        let mut ledger = RankLedger::new(size);
-                        for r in 0..size {
-                            let g = NetGs::from_ids(&layout.ids_per_rank, &layout.canon_per_rank, r);
-                            let (m, w) = g.traffic_per_call();
-                            for _ in 0..m {
-                                ledger.charge_msg(r, 8 * w / m.max(1));
-                            }
-                        }
-                        let est = ledger.estimate(&model);
-                        println!(
-                            "terasem-net: neighbor exchange ({msgs_call} msgs, {words_call} words \
-                             per call): measured mean {:.1} us, ASCI-Red model {:.1} us",
-                            mean * 1e6,
-                            est.total() * 1e6
-                        );
-                    }
-                }
-                Ok(_) => {}
-                Err(e) => {
-                    eprintln!("terasem-net rank {rank}: final stats gather failed: {e}");
-                    return EXIT_PEER_LOST;
-                }
-            }
-            if let Some(tel) = tel {
-                match telemetry::ship_and_write(&mut comm, &tel, &opts.dir) {
-                    Ok(Some((ranks_path, trace_path))) => {
-                        println!(
-                            "terasem-net: telemetry: {} rank record(s) -> {}",
-                            size,
-                            ranks_path.display()
-                        );
-                        println!(
-                            "terasem-net: telemetry: merged rank-lane trace -> {}",
-                            trace_path.display()
-                        );
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        eprintln!("terasem-net rank {rank}: telemetry shipping failed: {e}");
-                        return EXIT_PEER_LOST;
-                    }
-                }
-            }
-            EXIT_OK
-        }
+        Ok(report) => finish_run(
+            opts,
+            rank,
+            size,
+            layout,
+            netgs,
+            &mut comm,
+            &report,
+            target,
+            barrier_ref,
+        ),
         Err(err) => {
             eprintln!("terasem-net rank {rank}: {err}");
             match &err.reason {
-                GiveUpReason::Aborted(why) if why.starts_with("peer-lost:") => EXIT_PEER_LOST,
-                GiveUpReason::Aborted(_) => EXIT_DIVERGED,
-                _ => EXIT_DIVERGED,
+                GiveUpReason::Aborted(why) => abort_outcome(&mut comm, epoch, allow_rejoin, why),
+                _ => EpochOutcome::Exit(EXIT_DIVERGED),
             }
         }
     }
+}
+
+/// Classify an aborted epoch: communication failures roll into a rejoin
+/// epoch while the budget allows; divergence is always terminal.
+fn abort_outcome(comm: &mut NetComm, epoch: u64, allow_rejoin: bool, why: &str) -> EpochOutcome {
+    if !rejoinable(why) {
+        return EpochOutcome::Exit(EXIT_DIVERGED);
+    }
+    if !allow_rejoin {
+        return EpochOutcome::Exit(EXIT_PEER_LOST);
+    }
+    // Best-effort wakeup: peers blocked in long receives on still-alive
+    // links fail fast with `NetError::Resync` instead of draining their
+    // timeout, so the whole mesh converges on the next epoch quickly.
+    comm.transport().announce_resync(epoch + 1);
+    EpochOutcome::Rejoin
+}
+
+/// End-of-run reporting and telemetry shipping for a completed solve.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    opts: &LaunchOpts,
+    rank: usize,
+    size: usize,
+    layout: &RankLayout,
+    netgs: &NetGs,
+    comm: &mut NetComm,
+    report: &RunReport,
+    target: u64,
+    barrier_ns: u64,
+) -> EpochOutcome {
+    // Snapshot telemetry before any end-of-run collective so the
+    // shipped comm samples describe the solve, not the shutdown.
+    let tel = opts.telemetry.then(|| {
+        RankTelemetry::capture(comm, netgs, target, report.steps.len() as u64, barrier_ns)
+    });
+    let exchange_mean = CommTimings::mean_secs(&comm.timings.exchange);
+    match comm.global_stats() {
+        Ok(stats) if rank == 0 => {
+            let (msgs_call, words_call) = netgs.traffic_per_call();
+            println!(
+                "terasem-net: {size} rank(s) reached step {target} \
+                 ({} step(s) this life{})",
+                report.steps.len(),
+                report
+                    .resumed_from
+                    .map(|g| format!(", resumed from {g}"))
+                    .unwrap_or_default(),
+            );
+            println!(
+                "terasem-net: comm totals: {} msgs, {} bytes, {} rounds \
+                 (per-rank max {} msgs / {} bytes)",
+                stats.messages,
+                stats.bytes,
+                stats.rounds,
+                stats.max_msgs_per_rank,
+                stats.max_bytes_per_rank
+            );
+            if let Some(mean) = exchange_mean {
+                // The α–β model of the validated exchange, under the
+                // ASCI-Red preset for scale reference.
+                let model = MachineModel::asci_red_333_single();
+                let mut ledger = RankLedger::new(size);
+                for r in 0..size {
+                    let g = NetGs::from_ids(&layout.ids_per_rank, &layout.canon_per_rank, r);
+                    let (m, w) = g.traffic_per_call();
+                    for _ in 0..m {
+                        ledger.charge_msg(r, 8 * w / m.max(1));
+                    }
+                }
+                let est = ledger.estimate(&model);
+                println!(
+                    "terasem-net: neighbor exchange ({msgs_call} msgs, {words_call} words \
+                     per call): measured mean {:.1} us, ASCI-Red model {:.1} us",
+                    mean * 1e6,
+                    est.total() * 1e6
+                );
+            }
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("terasem-net rank {rank}: final stats gather failed: {e}");
+            return EpochOutcome::Exit(EXIT_PEER_LOST);
+        }
+    }
+    if let Some(tel) = tel {
+        match telemetry::ship_and_write(comm, &tel, &opts.dir) {
+            Ok(Some((ranks_path, trace_path))) => {
+                println!(
+                    "terasem-net: telemetry: {} rank record(s) -> {}",
+                    size,
+                    ranks_path.display()
+                );
+                println!(
+                    "terasem-net: telemetry: merged rank-lane trace -> {}",
+                    trace_path.display()
+                );
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("terasem-net rank {rank}: telemetry shipping failed: {e}");
+                return EpochOutcome::Exit(EXIT_PEER_LOST);
+            }
+        }
+    }
+    EpochOutcome::Exit(EXIT_OK)
 }
 
 /// Ping-pong sizes for the α–β fit (payload bytes).

@@ -52,10 +52,28 @@ pub enum Counter {
     /// (`sem_obs::trace` drop-newest overflow) — nonzero means Chrome
     /// exports and merged multi-rank traces are incomplete.
     TraceDropped,
+    /// Network faults fired by the seeded injection shim in the
+    /// `sem-net` transport (armed by `TERASEM_NET_FAULT` plans).
+    NetFaultsInjected,
+    /// Frames rejected by the CRC32 integrity check in the `sem-net`
+    /// frame codec (corruption detected structurally, never misparsed).
+    NetFramesCorrupt,
+    /// Frames replayed from a link's retransmit buffer during a resume
+    /// handshake after a link heal.
+    NetRetries,
+    /// Severed links successfully re-established (redial or re-accept
+    /// plus resume handshake) by the self-healing transport.
+    NetReconnects,
+    /// Heartbeat probes that went unanswered past their deadline while
+    /// a receive was blocked on a peer.
+    HeartbeatsMissed,
+    /// Duplicate (already-delivered) frames discarded by the reader
+    /// after a link heal replayed more than the receiver was missing.
+    NetFramesStale,
 }
 
 /// Number of counters.
-pub const NUM_COUNTERS: usize = 13;
+pub const NUM_COUNTERS: usize = 19;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -73,6 +91,12 @@ impl Counter {
         Counter::WatchdogTrips,
         Counter::Resumes,
         Counter::TraceDropped,
+        Counter::NetFaultsInjected,
+        Counter::NetFramesCorrupt,
+        Counter::NetRetries,
+        Counter::NetReconnects,
+        Counter::HeartbeatsMissed,
+        Counter::NetFramesStale,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -91,6 +115,12 @@ impl Counter {
             Counter::WatchdogTrips => "watchdog_trips",
             Counter::Resumes => "resumes",
             Counter::TraceDropped => "trace_dropped",
+            Counter::NetFaultsInjected => "net_faults_injected",
+            Counter::NetFramesCorrupt => "net_frames_corrupt",
+            Counter::NetRetries => "net_retries",
+            Counter::NetReconnects => "net_reconnects",
+            Counter::HeartbeatsMissed => "heartbeats_missed",
+            Counter::NetFramesStale => "net_frames_stale",
         }
     }
 

@@ -6,9 +6,11 @@
 # workload under `terasem-launch --ranks 1`.
 #
 # Stage 2: the same workload on 4 ranks, with rank 2 chaos-killed right
-# after step 7 commits. The launcher must detect the death, kill the
-# stragglers, restart every rank from the newest *consistent* checkpoint
-# generation, and finish. Each leg — and each rank within the 4-rank leg
+# after step 7 commits, with --no-rejoin so the restart-all path stays
+# covered (single-rank rejoin is the default and has its own smoke,
+# scripts/net_fault_smoke.sh). The launcher must detect the death, kill
+# the stragglers, restart every rank from the newest *consistent*
+# checkpoint generation, and finish. Each leg — and each rank within the 4-rank leg
 # — runs at its own seed-derived TERASEM_THREADS count, so this also
 # pins that the scale-out result is thread-count independent.
 #
@@ -63,7 +65,7 @@ TERASEM_THREADS=$T_REF "$LAUNCH" "${ARGS[@]}" --ranks 1 --dir "$REFDIR" \
 # ---- stage 2: 4 ranks, chaos-kill rank 2, auto-restart ---------------
 PAR_OUT=$(mktemp); PAR_ERR=$(mktemp)
 "$LAUNCH" "${ARGS[@]}" --ranks "$RANKS" --threads "$T_PAR" \
-    --kill "2@$KILL_AT" --max-restarts 3 --dir "$PARDIR" \
+    --kill "2@$KILL_AT" --max-restarts 3 --no-rejoin --dir "$PARDIR" \
     >"$PAR_OUT" 2>"$PAR_ERR" || {
     echo "net_smoke: FAIL — 4-rank kill/resume run failed" >&2
     cat "$PAR_OUT" "$PAR_ERR" >&2; rm -f "$PAR_OUT" "$PAR_ERR"

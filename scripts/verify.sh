@@ -13,6 +13,7 @@ scripts/metrics_smoke.sh
 scripts/fault_smoke.sh
 scripts/soak_smoke.sh
 scripts/net_smoke.sh
+scripts/net_fault_smoke.sh
 scripts/bench_snapshot.sh
 
 echo "verify: OK"
