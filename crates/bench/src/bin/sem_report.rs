@@ -53,6 +53,7 @@
 
 use sem_comm::{fit_alpha_beta, MachineModel};
 use sem_ns::supervisor::RUN_RECORD_TYPE;
+use sem_obs::exit;
 use sem_obs::hist::{quantile_from_buckets, HistSnapshot, NUM_BUCKETS};
 use sem_obs::json::Json;
 use sem_obs::record::STEP_RECORD_TYPE;
@@ -62,6 +63,10 @@ use sem_obs::spans::{Phase, NUM_PHASES};
 /// Duplicated by value: `sem-net` depends on this crate, so the literal
 /// cannot be imported from `sem_net::telemetry` without a cycle.
 const RANK_RECORD_TYPE: &str = "terasem.rank";
+
+/// The service-lifecycle record type `sem-serve` journals into
+/// `serve.jsonl`. Duplicated by value for the same no-cycle reason.
+const SERVE_RECORD_TYPE: &str = "terasem.serve";
 
 struct StepRow {
     step: u64,
@@ -152,12 +157,13 @@ fn main() {
         Ok(b) => b,
         Err(e) => {
             eprintln!("sem-report: cannot read {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit::FAILURE);
         }
     };
 
     let mut rows: Vec<StepRow> = Vec::new();
     let mut runs: Vec<RunSummary> = Vec::new();
+    let mut serve: Vec<Json> = Vec::new();
     let mut skipped = 0usize;
     let mut last_counters: Option<Vec<(String, u64)>> = None;
     for line in body.lines() {
@@ -170,6 +176,10 @@ fn main() {
             skipped += 1;
             continue;
         };
+        if v.get("type").and_then(Json::as_str) == Some(SERVE_RECORD_TYPE) {
+            serve.push(v);
+            continue;
+        }
         if v.get("type").and_then(Json::as_str) == Some(RUN_RECORD_TYPE) {
             runs.push(RunSummary {
                 outcome: v
@@ -207,8 +217,14 @@ fn main() {
         }
     }
     if rows.is_empty() {
+        // A service journal (`sem-serve`'s serve.jsonl) has no step
+        // records at all — the service summary is the whole report.
+        if !serve.is_empty() {
+            print_serve(&serve);
+            std::process::exit(exit::OK);
+        }
         eprintln!("sem-report: no {STEP_RECORD_TYPE} records in {path} ({skipped} unparsable line(s))");
-        std::process::exit(1);
+        std::process::exit(exit::FAILURE);
     }
     rows.sort_by_key(|r| r.step);
     if skipped > 0 {
@@ -233,12 +249,16 @@ fn main() {
         println!();
         print_runs(&runs);
     }
+    if !serve.is_empty() {
+        println!();
+        print_serve(&serve);
+    }
     if let Some(out) = chrome {
         match std::fs::write(out, chrome_from_rows(&rows)) {
             Ok(()) => println!("\nChrome trace written to {out} (open in chrome://tracing or Perfetto)"),
             Err(e) => {
                 eprintln!("sem-report: cannot write {out}: {e}");
-                std::process::exit(1);
+                std::process::exit(exit::FAILURE);
             }
         }
     }
@@ -269,14 +289,72 @@ fn strict_gate(rows: &[StepRow], runs: &[RunSummary], counters: Option<&[(String
     );
     if gave_up {
         println!("strict: FAIL — run ended in an unrecovered error (gave up)");
-        std::process::exit(5);
+        std::process::exit(exit::REPORT_GAVE_UP);
     }
     if clean {
         println!("strict: PASS");
-        std::process::exit(0);
+        std::process::exit(exit::OK);
     }
     println!("strict: FAIL — run required solver intervention");
-    std::process::exit(4);
+    std::process::exit(exit::REPORT_UNHEALTHY);
+}
+
+/// The "Service summary" section: aggregate a `sem-serve` journal's
+/// `terasem.serve` lifecycle records — admission/rejection totals with
+/// the rejection rate (how hard admission control worked), retry and
+/// preemption counts (how rough the run was), drain bookkeeping, and
+/// the final gauges from the last record.
+fn print_serve(records: &[Json]) {
+    let count_event = |name: &str| -> usize {
+        records
+            .iter()
+            .filter(|v| {
+                v.get("event")
+                    .and_then(Json::as_str)
+                    .is_some_and(|e| e == name)
+            })
+            .count()
+    };
+    let last = records.last().expect("non-empty");
+    let gauge = |key: &str| last.get(key).and_then(Json::as_u64).unwrap_or(0);
+    println!("Service summary ({SERVE_RECORD_TYPE}):");
+    println!("  lifecycle events       {:>8}", records.len());
+    let admitted = gauge("jobs_admitted");
+    let rejected = gauge("jobs_rejected");
+    println!("  jobs admitted          {admitted:>8}");
+    let total = admitted + rejected;
+    if total > 0 {
+        println!(
+            "  jobs rejected          {rejected:>8}  ({:.1}% of {} submission(s))",
+            100.0 * rejected as f64 / total as f64,
+            total
+        );
+    } else {
+        println!("  jobs rejected          {rejected:>8}");
+    }
+    println!("  jobs completed         {:>8}", gauge("jobs_completed"));
+    println!("  crash retries          {:>8}", gauge("jobs_retried"));
+    println!("  drain preemptions      {:>8}", gauge("jobs_preempted"));
+    println!("  job failures           {:>8}", count_event("failed"));
+    println!(
+        "  final queue            {:>5}/{}  (running {}, workers {})",
+        gauge("queue_depth"),
+        gauge("queue_cap"),
+        gauge("running"),
+        gauge("workers")
+    );
+    let drains = count_event("drain_begin");
+    if drains > 0 {
+        let closed = count_event("drain_end");
+        println!(
+            "  drains                 {drains:>8}  ({closed} completed{})",
+            if closed < drains {
+                " — journal ends mid-drain"
+            } else {
+                ""
+            }
+        );
+    }
 }
 
 fn usage_and_exit() -> ! {
@@ -294,7 +372,7 @@ fn usage_and_exit() -> ! {
     eprintln!("  --ref:    single-rank metrics.jsonl as the efficiency reference");
     eprintln!("  --max-imbalance: step imbalance max/mean the --ranks --strict gate");
     eprintln!("            tolerates before exiting 6 (default 2.0)");
-    std::process::exit(2);
+    std::process::exit(exit::USAGE);
 }
 
 /// The transport-resilience counters surfaced per rank: what the
@@ -426,7 +504,7 @@ fn ranks_main(path: &str, ref_path: Option<&str>, strict: bool, max_imbalance: f
         Ok(b) => b,
         Err(e) => {
             eprintln!("sem-report: cannot read {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit::FAILURE);
         }
     };
     let mut rows: Vec<RankRow> = Vec::new();
@@ -449,7 +527,7 @@ fn ranks_main(path: &str, ref_path: Option<&str>, strict: bool, max_imbalance: f
     }
     if rows.is_empty() {
         eprintln!("sem-report: no {RANK_RECORD_TYPE} records in {path}");
-        std::process::exit(1);
+        std::process::exit(exit::FAILURE);
     }
     rows.sort_by_key(|r| r.rank);
     let n = rows.len();
@@ -605,7 +683,7 @@ fn ranks_main(path: &str, ref_path: Option<&str>, strict: bool, max_imbalance: f
             }
             Err(e) => {
                 eprintln!("sem-report: --ref: {e}");
-                std::process::exit(1);
+                std::process::exit(exit::FAILURE);
             }
         },
         None => {
@@ -628,11 +706,11 @@ fn ranks_main(path: &str, ref_path: Option<&str>, strict: bool, max_imbalance: f
                 "strict: FAIL — step imbalance {imbalance:.3} exceeds --max-imbalance \
                  {max_imbalance:.3}"
             );
-            std::process::exit(6);
+            std::process::exit(exit::REPORT_IMBALANCE);
         }
         println!("strict: PASS (step imbalance {imbalance:.3} <= {max_imbalance:.3})");
     }
-    std::process::exit(0);
+    std::process::exit(exit::OK);
 }
 
 fn parse_row(v: &Json) -> Option<StepRow> {

@@ -28,6 +28,7 @@
 //!   left on disk.
 
 use sem_bench::workloads::shear_layer;
+use sem_obs::exit;
 use sem_ns::{FaultPlan, NsSolver, RecoveryPolicy, RunPolicy, RunSupervisor};
 use std::path::{Path, PathBuf};
 
@@ -78,7 +79,7 @@ fn build_solver(spec: Option<&str>, dir: &Path, every: u64) -> NsSolver {
     if let Some(spec) = spec {
         s.cfg.faults = Some(FaultPlan::parse(spec).unwrap_or_else(|e| {
             eprintln!("soak: bad fault spec {spec:?}: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }));
         s.cfg.recovery = RecoveryPolicy::enabled();
     }
@@ -107,7 +108,7 @@ fn assert_no_torn_checkpoints(dir: &Path) {
                 "soak: FAIL — torn checkpoint under a valid name: {}: {e}",
                 path.display()
             );
-            std::process::exit(1);
+            std::process::exit(exit::FAILURE);
         }
     }
 }
@@ -122,14 +123,14 @@ fn run_leg(spec: Option<&str>, dir: &Path, steps: u64, every: u64, kill_at: Opti
         Ok(None) => {}
         Err(e) => {
             eprintln!("soak: checkpoint scan failed: {e}");
-            std::process::exit(1);
+            std::process::exit(exit::FAILURE);
         }
     }
     if let Some(k) = kill_at {
         if (sup.solver().step_index as u64) < k {
             if let Err(e) = sup.run_to(k) {
                 eprintln!("soak: FAIL — storm not recovered before the kill point: {e}");
-                std::process::exit(1);
+                std::process::exit(exit::FAILURE);
             }
             // Simulate the kill landing mid-write: a torn file under the
             // *next* checkpoint name, and an abandoned staging file. The
@@ -139,7 +140,7 @@ fn run_leg(spec: Option<&str>, dir: &Path, steps: u64, every: u64, kill_at: Opti
             std::fs::write(&torn, &intact[..intact.len() / 2]).expect("write torn decoy");
             std::fs::write(dir.join("ckpt_99999999.ckpt.tmp"), b"in-flight").expect("write tmp");
             eprintln!("soak: killed at step {k} (torn decoy + stray .tmp left behind)");
-            std::process::exit(9);
+            std::process::exit(exit::CHAOS_KILL);
         }
     }
     match sup.run_to(steps) {
@@ -156,7 +157,7 @@ fn run_leg(spec: Option<&str>, dir: &Path, steps: u64, every: u64, kill_at: Opti
         }
         Err(e) => {
             eprintln!("soak: FAIL — run gave up: {e}");
-            std::process::exit(1);
+            std::process::exit(exit::FAILURE);
         }
     }
 }
@@ -242,7 +243,7 @@ fn usage() -> ! {
     eprintln!("usage: soak plan --seed S --steps N");
     eprintln!("       soak run  --dir D --steps N [--spec PLAN] [--every E] [--kill-at K]");
     eprintln!("       soak auto [--rounds R] [--seed S] [--steps N]");
-    std::process::exit(2);
+    std::process::exit(exit::USAGE);
 }
 
 fn main() {
@@ -258,7 +259,7 @@ fn main() {
         get(flag).map_or(default, |v| {
             v.parse().unwrap_or_else(|_| {
                 eprintln!("soak: {flag} wants an integer, got {v:?}");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             })
         })
     };
@@ -271,7 +272,7 @@ fn main() {
             let kill_at = get("--kill-at").map(|v| {
                 v.parse().unwrap_or_else(|_| {
                     eprintln!("soak: --kill-at wants an integer, got {v:?}");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 })
             });
             run_leg(get("--spec"), Path::new(dir), steps, every, kill_at);

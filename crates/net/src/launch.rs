@@ -379,24 +379,25 @@ fn final_checkpoints_identical(opts: &LaunchOpts) -> Result<(), String> {
 }
 
 /// Launcher exit code: the recovery budget (`--max-restarts`) ran out.
-pub const EXIT_RESTARTS_EXHAUSTED: i32 = 3;
+/// (Alias into the shared registry, [`sem_obs::exit`].)
+pub const EXIT_RESTARTS_EXHAUSTED: i32 = sem_obs::exit::RESTARTS_EXHAUSTED;
 
 /// Launcher entry point. Returns the process exit code.
 pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
     if let Err(e) = validate_partition(opts) {
         eprintln!("terasem-launch: {e}");
-        return 2;
+        return sem_obs::exit::USAGE;
     }
     let exe = match std::env::current_exe() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("terasem-launch: cannot locate own binary: {e}");
-            return 1;
+            return sem_obs::exit::FAILURE;
         }
     };
     if let Err(e) = std::fs::create_dir_all(&opts.dir) {
         eprintln!("terasem-launch: cannot create {}: {e}", opts.dir.display());
-        return 1;
+        return sem_obs::exit::FAILURE;
     }
     let rank_dirs: Vec<PathBuf> = (0..opts.ranks).map(|r| rank_ckpt_dir(&opts.dir, r)).collect();
     let mut restarts = 0usize;
@@ -428,7 +429,7 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("terasem-launch: spawn failed: {e}");
-                return 1;
+                return sem_obs::exit::FAILURE;
             }
         };
         // Supervise the generation. A single dead rank is healed *in
@@ -487,7 +488,7 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
             if !opts.bench_comm {
                 if let Err(e) = final_checkpoints_identical(opts) {
                     eprintln!("terasem-launch: {e}");
-                    return 1;
+                    return sem_obs::exit::FAILURE;
                 }
                 println!(
                     "terasem-launch: final checkpoints byte-identical across {} rank(s)",
@@ -504,7 +505,7 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
                             "terasem-launch: telemetry artifact missing: {}",
                             path.display()
                         );
-                        return 1;
+                        return sem_obs::exit::FAILURE;
                     }
                     println!("terasem-launch: telemetry artifact: {}", path.display());
                 }
@@ -513,7 +514,7 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
                 "terasem-launch: OK ({} rank(s), {} restart(s))",
                 opts.ranks, restarts
             );
-            return 0;
+            return sem_obs::exit::OK;
         }
         // Restart-all fallback: a dead rank stalls every peer at its
         // next collective, so put the generation down before deciding
@@ -521,7 +522,7 @@ pub fn launch_main(opts: &LaunchOpts, argv: &[String]) -> i32 {
         kill_all(&mut children);
         if opts.bench_comm {
             eprintln!("terasem-launch: bench run failed");
-            return 1;
+            return sem_obs::exit::FAILURE;
         }
         restarts += 1;
         if restarts > opts.max_restarts {

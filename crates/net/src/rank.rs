@@ -49,16 +49,18 @@ pub const ENV_KILL: &str = "TERASEM_NET_KILL";
 /// same epoch socket namespace.
 pub const ENV_EPOCH: &str = "TERASEM_NET_EPOCH";
 
-/// Clean exit.
-pub const EXIT_OK: i32 = 0;
+/// Clean exit. (All exit codes here are aliases into the shared
+/// workspace registry, [`sem_obs::exit`] — the names predate it and
+/// stay for source compatibility.)
+pub const EXIT_OK: i32 = sem_obs::exit::OK;
 /// Configuration rejected (bad partition, bad resume generation).
-pub const EXIT_USAGE: i32 = 2;
+pub const EXIT_USAGE: i32 = sem_obs::exit::USAGE;
 /// Cross-rank divergence detected (hash or gather-scatter mismatch).
-pub const EXIT_DIVERGED: i32 = 7;
+pub const EXIT_DIVERGED: i32 = sem_obs::exit::NET_DIVERGED;
 /// A peer died or the transport failed.
-pub const EXIT_PEER_LOST: i32 = 8;
+pub const EXIT_PEER_LOST: i32 = sem_obs::exit::NET_PEER_LOST;
 /// Deterministic chaos self-kill (`--kill`), mirroring the soak harness.
-pub const EXIT_CHAOS_KILL: i32 = 9;
+pub const EXIT_CHAOS_KILL: i32 = sem_obs::exit::CHAOS_KILL;
 
 /// Read the child-mode environment: `Some((rank, size))` in a rank
 /// process, `None` in the launcher.

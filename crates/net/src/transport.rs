@@ -355,41 +355,76 @@ impl Default for NetTuning {
     }
 }
 
-fn env_u64(var: &'static str, default: u64) -> u64 {
-    match std::env::var(var) {
-        Ok(v) => match v.trim().parse::<u64>() {
-            Ok(n) => n,
-            Err(_) => {
-                sem_obs::warn::invalid_env(
-                    var,
-                    &v,
-                    &format!("not a non-negative integer; using default {default}"),
-                );
-                default
-            }
-        },
-        Err(_) => default,
+/// Domain-validated tuning knob. Parse failures *and* out-of-domain
+/// values (below `min`) warn once per process, naming the variable, and
+/// fall back to `default` — a knob must never silently produce a
+/// transport that busy-spins (`TERASEM_NET_HB_MS=0`), declares peers
+/// dead instantly (`TERASEM_NET_MISS_BUDGET=0`), or keeps no replay
+/// buffer (`TERASEM_NET_RETRANSMIT=0`).
+fn knob_u64(var: &'static str, raw: Option<String>, min: u64, default: u64) -> u64 {
+    let Some(v) = raw else { return default };
+    match v.trim().parse::<u64>() {
+        Ok(n) if n >= min => n,
+        Ok(n) => {
+            sem_obs::warn::invalid_env(
+                var,
+                &v,
+                &format!("must be at least {min} (got {n}); using default {default}"),
+            );
+            default
+        }
+        Err(_) => {
+            sem_obs::warn::invalid_env(
+                var,
+                &v,
+                &format!("not a non-negative integer; using default {default}"),
+            );
+            default
+        }
     }
 }
 
 impl NetTuning {
     /// Read the knobs (and the fault plan for `rank`) from the
-    /// environment; malformed values warn once and fall back to
-    /// defaults.
+    /// environment; malformed or out-of-domain values warn once and
+    /// fall back to defaults.
     pub fn from_env(rank: usize) -> NetTuning {
+        NetTuning::from_lookup(rank, |var| std::env::var(var).ok())
+    }
+
+    /// [`NetTuning::from_env`] with an injectable variable source, so
+    /// the malformed-value handling is testable in-process without
+    /// mutating the real environment. Domain rules: `HB_MS`,
+    /// `MISS_BUDGET`, and `RETRANSMIT` must be ≥ 1 (zero would
+    /// busy-spin, insta-kill links, or disable replay); `HEAL_MS=0` is
+    /// *valid* — it is the documented switch that disables healing.
+    pub fn from_lookup(rank: usize, lookup: impl Fn(&str) -> Option<String>) -> NetTuning {
         let d = NetTuning::default();
         NetTuning {
-            heartbeat: Duration::from_millis(env_u64(
+            heartbeat: Duration::from_millis(knob_u64(
                 "TERASEM_NET_HB_MS",
+                lookup("TERASEM_NET_HB_MS"),
+                1,
                 d.heartbeat.as_millis() as u64,
             )),
-            miss_budget: env_u64("TERASEM_NET_MISS_BUDGET", d.miss_budget as u64) as u32,
-            heal_window: Duration::from_millis(env_u64(
+            miss_budget: knob_u64(
+                "TERASEM_NET_MISS_BUDGET",
+                lookup("TERASEM_NET_MISS_BUDGET"),
+                1,
+                d.miss_budget as u64,
+            ) as u32,
+            heal_window: Duration::from_millis(knob_u64(
                 "TERASEM_NET_HEAL_MS",
+                lookup("TERASEM_NET_HEAL_MS"),
+                0,
                 d.heal_window.as_millis() as u64,
             )),
-            retransmit_frames: env_u64("TERASEM_NET_RETRANSMIT", d.retransmit_frames as u64)
-                .max(1) as usize,
+            retransmit_frames: knob_u64(
+                "TERASEM_NET_RETRANSMIT",
+                lookup("TERASEM_NET_RETRANSMIT"),
+                1,
+                d.retransmit_frames as u64,
+            ) as usize,
             fault: NetFaultPlan::from_env(rank),
         }
     }
@@ -1428,6 +1463,63 @@ pub(crate) mod testutil {
 mod tests {
     use super::testutil::*;
     use super::*;
+
+    #[test]
+    fn net_tuning_rejects_out_of_domain_knobs_with_defaults() {
+        let d = NetTuning::default();
+        // Malformed values: fall back, never panic.
+        let vars = [
+            ("TERASEM_NET_HB_MS", "abc"),
+            ("TERASEM_NET_MISS_BUDGET", "-3"),
+            ("TERASEM_NET_RETRANSMIT", "1e9"),
+        ];
+        let t = NetTuning::from_lookup(0, |var| {
+            vars.iter()
+                .find(|(k, _)| *k == var)
+                .map(|(_, v)| v.to_string())
+        });
+        assert_eq!(t.heartbeat, d.heartbeat);
+        assert_eq!(t.miss_budget, d.miss_budget);
+        assert_eq!(t.retransmit_frames, d.retransmit_frames);
+        // Zero is out-of-domain for HB_MS / MISS_BUDGET / RETRANSMIT
+        // (busy-spin, insta-dead links, no replay buffer) — defaults.
+        let t = NetTuning::from_lookup(0, |var| {
+            matches!(
+                var,
+                "TERASEM_NET_HB_MS" | "TERASEM_NET_MISS_BUDGET" | "TERASEM_NET_RETRANSMIT"
+            )
+            .then(|| "0".to_string())
+        });
+        assert_eq!(t.heartbeat, d.heartbeat);
+        assert_eq!(t.miss_budget, d.miss_budget);
+        assert_eq!(t.retransmit_frames, d.retransmit_frames);
+        // HEAL_MS=0 is the documented healing-off switch, not an error.
+        let t = NetTuning::from_lookup(0, |var| {
+            (var == "TERASEM_NET_HEAL_MS").then(|| "0".to_string())
+        });
+        assert_eq!(t.heal_window, Duration::ZERO);
+        assert!(!t.healing());
+        // Well-formed values pass through untouched.
+        let vals = [
+            ("TERASEM_NET_HB_MS", "75"),
+            ("TERASEM_NET_MISS_BUDGET", "9"),
+            ("TERASEM_NET_HEAL_MS", "1250"),
+            ("TERASEM_NET_RETRANSMIT", "64"),
+        ];
+        let t = NetTuning::from_lookup(0, |var| {
+            vals.iter()
+                .find(|(k, _)| *k == var)
+                .map(|(_, v)| v.to_string())
+        });
+        assert_eq!(t.heartbeat, Duration::from_millis(75));
+        assert_eq!(t.miss_budget, 9);
+        assert_eq!(t.heal_window, Duration::from_millis(1250));
+        assert_eq!(t.retransmit_frames, 64);
+        // Unset everything: pure defaults.
+        let t = NetTuning::from_lookup(0, |_| None);
+        assert_eq!(t.heartbeat, d.heartbeat);
+        assert_eq!(t.heal_window, d.heal_window);
+    }
 
     #[test]
     fn frame_codec_round_trips_and_rejects_damage() {

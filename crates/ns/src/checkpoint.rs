@@ -22,6 +22,18 @@ pub const MAGIC: [u8; 8] = *b"TERASEMC";
 /// Format version.
 pub const VERSION: u32 = 1;
 
+/// Magic of the *compressed* checkpoint container ("terasem zipped").
+/// A compressed file is `Z_MAGIC · Z_VERSION · codec id · raw length ·
+/// encoded payload`, where the decoded payload is byte-for-byte a plain
+/// [`MAGIC`] checkpoint. Both formats share the `ckpt_NNNNNNNN.ckpt`
+/// naming, so retention pruning and consistent-generation scans treat
+/// them identically; [`Checkpoint::load`] sniffs the magic.
+pub const Z_MAGIC: [u8; 8] = *b"TERASEMZ";
+/// Compressed-container format version.
+pub const Z_VERSION: u32 = 1;
+/// Codec id 1: the PackBits-style run-length encoding below.
+pub const CODEC_RLE: u32 = 1;
+
 /// Serialized state of one passive scalar.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScalarState {
@@ -183,6 +195,93 @@ fn r_str(r: &mut dyn Read) -> io::Result<String> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "checkpoint name not UTF-8"))
 }
 
+// ---------------------------------------------------------------------
+// Run-length codec (PackBits-style).
+//
+// Checkpoint payloads are dominated by f64 arrays whose high mantissa
+// bytes are often zero (early histories, quiescent scalars, padded
+// projection images) plus long runs of zero bytes in length fields —
+// exactly the "zero-run" redundancy a byte-level RLE removes without
+// touching the float bit patterns. Control byte `c`:
+//   0x00..=0x7F  → the next c+1 bytes are a literal run (1..=128)
+//   0x80..=0xFF  → the next byte repeats (c-0x80)+3 times (3..=130)
+// Runs shorter than 3 are carried as literals (a 2-byte run would cost
+// 2 encoded bytes either way; encoding it as a run just fragments the
+// surrounding literal). Worst case expansion is 1 byte per 128.
+// ---------------------------------------------------------------------
+
+const RLE_MIN_RUN: usize = 3;
+const RLE_MAX_RUN: usize = 130; // 0xFF - 0x80 + RLE_MIN_RUN
+const RLE_MAX_LIT: usize = 128; // 0x7F + 1
+
+fn rle_flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    for chunk in lits.chunks(RLE_MAX_LIT) {
+        out.push((chunk.len() - 1) as u8);
+        out.extend_from_slice(chunk);
+    }
+}
+
+/// Run-length encode `raw`. Deterministic: one canonical encoding per
+/// input, so compressed checkpoints byte-compare like raw ones do.
+pub fn rle_compress(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() / 4 + 16);
+    let mut lit_start = 0;
+    let mut i = 0;
+    while i < raw.len() {
+        let b = raw[i];
+        let mut j = i + 1;
+        while j < raw.len() && raw[j] == b && j - i < RLE_MAX_RUN {
+            j += 1;
+        }
+        let run = j - i;
+        if run >= RLE_MIN_RUN {
+            rle_flush_literals(&mut out, &raw[lit_start..i]);
+            out.push(0x80 + (run - RLE_MIN_RUN) as u8);
+            out.push(b);
+            lit_start = j;
+        }
+        i = j;
+    }
+    rle_flush_literals(&mut out, &raw[lit_start..]);
+    out
+}
+
+/// Decode an [`rle_compress`] stream. `raw_len` is the declared decoded
+/// size from the container header; the stream must decode to exactly
+/// that many bytes — over- or under-runs are corruption, not padding.
+pub fn rle_decompress(enc: &[u8], raw_len: usize) -> io::Result<Vec<u8>> {
+    let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0;
+    while i < enc.len() {
+        let c = enc[i];
+        i += 1;
+        if c < 0x80 {
+            let len = c as usize + 1;
+            if i + len > enc.len() {
+                return Err(corrupt("rle literal run truncated"));
+            }
+            out.extend_from_slice(&enc[i..i + len]);
+            i += len;
+        } else {
+            if i >= enc.len() {
+                return Err(corrupt("rle repeat run truncated"));
+            }
+            let len = (c - 0x80) as usize + RLE_MIN_RUN;
+            let b = enc[i];
+            i += 1;
+            out.resize(out.len() + len, b);
+        }
+        if out.len() > raw_len {
+            return Err(corrupt("rle stream decodes past the declared raw length"));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(corrupt("rle stream decodes short of the declared raw length"));
+    }
+    Ok(out)
+}
+
 impl Checkpoint {
     /// Serialize to a writer (header + little-endian payload).
     pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
@@ -294,6 +393,53 @@ impl Checkpoint {
         })
     }
 
+    /// Serialize as a compressed container: [`Z_MAGIC`] header wrapping
+    /// the RLE-encoded plain serialization.
+    pub fn write_compressed_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut raw = Vec::new();
+        self.write_to(&mut raw)?;
+        let enc = rle_compress(&raw);
+        w.write_all(&Z_MAGIC)?;
+        w_u32(w, Z_VERSION)?;
+        w_u32(w, CODEC_RLE)?;
+        w_u64(w, raw.len() as u64)?;
+        w.write_all(&enc)
+    }
+
+    /// Deserialize from an in-memory image, accepting either format:
+    /// a [`Z_MAGIC`] container is decompressed and the decoded bytes
+    /// parsed as a plain checkpoint; a [`MAGIC`] image parses directly.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Checkpoint> {
+        if bytes.len() >= 8 && bytes[..8] == Z_MAGIC {
+            let mut r: &[u8] = &bytes[8..];
+            let version = r_u32(&mut r)?;
+            if version != Z_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported compressed-checkpoint version {version} (expected {Z_VERSION})"),
+                ));
+            }
+            let codec = r_u32(&mut r)?;
+            if codec != CODEC_RLE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown checkpoint codec id {codec}"),
+                ));
+            }
+            let raw_len = r_u64(&mut r)?;
+            if raw_len > MAX_LEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("compressed checkpoint raw length {raw_len} out of range"),
+                ));
+            }
+            let raw = rle_decompress(r, raw_len as usize)?;
+            Checkpoint::read_from(&mut raw.as_slice())
+        } else {
+            Checkpoint::read_from(&mut &bytes[..])
+        }
+    }
+
     /// Write to `path` (buffered; the file is created or truncated).
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let mut w = BufWriter::new(File::create(path)?);
@@ -301,10 +447,39 @@ impl Checkpoint {
         w.flush()
     }
 
-    /// Read from `path`.
+    /// Write to `path`, compressed when `compress` is set. Readers never
+    /// need to know which was used — [`Checkpoint::load`] sniffs the
+    /// magic — so raw and compressed files can coexist in one
+    /// checkpoint directory (e.g. across a config change mid-campaign).
+    pub fn save_with(&self, path: impl AsRef<Path>, compress: bool) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        if compress {
+            self.write_compressed_to(&mut w)?;
+        } else {
+            self.write_to(&mut w)?;
+        }
+        w.flush()
+    }
+
+    /// Read from `path`, transparently handling both on-disk formats.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
         let mut r = BufReader::new(File::open(path)?);
-        Checkpoint::read_from(&mut r)
+        let mut head = [0u8; 8];
+        match r.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) => return Err(e),
+        }
+        if head == Z_MAGIC {
+            let mut rest = Vec::new();
+            r.read_to_end(&mut rest)?;
+            let mut bytes = head.to_vec();
+            bytes.extend_from_slice(&rest);
+            Checkpoint::from_bytes(&bytes)
+        } else {
+            // Plain format: splice the sniffed header back in front of
+            // the stream so `read_from` sees the whole file.
+            Checkpoint::read_from(&mut io::Read::chain(&head[..], r))
+        }
     }
 }
 
@@ -376,6 +551,133 @@ mod tests {
                 "cut at {cut} should fail"
             );
         }
+    }
+
+    #[test]
+    fn rle_round_trips_structured_and_seeded_random_payloads() {
+        // Structured: long zero runs, short runs, run lengths straddling
+        // the 130-byte cap and the 128-byte literal cap.
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![1, 2],
+            vec![5; 2],   // below MIN_RUN: stays literal
+            vec![5; 3],   // exactly MIN_RUN
+            vec![0; 129], // one max run falls just short
+            vec![0; 130], // exactly one max run
+            vec![0; 131], // max run + a 1-run tail (literal)
+            vec![0; 1000],
+            (0..=255u8).collect(),
+            (0..512).map(|i| (i % 3) as u8).collect(),
+        ];
+        // Seeded pseudo-random mixes of runs and noise (SplitMix64).
+        let mut s: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for _ in 0..16 {
+            let mut v = Vec::new();
+            for _ in 0..64 {
+                let r = next();
+                let byte = (r & 0xff) as u8;
+                let len = ((r >> 8) % 200) as usize;
+                if r & (1 << 63) != 0 {
+                    v.extend(std::iter::repeat(byte).take(len));
+                } else {
+                    for k in 0..len {
+                        v.push(byte.wrapping_add(k as u8));
+                    }
+                }
+            }
+            cases.push(v);
+        }
+        for raw in &cases {
+            let enc = rle_compress(raw);
+            let back = rle_decompress(&enc, raw.len()).unwrap();
+            assert_eq!(&back, raw, "round trip failed for len {}", raw.len());
+            // Worst-case bound: one control byte per 128 literals.
+            assert!(enc.len() <= raw.len() + raw.len() / RLE_MAX_LIT + 2);
+        }
+    }
+
+    #[test]
+    fn compressed_round_trip_is_bitwise_exact_and_smaller() {
+        let mut ck = sample();
+        ck.pressure[0] = f64::MIN_POSITIVE;
+        ck.vel[0][1] = -0.0;
+        // Pad with a quiescent scalar so the zero-run savings show.
+        ck.scalars.push(ScalarState {
+            name: "quiet".into(),
+            kappa: 0.0,
+            field: vec![0.0; 512],
+            hist: vec![vec![0.0; 512]],
+            conv_hist: vec![vec![0.0; 512]],
+        });
+        let mut raw = Vec::new();
+        ck.write_to(&mut raw).unwrap();
+        let mut z = Vec::new();
+        ck.write_compressed_to(&mut z).unwrap();
+        assert!(
+            z.len() < raw.len() / 2,
+            "zero-heavy checkpoint should compress well: {} vs {}",
+            z.len(),
+            raw.len()
+        );
+        let back = Checkpoint::from_bytes(&z).unwrap();
+        assert_eq!(back.vel[0][1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back, ck);
+        // The sniffing entry point also still parses plain images.
+        assert_eq!(Checkpoint::from_bytes(&raw).unwrap(), ck);
+    }
+
+    #[test]
+    fn save_with_both_formats_load_transparently() {
+        let dir = std::env::temp_dir().join(format!("terasem_ckpt_z_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = sample();
+        let p_raw = dir.join("ckpt_00000001.ckpt");
+        let p_z = dir.join("ckpt_00000002.ckpt");
+        ck.save_with(&p_raw, false).unwrap();
+        ck.save_with(&p_z, true).unwrap();
+        assert_eq!(Checkpoint::load(&p_raw).unwrap(), ck);
+        assert_eq!(Checkpoint::load(&p_z).unwrap(), ck);
+        let head = std::fs::read(&p_z).unwrap();
+        assert_eq!(&head[..8], &Z_MAGIC, "compressed file leads with Z magic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_compressed_containers_are_rejected() {
+        let mut z = Vec::new();
+        sample().write_compressed_to(&mut z).unwrap();
+        // Bad container version.
+        let mut v = z.clone();
+        v[8] = 99;
+        assert!(Checkpoint::from_bytes(&v).unwrap_err().to_string().contains("version"));
+        // Unknown codec id.
+        let mut c = z.clone();
+        c[12] = 42;
+        assert!(Checkpoint::from_bytes(&c).unwrap_err().to_string().contains("codec"));
+        // Absurd raw length.
+        let mut l = z.clone();
+        l[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Checkpoint::from_bytes(&l).unwrap_err().to_string().contains("out of range"));
+        // Truncated payload (torn write): error, not panic.
+        for cut in [20, 24, 25, z.len() - 1] {
+            assert!(Checkpoint::from_bytes(&z[..cut]).is_err(), "cut at {cut}");
+        }
+        // Declared length mismatches (stream too short / too long).
+        let mut short = z.clone();
+        let declared = u64::from_le_bytes(short[16..24].try_into().unwrap());
+        short[16..24].copy_from_slice(&(declared + 1).to_le_bytes());
+        assert!(Checkpoint::from_bytes(&short).unwrap_err().to_string().contains("short"));
+        let mut long = z.clone();
+        long[16..24].copy_from_slice(&(declared - 1).to_le_bytes());
+        assert!(Checkpoint::from_bytes(&long).unwrap_err().to_string().contains("past"));
     }
 
     #[test]

@@ -66,16 +66,23 @@ pub struct NsConfig {
     pub metrics: bool,
     /// Metrics destination. `None` keeps whatever sink is installed
     /// process-wide (stdout unless `TERASEM_METRICS_SINK` or
-    /// `sem_obs::sink::set_sink` said otherwise); `Some(handle)` installs
-    /// `handle` when the solver is built. Only consulted when `metrics`
+    /// `sem_obs::sink::set_sink` said otherwise); `Some(handle)` routes
+    /// **this solver's** records to `handle` — at construction it is also
+    /// installed process-wide (legacy behavior), but the per-record
+    /// routing works even when the field is set after the solver was
+    /// built, and several solvers in one process can each carry their own
+    /// sink without fighting over the global (how `sem-serve` keeps
+    /// per-job metrics logs separable). Only consulted when `metrics`
     /// is on.
     pub sink: Option<sem_obs::SinkHandle>,
-    /// Rank id stamped on every step/run record this solver emits
-    /// (`sem_obs::set_rank`), so merged multi-rank telemetry streams
-    /// stay attributable. `None` (the single-process default) keeps the
-    /// process-wide stamp — usually unset, or `TERASEM_RANK` if the
-    /// embedding binary applied it. Only consulted when `metrics` is on;
-    /// purely observational, never read by the numerics.
+    /// Rank id stamped on every step/run record this solver emits,
+    /// overriding the process-wide stamp (`sem_obs::set_rank`), so merged
+    /// multi-rank telemetry streams — and multiple in-process solvers
+    /// tagged with job ids, `sem-serve`-style — stay attributable. `None`
+    /// (the single-process default) keeps the process-wide stamp —
+    /// usually unset, or `TERASEM_RANK` if the embedding binary applied
+    /// it. Only consulted when `metrics` is on; purely observational,
+    /// never read by the numerics.
     pub rank: Option<u32>,
     /// Deterministic fault-injection plan (`None` = no faults). Parsed
     /// from `TERASEM_FAULT` with [`crate::fault::FaultPlan::from_env`] or

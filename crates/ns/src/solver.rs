@@ -286,7 +286,17 @@ impl NsSolver {
             let scalar_active = self.cfg.boussinesq.is_some() || !self.scalars.is_empty();
             let mut rec = stats.to_record(self.cfg.dt, scalar_active);
             rec.capture_registries((&counters0, &spans0, &hist0));
-            rec.emit();
+            // Per-solver attribution: a solver carrying its own rank
+            // stamp / sink routes records there even when several
+            // solvers share one process (sem-serve supervisors), so
+            // streams stay separable without touching the globals.
+            if self.cfg.rank.is_some() {
+                rec.rank = self.cfg.rank;
+            }
+            match &self.cfg.sink {
+                Some(h) => h.0.emit(&rec.to_json_body()),
+                None => rec.emit(),
+            }
         }
         Ok(stats)
     }

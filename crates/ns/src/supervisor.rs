@@ -82,6 +82,11 @@ pub struct RunPolicy {
     /// Thrashing guard: give up after this many *consecutive* steps
     /// that each needed recovery rollbacks. `None` disables.
     pub max_consecutive_recovered_steps: Option<usize>,
+    /// Write checkpoints in the RLE-compressed container format
+    /// ([`crate::checkpoint::Z_MAGIC`]). Resume paths sniff the magic,
+    /// so raw and compressed files interoperate freely; off by default
+    /// to keep existing byte-compare harnesses exact.
+    pub compress: bool,
 }
 
 impl Default for RunPolicy {
@@ -95,6 +100,7 @@ impl Default for RunPolicy {
             hard_step_secs: None,
             max_total_step_errors: 0,
             max_consecutive_recovered_steps: None,
+            compress: false,
         }
     }
 }
@@ -146,6 +152,19 @@ impl RunPolicy {
                         "TERASEM_KEEP_LAST",
                         &v,
                         "not a positive integer; keeping the configured retention",
+                    );
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("TERASEM_CKPT_COMPRESS") {
+            match v.trim() {
+                "1" | "true" | "TRUE" => self.compress = true,
+                "0" | "false" | "FALSE" | "" => self.compress = false,
+                other => {
+                    sem_obs::warn::invalid_env(
+                        "TERASEM_CKPT_COMPRESS",
+                        other,
+                        "expected 0 or 1; keeping the configured setting",
                     );
                 }
             }
@@ -412,7 +431,9 @@ impl RunSupervisor {
         let step = self.solver.step_index as u64;
         let path = checkpoint_path(&dir, step);
         let tmp = path.with_extension("ckpt.tmp");
-        self.solver.checkpoint().save(&tmp)?;
+        self.solver
+            .checkpoint()
+            .save_with(&tmp, self.policy.compress)?;
         std::fs::rename(&tmp, &path)?;
         counters::add(Counter::CheckpointsWritten, 1);
         sem_obs::trace::note("checkpoint_written", step as f64);
@@ -496,7 +517,7 @@ impl RunSupervisor {
         let mut o = JsonObj::new();
         o.str("type", RUN_RECORD_TYPE)
             .u64("schema", sem_obs::record::SCHEMA_VERSION);
-        match sem_obs::rank() {
+        match self.solver.cfg.rank.or_else(sem_obs::rank) {
             Some(r) => o.u64("rank", r as u64),
             None => o.raw("rank", "null"),
         };
@@ -508,7 +529,10 @@ impl RunSupervisor {
             .u64("checkpoints_written", report.checkpoints_written as u64)
             .bool("resumed", report.resumed_from.is_some())
             .u64("resumed_from", report.resumed_from.unwrap_or(0));
-        sem_obs::sink::emit(&o.finish());
+        match &self.solver.cfg.sink {
+            Some(h) => h.0.emit(&o.finish()),
+            None => sem_obs::sink::emit(&o.finish()),
+        }
     }
 
     /// Final-checkpoint-then-return helper shared by the success and

@@ -1,0 +1,185 @@
+//! Concurrent supervised runs in one process — the `sem-serve` embedding
+//! contract.
+//!
+//! Several `RunSupervisor`s run on threads at once, each with its own
+//! checkpoint directory, its own metrics sink, and its own rank stamp
+//! (`NsConfig::rank`/`NsConfig::sink`). The test proves the solvers do
+//! not fight over the process-global observability state:
+//!
+//! - every step and run record lands in *its own* solver's sink, stamped
+//!   with *that* solver's rank — nothing leaks to the global sink;
+//! - each run completes and its checkpoint directory holds only valid,
+//!   loadable checkpoints at the expected generations;
+//! - every concurrent run is bitwise-identical to the same workload run
+//!   solo, so co-residency is purely an operational concern.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sem_mesh::generators::box2d;
+use sem_ns::checkpoint::Checkpoint;
+use sem_ns::{ConvectionScheme, NsConfig, NsSolver, RunPolicy, RunSupervisor};
+use sem_obs::json::Json;
+use sem_obs::sink::{MemorySink, SinkHandle};
+use sem_ops::SemOps;
+
+/// Fresh scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("terasem_conc_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small Taylor–Green workload; `seed_shift` perturbs the initial
+/// condition so the concurrent jobs are genuinely distinct problems.
+fn taylor_green(seed_shift: f64, run: RunPolicy) -> NsSolver {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mesh = box2d(3, 3, [0.0, two_pi], [0.0, two_pi], true, true);
+    let ops = SemOps::new(mesh, 5);
+    let cfg = NsConfig {
+        dt: 2e-3,
+        nu: 0.01,
+        convection: ConvectionScheme::Ext,
+        pressure_lmax: 8,
+        run,
+        ..Default::default()
+    };
+    let mut s = NsSolver::new(ops, cfg);
+    s.set_velocity(move |x, y, _| {
+        [
+            (x + seed_shift).sin() * y.cos(),
+            -(x + seed_shift).cos() * y.sin(),
+            0.0,
+        ]
+    });
+    s
+}
+
+fn assert_fields_bitwise_equal(a: &NsSolver, b: &NsSolver, what: &str) {
+    for (c, (x, y)) in a.vel.iter().zip(b.vel.iter()).enumerate() {
+        for (i, (p, q)) in x.iter().zip(y.iter()).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{what}: velocity component {c} node {i} diverged"
+            );
+        }
+    }
+    for (i, (p, q)) in a.pressure.iter().zip(b.pressure.iter()).enumerate() {
+        assert_eq!(p.to_bits(), q.to_bits(), "{what}: pressure node {i}");
+    }
+    assert_eq!(a.time.to_bits(), b.time.to_bits(), "{what}: time");
+}
+
+const JOBS: usize = 3;
+const TARGET: u64 = 6;
+const EVERY: u64 = 2;
+
+#[test]
+fn concurrent_supervisors_keep_rank_attribution_and_checkpoints_separate() {
+    sem_obs::set_enabled(true);
+    // A global sink that must stay empty: per-solver routing means none
+    // of the concurrent solvers may fall back to the process-wide sink.
+    let global = Arc::new(MemorySink::new());
+    sem_obs::sink::set_sink(Some(global.clone()));
+
+    let base = scratch("rank_attr");
+    let mut handles = Vec::new();
+    for job in 0..JOBS {
+        let dir = base.join(format!("job_{job}"));
+        handles.push(std::thread::spawn(move || {
+            let rank = 100 + job as u32;
+            let sink = Arc::new(MemorySink::new());
+            let mut solver = taylor_green(
+                job as f64 * 0.1,
+                RunPolicy::checkpointing(&dir, EVERY, 10),
+            );
+            // Set after construction, the sem-serve way: the per-record
+            // routing must pick these up without a global install.
+            solver.cfg.metrics = true;
+            solver.cfg.rank = Some(rank);
+            solver.cfg.sink = Some(SinkHandle(sink.clone()));
+            let mut sup = RunSupervisor::new(solver);
+            let report = sup.run_to(TARGET).expect("concurrent run completes");
+            assert_eq!(report.steps.len() as u64, TARGET, "job {job} ran to target");
+            (job, rank, dir, sink.lines())
+        }));
+    }
+
+    let mut outcomes = Vec::new();
+    for h in handles {
+        outcomes.push(h.join().expect("worker thread must not panic"));
+    }
+    sem_obs::sink::set_sink(None);
+
+    for (job, rank, dir, lines) in &outcomes {
+        // Every record in this job's sink carries this job's rank.
+        let mut steps = 0;
+        let mut runs = 0;
+        for line in lines {
+            let rec = Json::parse(line).expect("sink line is valid JSON");
+            assert_eq!(
+                rec.get("rank").and_then(|v| v.as_u64()),
+                Some(u64::from(*rank)),
+                "job {job}: record not stamped with its own rank: {line}"
+            );
+            match rec.get("type").and_then(|v| v.as_str()) {
+                Some(sem_obs::record::STEP_RECORD_TYPE) => steps += 1,
+                Some(sem_ns::supervisor::RUN_RECORD_TYPE) => runs += 1,
+                other => panic!("job {job}: unexpected record type {other:?}"),
+            }
+        }
+        assert_eq!(steps, TARGET, "job {job}: one step record per step");
+        assert_eq!(runs, 1, "job {job}: exactly one run record");
+
+        // The checkpoint directory holds exactly the expected
+        // generations, all loadable, all belonging to this job.
+        let mut gens = Vec::new();
+        for entry in std::fs::read_dir(dir).expect("job checkpoint dir exists") {
+            let path = entry.expect("readable dir entry").path();
+            let ck = Checkpoint::load(&path)
+                .unwrap_or_else(|e| panic!("job {job}: torn checkpoint {path:?}: {e}"));
+            gens.push(ck.step_index);
+        }
+        gens.sort_unstable();
+        assert_eq!(
+            gens,
+            (1..=TARGET / EVERY).map(|g| g * EVERY).collect::<Vec<_>>(),
+            "job {job}: checkpoint generations"
+        );
+    }
+
+    assert!(
+        global.lines().is_empty(),
+        "per-solver sinks must not leak records to the global sink: {:?}",
+        global.lines()
+    );
+
+    // Co-residency is observational only: each concurrent run is
+    // bitwise-identical to the same workload run alone, metrics off.
+    for (job, _, dir, _) in &outcomes {
+        let solo_dir = base.join(format!("solo_{job}"));
+        let mut solo = RunSupervisor::new(taylor_green(
+            *job as f64 * 0.1,
+            RunPolicy::checkpointing(&solo_dir, EVERY, 10),
+        ));
+        solo.run_to(TARGET).expect("solo reference completes");
+
+        let mut resumed = RunSupervisor::new(taylor_green(
+            *job as f64 * 0.1,
+            RunPolicy::checkpointing(dir, EVERY, 10),
+        ));
+        assert_eq!(
+            resumed.resume_from_latest().expect("latest checkpoint loads"),
+            Some(TARGET),
+            "job {job}: newest checkpoint is the exit checkpoint"
+        );
+        assert_fields_bitwise_equal(
+            solo.solver(),
+            resumed.solver(),
+            &format!("job {job} vs solo reference"),
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

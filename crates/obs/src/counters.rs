@@ -70,10 +70,24 @@ pub enum Counter {
     /// Duplicate (already-delivered) frames discarded by the reader
     /// after a link heal replayed more than the receiver was missing.
     NetFramesStale,
+    /// Jobs accepted into the `sem-serve` queue by admission control.
+    JobsAdmitted,
+    /// Jobs refused by `sem-serve` admission control with a structured
+    /// `overloaded` rejection (queue at capacity or daemon draining).
+    JobsRejected,
+    /// Jobs that ran to their step target and committed results.
+    JobsCompleted,
+    /// Job attempts relaunched after a worker died mid-run (crash,
+    /// chaos kill, injected fault) — each retry resumes from the job's
+    /// newest checkpoint.
+    JobsRetried,
+    /// Jobs preempted by a drain request: checkpointed and parked
+    /// resumable rather than run to completion.
+    JobsPreempted,
 }
 
 /// Number of counters.
-pub const NUM_COUNTERS: usize = 19;
+pub const NUM_COUNTERS: usize = 24;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -97,6 +111,11 @@ impl Counter {
         Counter::NetReconnects,
         Counter::HeartbeatsMissed,
         Counter::NetFramesStale,
+        Counter::JobsAdmitted,
+        Counter::JobsRejected,
+        Counter::JobsCompleted,
+        Counter::JobsRetried,
+        Counter::JobsPreempted,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -121,6 +140,11 @@ impl Counter {
             Counter::NetReconnects => "net_reconnects",
             Counter::HeartbeatsMissed => "heartbeats_missed",
             Counter::NetFramesStale => "net_frames_stale",
+            Counter::JobsAdmitted => "jobs_admitted",
+            Counter::JobsRejected => "jobs_rejected",
+            Counter::JobsCompleted => "jobs_completed",
+            Counter::JobsRetried => "jobs_retried",
+            Counter::JobsPreempted => "jobs_preempted",
         }
     }
 

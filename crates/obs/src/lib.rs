@@ -52,6 +52,7 @@
 //! [`init_from_env`] (called by the experiment binaries).
 
 pub mod counters;
+pub mod exit;
 pub mod fault;
 pub mod hist;
 pub mod json;

@@ -71,6 +71,21 @@ impl FileSink {
             writer: Mutex::new(BufWriter::new(file)),
         })
     }
+
+    /// Open `path` for appending (creating it if absent). This is the
+    /// resumable-log variant: a `sem-serve` worker that restarts after a
+    /// crash keeps extending the same per-job metrics log instead of
+    /// truncating the attempts that came before it.
+    pub fn append(path: &str) -> std::io::Result<FileSink> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(FileSink {
+            path: path.to_string(),
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
 }
 
 impl Sink for FileSink {

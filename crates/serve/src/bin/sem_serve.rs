@@ -1,0 +1,25 @@
+//! `sem-serve` — the solver service daemon.
+//!
+//! One binary, two personalities: launched normally it is the daemon;
+//! re-exec'd with `TERASEM_SERVE_WORKER=1` in the environment it is a
+//! single-job worker (the parent-is-child pattern, same as
+//! `terasem-launch` ranks). See `sem_serve::daemon` for the service
+//! contract and `sem_serve::worker` for the job lifecycle.
+
+use sem_serve::daemon::{daemon_main, ServeOpts};
+use sem_serve::worker;
+
+fn main() {
+    if worker::worker_env() {
+        worker::worker_main();
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match ServeOpts::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("sem-serve: {msg}");
+            std::process::exit(sem_obs::exit::USAGE);
+        }
+    };
+    std::process::exit(daemon_main(opts));
+}

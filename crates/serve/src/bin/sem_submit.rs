@@ -1,0 +1,160 @@
+//! `sem-submit` — command-line client for the `sem-serve` daemon.
+//!
+//! ```text
+//! sem-submit --addr HOST:PORT|@DIR submit steps=N [k=v…] [--wait]
+//! sem-submit --addr … status <job-id>
+//! sem-submit --addr … watch <job-id>
+//! sem-submit --addr … result <job-id>
+//! sem-submit --addr … stats | ping | drain
+//! ```
+//!
+//! `@DIR` resolves the address from `DIR/serve.addr` (daemons on
+//! ephemeral ports). Exit codes follow the `sem_obs::exit` registry:
+//! `0` success, `1` service-side failure (job failed / not found),
+//! `2` usage, and on `submit` a terminal `overloaded`/`draining`
+//! rejection also exits `1` — but always with the structured rejection
+//! printed, never a hang.
+
+use sem_serve::client::{resolve_addr, Client, Submit};
+use sem_serve::job::JobSpec;
+use sem_obs::exit;
+use std::time::Duration;
+
+const USAGE: &str = "usage: sem-submit --addr HOST:PORT|@DIR <command>\n\
+commands:\n\
+  submit steps=N [elems=K] [order=P] [every=C] [fault=SPEC] [kill_at=K] [name=S] [--wait]\n\
+  status <job-id>\n\
+  watch <job-id>\n\
+  result <job-id>\n\
+  stats | ping | drain";
+
+fn die_usage(msg: &str) -> ! {
+    eprintln!("sem-submit: {msg}\n{USAGE}");
+    std::process::exit(exit::USAGE);
+}
+
+fn die_io(what: &str, e: std::io::Error) -> ! {
+    eprintln!("sem-submit: {what}: {e}");
+    std::process::exit(exit::FAILURE);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let addr_pos = args.iter().position(|a| a == "--addr").unwrap_or_else(|| {
+        die_usage("--addr is required");
+    });
+    if addr_pos + 1 >= args.len() {
+        die_usage("--addr wants a value");
+    }
+    let addr_arg = args.remove(addr_pos + 1);
+    args.remove(addr_pos);
+    let addr = resolve_addr(&addr_arg)
+        .unwrap_or_else(|e| die_io(&format!("cannot resolve {addr_arg:?}"), e));
+    let timeout = Duration::from_secs(30);
+    let mut client = Client::connect(&addr, timeout)
+        .unwrap_or_else(|e| die_io(&format!("cannot connect to {addr}"), e));
+
+    let Some((cmd, rest)) = args.split_first() else {
+        die_usage("missing command");
+    };
+    match cmd.as_str() {
+        "submit" => {
+            let wait = rest.iter().any(|a| a == "--wait");
+            let spec_tokens: Vec<&str> = rest
+                .iter()
+                .filter(|a| *a != "--wait")
+                .map(String::as_str)
+                .collect();
+            let spec = JobSpec::parse(&spec_tokens).unwrap_or_else(|e| die_usage(&e));
+            let outcome = client
+                .submit_with_backoff(&spec, 5, std::process::id() as u64)
+                .unwrap_or_else(|e| die_io("submit failed", e));
+            let id = match outcome {
+                Ok(id) => {
+                    println!("admitted job={id}");
+                    id
+                }
+                Err(Submit::Overloaded { retry_after_ms }) => {
+                    println!("overloaded retry-after-ms={retry_after_ms}");
+                    std::process::exit(exit::FAILURE);
+                }
+                Err(Submit::Draining) => {
+                    println!("draining");
+                    std::process::exit(exit::FAILURE);
+                }
+                Err(Submit::Rejected(reason)) => {
+                    println!("rejected reason={reason}");
+                    std::process::exit(exit::FAILURE);
+                }
+                Err(Submit::Admitted(_)) => unreachable!("admitted is the Ok arm"),
+            };
+            if wait {
+                let state = client
+                    .wait_terminal(id, Duration::from_secs(600))
+                    .unwrap_or_else(|e| die_io("wait failed", e));
+                println!("job={id} state={state}");
+                if state != "completed" {
+                    std::process::exit(exit::FAILURE);
+                }
+            }
+        }
+        "status" => {
+            let id = parse_id(rest);
+            let (state, attempts) = client
+                .status(id)
+                .unwrap_or_else(|e| die_io("status failed", e));
+            println!("job={id} state={state} attempts={attempts}");
+        }
+        "watch" => {
+            let id = parse_id(rest);
+            let state = client
+                .watch(id, |line| println!("{line}"))
+                .unwrap_or_else(|e| die_io("watch failed", e));
+            println!("end job={id} state={state}");
+            if state != "completed" {
+                std::process::exit(exit::FAILURE);
+            }
+        }
+        "result" => {
+            let id = parse_id(rest);
+            let (path, hash) = client
+                .result(id)
+                .unwrap_or_else(|e| die_io("result failed", e));
+            println!("job={id} checkpoint={path} hash={hash:016x}");
+        }
+        "stats" => {
+            let kv = client.stats().unwrap_or_else(|e| die_io("stats failed", e));
+            for (k, v) in kv {
+                println!("{k}={v}");
+            }
+        }
+        "ping" => {
+            let resp = client
+                .request("ping")
+                .unwrap_or_else(|e| die_io("ping failed", e));
+            println!("{resp}");
+            if !resp.starts_with("ok") {
+                std::process::exit(exit::FAILURE);
+            }
+        }
+        "drain" => {
+            let resp = client
+                .request("drain")
+                .unwrap_or_else(|e| die_io("drain failed", e));
+            println!("{resp}");
+            if !resp.starts_with("ok") {
+                std::process::exit(exit::FAILURE);
+            }
+        }
+        other => die_usage(&format!("unknown command {other:?}")),
+    }
+}
+
+fn parse_id(rest: &[String]) -> u64 {
+    match rest {
+        [id] => id
+            .parse()
+            .unwrap_or_else(|_| die_usage(&format!("job id must be numeric, got {id:?}"))),
+        _ => die_usage("expected exactly one job id"),
+    }
+}

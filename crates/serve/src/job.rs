@@ -1,0 +1,267 @@
+//! Job specifications and lifecycle states.
+//!
+//! A job is one supervised solve of the standard shear-layer workload
+//! (the same deterministic configuration the soak harness uses), sized
+//! by the client. The spec travels as a single `key=value …` line: it
+//! is the payload of the `submit` request, the content of the job
+//! directory's `spec` file, and the worker subprocess's
+//! `TERASEM_SERVE_SPEC` environment value — one canonical encoding for
+//! all three.
+
+use std::fmt;
+
+/// Admission-time bounds on a spec. These are service policy, not
+/// solver limits: a public endpoint must reject absurd work before it
+/// allocates anything.
+pub const MAX_ELEMS: usize = 16;
+pub const MAX_ORDER: usize = 12;
+pub const MIN_ELEMS: usize = 2;
+pub const MIN_ORDER: usize = 2;
+
+/// What to run: the Fig. 3 shear layer at client-chosen size, with an
+/// optional seeded fault storm and an optional deterministic
+/// first-attempt crash (for chaos tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Target step count (run-until-target; resume-safe).
+    pub steps: u64,
+    /// Elements per side of the doubly-periodic box.
+    pub elems: usize,
+    /// Polynomial order.
+    pub order: usize,
+    /// Checkpoint every `every` committed steps.
+    pub every: u64,
+    /// Optional `TERASEM_FAULT` storm spec (validated at admission).
+    pub fault: Option<String>,
+    /// Chaos hook: on its *first* attempt the worker dies hard (exit 9)
+    /// right after this step commits, leaving a torn decoy checkpoint
+    /// behind. Retries run clean. The job must still complete
+    /// byte-equal to an unkilled reference.
+    pub kill_at: Option<u64>,
+    /// Display name ([A-Za-z0-9_-], for humans and logs).
+    pub name: String,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            steps: 8,
+            elems: 3,
+            order: 4,
+            every: 3,
+            fault: None,
+            kill_at: None,
+            name: "job".to_string(),
+        }
+    }
+}
+
+fn ok_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+impl JobSpec {
+    /// Parse `key=value` tokens (the tail of a `submit` line). Unknown
+    /// keys and malformed values are errors — an admission endpoint
+    /// must not guess.
+    pub fn parse(tokens: &[&str]) -> Result<JobSpec, String> {
+        let mut spec = JobSpec::default();
+        let mut saw_steps = false;
+        for tok in tokens {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+            let uint = |what: &str| -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("{what} wants a positive integer, got {value:?}"))
+            };
+            match key {
+                "steps" => {
+                    spec.steps = uint("steps")?;
+                    saw_steps = true;
+                }
+                "elems" => spec.elems = uint("elems")? as usize,
+                "order" => spec.order = uint("order")? as usize,
+                "every" => spec.every = uint("every")?,
+                "kill_at" => spec.kill_at = Some(uint("kill_at")?),
+                "fault" => spec.fault = Some(value.to_string()),
+                "name" => {
+                    if !ok_name(value) {
+                        return Err(format!("name {value:?} must be [A-Za-z0-9_-], ≤64 chars"));
+                    }
+                    spec.name = value.to_string();
+                }
+                other => return Err(format!("unknown spec key {other:?}")),
+            }
+        }
+        if !saw_steps {
+            return Err("spec needs steps=N".to_string());
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Structural validation shared by admission and the worker.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.steps == 0 {
+            return Err("steps must be ≥ 1".to_string());
+        }
+        if !(MIN_ELEMS..=MAX_ELEMS).contains(&self.elems) {
+            return Err(format!("elems must be in {MIN_ELEMS}..={MAX_ELEMS}"));
+        }
+        if !(MIN_ORDER..=MAX_ORDER).contains(&self.order) {
+            return Err(format!("order must be in {MIN_ORDER}..={MAX_ORDER}"));
+        }
+        if self.every == 0 {
+            return Err("every must be ≥ 1".to_string());
+        }
+        if let Some(k) = self.kill_at {
+            if k == 0 || k >= self.steps {
+                return Err("kill_at must be in 1..steps".to_string());
+            }
+        }
+        if let Some(f) = &self.fault {
+            // The storm grammar is sem-ns's; validate here so a bad
+            // spec is a bad-request at admission, not a worker death.
+            sem_ns::FaultPlan::parse(f).map_err(|e| format!("bad fault spec: {e}"))?;
+        }
+        if !ok_name(&self.name) {
+            return Err(format!("name {:?} must be [A-Za-z0-9_-], ≤64 chars", self.name));
+        }
+        Ok(())
+    }
+
+    /// The canonical one-line encoding ([`JobSpec::parse`]'s inverse).
+    pub fn to_line(&self) -> String {
+        let mut s = format!(
+            "steps={} elems={} order={} every={} name={}",
+            self.steps, self.elems, self.order, self.every, self.name
+        );
+        if let Some(f) = &self.fault {
+            s.push_str(&format!(" fault={f}"));
+        }
+        if let Some(k) = self.kill_at {
+            s.push_str(&format!(" kill_at={k}"));
+        }
+        s
+    }
+}
+
+/// Where a job is in its life. Rendered in `status` responses with
+/// [`JobState::wire_name`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker slot.
+    Queued,
+    /// A worker subprocess is running it.
+    Running {
+        /// The worker's OS pid (drain signals it).
+        pid: u32,
+    },
+    /// Ran to its step target; result artifact committed.
+    Completed,
+    /// Gave up: retry budget exhausted, solve gave up, or wall budget.
+    Failed {
+        /// The worker's structured exit code (see `sem_obs::exit`).
+        code: i32,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Preempted by drain (or never started before drain): the job's
+    /// checkpoints are intact and a future daemon could resume it.
+    Drained,
+}
+
+impl JobState {
+    /// Stable lowercase tag used on the wire.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running { .. } => "running",
+            JobState::Completed => "completed",
+            JobState::Failed { .. } => "failed",
+            JobState::Drained => "drained",
+        }
+    }
+
+    /// Terminal states never transition again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed { .. } | JobState::Drained
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.wire_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_its_line_encoding() {
+        let spec = JobSpec {
+            steps: 12,
+            elems: 3,
+            order: 5,
+            every: 4,
+            fault: Some("nan:u@3;seed=7".to_string()),
+            kill_at: Some(6),
+            name: "chaos-1".to_string(),
+        };
+        let line = spec.to_line();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(JobSpec::parse(&tokens).unwrap(), spec);
+    }
+
+    #[test]
+    fn defaults_apply_and_steps_is_required() {
+        let spec = JobSpec::parse(&["steps=9"]).unwrap();
+        assert_eq!(spec.elems, 3);
+        assert_eq!(spec.order, 4);
+        assert_eq!(spec.every, 3);
+        assert_eq!(spec.name, "job");
+        assert!(JobSpec::parse(&[]).unwrap_err().contains("steps"));
+    }
+
+    #[test]
+    fn bad_specs_are_structured_errors() {
+        for (toks, needle) in [
+            (vec!["steps=0"], "steps"),
+            (vec!["steps=5", "elems=1"], "elems"),
+            (vec!["steps=5", "elems=99"], "elems"),
+            (vec!["steps=5", "order=1"], "order"),
+            (vec!["steps=5", "every=0"], "every"),
+            (vec!["steps=5", "kill_at=5"], "kill_at"),
+            (vec!["steps=5", "kill_at=0"], "kill_at"),
+            (vec!["steps=5", "name=bad name!"], "name"),
+            (vec!["steps=5", "fault=zorp@3"], "fault"),
+            (vec!["steps=5", "bogus=1"], "bogus"),
+            (vec!["steps=five"], "integer"),
+            (vec!["nonsense"], "key=value"),
+        ] {
+            let err = JobSpec::parse(&toks).unwrap_err();
+            assert!(err.contains(needle), "{toks:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn state_wire_names_and_terminality() {
+        assert_eq!(JobState::Queued.wire_name(), "queued");
+        assert_eq!(JobState::Running { pid: 7 }.wire_name(), "running");
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running { pid: 7 }.is_terminal());
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Drained.is_terminal());
+        assert!(JobState::Failed { code: 12, reason: "x".into() }.is_terminal());
+    }
+}

@@ -1,0 +1,163 @@
+//! The wire protocol: `\n`-terminated UTF-8 lines over TCP.
+//!
+//! Requests (one line each):
+//!
+//! ```text
+//! ping
+//! stats
+//! drain
+//! submit steps=N [elems=K] [order=P] [every=C] [fault=SPEC] [kill_at=K] [name=S]
+//! status <job-id>
+//! watch  <job-id>
+//! result <job-id>
+//! ```
+//!
+//! Responses: one line starting `ok` or `err`, followed by
+//! space-separated `key=value` fields. `err` lines carry a stable
+//! machine-readable kind as their second token:
+//!
+//! ```text
+//! ok pong
+//! ok job=3
+//! err overloaded retry-after-ms=120 queue=8/8
+//! err draining
+//! err bad-request reason=...
+//! err not-found job=99
+//! ```
+//!
+//! `watch` is the one streaming response: after an `ok watching job=N`
+//! header the server forwards the job's JSON step records as raw lines
+//! (they never start with `ok`/`err`/`end`), terminated by a final
+//! `end job=N state=…` line, after which the connection returns to
+//! request/response mode.
+//!
+//! The backpressure contract: **every** request gets an immediate
+//! one-line answer. `overloaded` is an answer, not an error condition —
+//! it carries a `retry-after-ms` hint clients are expected to honor
+//! with jittered backoff (see [`crate::client`]).
+
+use crate::job::JobSpec;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Service counters + queue gauge.
+    Stats,
+    /// Begin graceful drain (same path as SIGTERM).
+    Drain,
+    /// Admit a job.
+    Submit(JobSpec),
+    /// One-shot job state.
+    Status(u64),
+    /// Stream the job's step records until it reaches a terminal state.
+    Watch(u64),
+    /// Fetch the completed job's result artifact reference.
+    Result(u64),
+}
+
+/// Parse one request line. Errors are the `reason=` payload of a
+/// `bad-request` response — stable text, no internal detail.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let job_id = |tokens: &[&str], what: &str| -> Result<u64, String> {
+        match tokens {
+            [id] => id
+                .parse::<u64>()
+                .map_err(|_| format!("{what} wants a numeric job id, got {id:?}")),
+            _ => Err(format!("{what} wants exactly one job id")),
+        }
+    };
+    match tokens.split_first() {
+        None => Err("empty request".to_string()),
+        Some((&"ping", [])) => Ok(Request::Ping),
+        Some((&"stats", [])) => Ok(Request::Stats),
+        Some((&"drain", [])) => Ok(Request::Drain),
+        Some((&"submit", rest)) => JobSpec::parse(rest).map(Request::Submit),
+        Some((&"status", rest)) => job_id(rest, "status").map(Request::Status),
+        Some((&"watch", rest)) => job_id(rest, "watch").map(Request::Watch),
+        Some((&"result", rest)) => job_id(rest, "result").map(Request::Result),
+        Some((other, _)) => Err(format!("unknown request {other:?}")),
+    }
+}
+
+/// Split a response line into `(verb, kv-fields, bare-words)` where
+/// verb is `ok`/`err`/`end`. Used by the client and the tests; the
+/// server formats responses directly.
+pub fn parse_response(line: &str) -> (String, Vec<(String, String)>, Vec<String>) {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().unwrap_or("").to_string();
+    let mut kv = Vec::new();
+    let mut bare = Vec::new();
+    for tok in tokens {
+        match tok.split_once('=') {
+            Some((k, v)) => kv.push((k.to_string(), v.to_string())),
+            None => bare.push(tok.to_string()),
+        }
+    }
+    (verb, kv, bare)
+}
+
+/// Fetch a `key=value` field from a parsed response.
+pub fn field<'a>(kv: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    kv.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Quote a free-text reason for embedding in a single-token `reason=`
+/// field: whitespace becomes `_` so the line stays splittable.
+pub fn reason_token(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_grammar_round_trips() {
+        assert_eq!(parse_request("ping"), Ok(Request::Ping));
+        assert_eq!(parse_request("  stats  "), Ok(Request::Stats));
+        assert_eq!(parse_request("drain"), Ok(Request::Drain));
+        assert_eq!(parse_request("status 17"), Ok(Request::Status(17)));
+        assert_eq!(parse_request("watch 0"), Ok(Request::Watch(0)));
+        assert_eq!(parse_request("result 3"), Ok(Request::Result(3)));
+        match parse_request("submit steps=6 elems=3 order=4 name=t") {
+            Ok(Request::Submit(spec)) => {
+                assert_eq!(spec.steps, 6);
+                assert_eq!(spec.name, "t");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        for bad in [
+            "", "frobnicate", "status", "status x", "status 1 2", "watch -3",
+            "submit", "submit steps=0", "ping extra",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn response_parsing_separates_kv_and_bare_tokens() {
+        let (verb, kv, bare) = parse_response("err overloaded retry-after-ms=120 queue=8/8");
+        assert_eq!(verb, "err");
+        assert_eq!(bare, vec!["overloaded"]);
+        assert_eq!(field(&kv, "retry-after-ms"), Some("120"));
+        assert_eq!(field(&kv, "queue"), Some("8/8"));
+        assert_eq!(field(&kv, "missing"), None);
+    }
+
+    #[test]
+    fn reason_tokens_stay_single_tokens() {
+        assert_eq!(reason_token("steps must be ≥ 1"), "steps_must_be_≥_1");
+        let (_, kv, _) = parse_response(&format!("err bad-request reason={}", reason_token("a b")));
+        assert_eq!(field(&kv, "reason"), Some("a_b"));
+    }
+}

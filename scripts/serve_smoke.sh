@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# sem-serve smoke: the crash-only solver service keeps its three
+# operational promises, end-to-end over real TCP and real processes.
+#
+# Stage 1: crash-only retry. One daemon runs a reference job and a
+# chaos job (`kill_at=5`: the worker SIGKILLs itself mid-run after
+# planting a torn decoy checkpoint). The service must retry the killed
+# job from its newest valid checkpoint and the final result checkpoint
+# must be byte-identical (`cmp`) to the uncontended reference — a crash
+# plus resume is invisible in the numbers.
+#
+# Stage 2: admission control. A deliberately tiny daemon (1 worker,
+# queue of 2) is saturated with slow jobs; the next submission must be
+# rejected with the structured `overloaded retry-after-ms=…` line,
+# promptly — overload NEVER looks like a hang from the client side.
+#
+# Stage 3: graceful drain. SIGTERM to the saturated daemon must
+# checkpoint the in-flight job, park the queued ones as drained, exit 0
+# within the deadline, and leave no torn (*.tmp) files behind.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIR1=$(mktemp -d)
+DIR2=$(mktemp -d)
+SRV1_PID=""
+SRV2_PID=""
+cleanup() {
+    [ -n "$SRV1_PID" ] && kill -9 "$SRV1_PID" 2>/dev/null || true
+    [ -n "$SRV2_PID" ] && kill -9 "$SRV2_PID" 2>/dev/null || true
+    rm -rf "$DIR1" "$DIR2"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve_smoke: FAIL — $1" >&2
+    exit 1
+}
+
+cargo build -q --release --offline -p sem-serve --bins
+SERVE=target/release/sem-serve
+SUBMIT=target/release/sem-submit
+
+wait_addr() {
+    for _ in $(seq 1 200); do
+        [ -s "$1/serve.addr" ] && return 0
+        sleep 0.05
+    done
+    fail "daemon in $1 never wrote serve.addr"
+}
+
+# ---- stage 1: chaos kill resumes byte-equal to the reference ---------
+"$SERVE" --port 0 --workers 2 --dir "$DIR1" >/dev/null 2>&1 &
+SRV1_PID=$!
+wait_addr "$DIR1"
+
+"$SUBMIT" --addr "@$DIR1" submit steps=40 every=5 name=ref --wait >/dev/null \
+    || fail "reference job did not complete"
+"$SUBMIT" --addr "@$DIR1" submit steps=40 every=5 kill_at=5 name=chaos --wait >/dev/null \
+    || fail "chaos job did not complete after its worker was killed"
+
+STATUS=$("$SUBMIT" --addr "@$DIR1" status 2)
+echo "$STATUS" | grep -q "state=completed attempts=2" \
+    || fail "chaos job should complete on attempt 2, got: $STATUS"
+REF_CKPT=$("$SUBMIT" --addr "@$DIR1" result 1 | sed -n 's/.*checkpoint=\([^ ]*\).*/\1/p')
+CHAOS_CKPT=$("$SUBMIT" --addr "@$DIR1" result 2 | sed -n 's/.*checkpoint=\([^ ]*\).*/\1/p')
+[ -f "$REF_CKPT" ] && [ -f "$CHAOS_CKPT" ] || fail "result checkpoints missing"
+cmp -s "$REF_CKPT" "$CHAOS_CKPT" \
+    || fail "killed worker's job resumed to a DIFFERENT result than the reference"
+
+"$SUBMIT" --addr "@$DIR1" drain >/dev/null
+for _ in $(seq 1 100); do kill -0 "$SRV1_PID" 2>/dev/null || break; sleep 0.1; done
+kill -0 "$SRV1_PID" 2>/dev/null && fail "stage-1 daemon ignored protocol drain"
+SRV1_PID=""
+echo "serve_smoke: chaos-killed job retried and matched the reference byte-for-byte"
+
+# ---- stage 2: saturation is a structured rejection, not a hang -------
+"$SERVE" --port 0 --workers 1 --queue 2 --dir "$DIR2" >/dev/null 2>&1 &
+SRV2_PID=$!
+wait_addr "$DIR2"
+
+# One slow job on the single worker, two more filling the queue.
+for i in 1 2 3; do
+    "$SUBMIT" --addr "@$DIR2" submit steps=20000 name="slow$i" >/dev/null \
+        || fail "blocker job $i was not admitted"
+done
+START=$(date +%s)
+set +e
+REJECT=$("$SUBMIT" --addr "@$DIR2" submit steps=20000 name=onetoomany)
+RC=$?
+set -e
+ELAPSED=$(( $(date +%s) - START ))
+[ "$RC" -ne 0 ] || fail "submission into a full queue was admitted"
+echo "$REJECT" | grep -Eq "overloaded retry-after-ms=[0-9]+" \
+    || fail "rejection was not the structured overload line, got: $REJECT"
+[ "$ELAPSED" -lt 10 ] \
+    || fail "overload rejection took ${ELAPSED}s — looked like a hang"
+echo "serve_smoke: full queue rejected in ${ELAPSED}s with: $REJECT"
+
+# ---- stage 3: SIGTERM drain checkpoints in-flight work, exits 0 ------
+kill -TERM "$SRV2_PID"
+DRAIN_RC=-1
+for _ in $(seq 1 300); do
+    if ! kill -0 "$SRV2_PID" 2>/dev/null; then
+        set +e; wait "$SRV2_PID"; DRAIN_RC=$?; set -e
+        break
+    fi
+    sleep 0.1
+done
+[ "$DRAIN_RC" -ge 0 ] || fail "daemon still alive 30s after SIGTERM"
+[ "$DRAIN_RC" -eq 0 ] || fail "drain exited $DRAIN_RC, want 0"
+SRV2_PID=""
+grep -q '"event":"drain_begin"' "$DIR2/serve.jsonl" \
+    || fail "journal is missing drain_begin"
+grep -q '"event":"drain_end"' "$DIR2/serve.jsonl" \
+    || fail "journal is missing drain_end"
+# The in-flight job (job 1 on the single worker) must have been
+# checkpointed on the way down; nothing anywhere may be torn.
+ls "$DIR2"/job_000001/ckpt/*.ckpt >/dev/null 2>&1 \
+    || fail "in-flight job was not checkpointed during drain"
+STRAYS=$(find "$DIR2" -name '*.tmp' | wc -l)
+[ "$STRAYS" -eq 0 ] || fail "$STRAYS torn .tmp file(s) survived the drain"
+echo "serve_smoke: SIGTERM drained clean — exit 0, in-flight job checkpointed, no torn files"
+
+echo "serve_smoke: OK (crash-only retry + structured overload + graceful drain)"

@@ -14,6 +14,7 @@ scripts/fault_smoke.sh
 scripts/soak_smoke.sh
 scripts/net_smoke.sh
 scripts/net_fault_smoke.sh
+scripts/serve_smoke.sh
 scripts/bench_snapshot.sh
 
 echo "verify: OK"
